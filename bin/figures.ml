@@ -1,0 +1,145 @@
+(* Regenerate every table and figure of the paper's evaluation.
+
+   Each experiment prints the same rows/series the paper reports; the
+   EXPERIMENTS.md file records these outputs against the paper's values. *)
+
+let section title = Printf.printf "\n== %s ==\n\n" title
+
+let duration_of_sec s = Simtime.Time.Span.of_sec s
+
+let run_params () =
+  section "Table 1/2 — model parameters (V system)";
+  Format.printf "%a@." Analytic.Params.pp Analytic.Params.v_lan
+
+let run_table2 quick =
+  section "Table 2 — V file-caching parameters: target vs measured from the generated trace";
+  let duration = duration_of_sec (if quick then 2_000. else 20_000.) in
+  let r = Experiments.Table2.run ~duration () in
+  print_endline r.Experiments.Table2.table
+
+let run_fig1 quick =
+  section "Figure 1 — relative server consistency load vs lease term";
+  let duration = duration_of_sec (if quick then 1_000. else 10_000.) in
+  let r = Experiments.Fig1.run ~duration () in
+  print_endline r.Experiments.Fig1.table;
+  print_newline ();
+  print_endline r.Experiments.Fig1.knee_note
+
+let run_fig2 quick =
+  section "Figure 2 — delay added per operation vs lease term (V LAN)";
+  let duration = duration_of_sec (if quick then 1_000. else 10_000.) in
+  let r = Experiments.Fig2.run ~duration () in
+  print_endline r.Experiments.Fig2.table;
+  print_newline ();
+  print_endline r.Experiments.Fig2.spread_note
+
+let run_fig3 quick =
+  section "Figure 3 — delay added per operation with a 100 ms round trip";
+  let duration = duration_of_sec (if quick then 1_000. else 10_000.) in
+  let r = Experiments.Fig3.run ~duration () in
+  print_endline r.Experiments.Fig3.table;
+  print_newline ();
+  print_endline r.Experiments.Fig3.note
+
+let run_claims quick =
+  section "In-text claims (sections 3.2-3.3) — paper vs model vs simulation";
+  let duration = duration_of_sec (if quick then 1_000. else 10_000.) in
+  let r = Experiments.Claims.run ~duration () in
+  print_endline r.Experiments.Claims.table
+
+let run_ablations quick =
+  section "Section 4 ablations — lease-management options";
+  let duration = duration_of_sec (if quick then 500. else 3_000.) in
+  let r = Experiments.Ablations.run ~duration () in
+  print_endline r.Experiments.Ablations.table
+
+let run_faults () =
+  section "Section 5 drills — fault tolerance";
+  let r = Experiments.Faults.run () in
+  List.iter
+    (fun s ->
+      Printf.printf "[%s] %s\n" (if s.Experiments.Faults.ok then "ok" else "FAIL")
+        s.Experiments.Faults.name;
+      List.iter (fun line -> Printf.printf "    %s\n" line) s.Experiments.Faults.lines)
+    r.Experiments.Faults.scenarios
+
+let run_future quick =
+  section "Section 3.3 — future systems: faster processors, wider networks";
+  let duration = duration_of_sec (if quick then 500. else 5_000.) in
+  let r = Experiments.Future.run ~duration () in
+  print_endline r.Experiments.Future.table
+
+let run_writeback quick =
+  section "Extension — write-back caching (read/write leases, MFS/Echo tokens)";
+  let duration = duration_of_sec (if quick then 400. else 2_000.) in
+  let r = Experiments.Writeback.run ~duration () in
+  print_endline r.Experiments.Writeback.table
+
+let run_granularity quick =
+  section "Lease granularity — fewer lease records vs induced false sharing";
+  let duration = duration_of_sec (if quick then 500. else 3_000.) in
+  let r = Experiments.Granularity.run ~duration () in
+  print_endline r.Experiments.Granularity.table
+
+let run_adaptive quick =
+  section "Adaptive terms (the paper's closing future-work item)";
+  let duration = duration_of_sec (if quick then 400. else 2_000.) in
+  let r = Experiments.Adaptive.run ~duration () in
+  print_endline r.Experiments.Adaptive.table
+
+let run_baselines quick =
+  section "Section 6 — leases vs polling vs callbacks vs TTL hints";
+  let duration = duration_of_sec (if quick then 500. else 3_000.) in
+  let r = Experiments.Baselines_cmp.run ~duration () in
+  print_endline r.Experiments.Baselines_cmp.table
+
+let all_experiments =
+  [
+    ("params", fun _quick -> run_params ());
+    ("table2", run_table2);
+    ("fig1", run_fig1);
+    ("fig2", run_fig2);
+    ("fig3", run_fig3);
+    ("claims", run_claims);
+    ("ablations", run_ablations);
+    ("faults", fun _quick -> run_faults ());
+    ("baselines", run_baselines);
+    ("future", run_future);
+    ("writeback", run_writeback);
+    ("granularity", run_granularity);
+    ("adaptive", run_adaptive);
+  ]
+
+let run_experiment quick name =
+  match List.assoc_opt name all_experiments with
+  | Some f ->
+    f quick;
+    `Ok ()
+  | None ->
+    `Error
+      ( false,
+        Printf.sprintf "unknown experiment %S; pick one of: all %s" name
+          (String.concat " " (List.map fst all_experiments)) )
+
+let main experiment quick =
+  if experiment = "all" then begin
+    List.iter (fun (_, f) -> f quick) all_experiments;
+    `Ok ()
+  end
+  else run_experiment quick experiment
+
+open Cmdliner
+
+let experiment_arg =
+  let doc = "Which experiment to regenerate: all, params, table2, fig1, fig2, fig3, claims, ablations, faults, baselines, future, writeback, granularity or adaptive." in
+  Arg.(value & opt string "all" & info [ "e"; "experiment" ] ~docv:"NAME" ~doc)
+
+let quick_arg =
+  let doc = "Shorter simulated traces: coarser curves, much faster." in
+  Arg.(value & flag & info [ "q"; "quick" ] ~doc)
+
+let cmd =
+  let doc = "Regenerate the tables and figures of Gray & Cheriton's leases paper (SOSP '89)." in
+  Cmd.v (Cmd.info "leases-figures" ~doc) Term.(ret (const main $ experiment_arg $ quick_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,101 @@
+(* Run one configurable simulation and print the full metric summary. *)
+
+open Cmdliner
+
+let span_sec = Simtime.Time.Span.of_sec
+
+let make_trace workload clients duration seed =
+  let duration = span_sec duration in
+  match workload with
+  | "poisson" -> (Experiments.V_trace.poisson ~seed ~clients ~duration ()).Experiments.V_trace.trace
+  | "bursty" -> (Experiments.V_trace.bursty ~seed ~clients ~duration ()).Experiments.V_trace.trace
+  | "shared-heavy" ->
+    (Experiments.V_trace.shared_heavy ~seed ~clients ~duration ()).Experiments.V_trace.trace
+  | other -> failwith (Printf.sprintf "unknown workload %S (poisson|bursty|shared-heavy)" other)
+
+let main protocol term_s clients duration seed loss rtt_ms workload trace_file =
+  try
+    let trace =
+      match trace_file with
+      | Some path ->
+        let ic = open_in path in
+        let len = in_channel_length ic in
+        let text = really_input_string ic len in
+        close_in ic;
+        Workload.Trace_io.parse_exn text
+      | None -> make_trace workload clients duration seed
+    in
+    let m_proc = Simtime.Time.Span.of_ms 1. in
+    let m_prop = Simtime.Time.Span.of_ms ((rtt_ms -. 4.) /. 2.) in
+    let term =
+      if term_s < 0. then Analytic.Model.Infinite else Analytic.Model.Finite term_s
+    in
+    let metrics =
+      match protocol with
+      | "leases" ->
+        let setup = Experiments.Runner.lease_setup ~n_clients:clients ~m_prop ~m_proc ~term () in
+        let setup = { setup with Leases.Sim.loss; seed } in
+        (Leases.Sim.run setup ~trace).Leases.Sim.metrics
+      | "polling" ->
+        let setup =
+          { Baselines.Polling.default_setup with
+            Baselines.Polling.n_clients = clients; m_prop; m_proc; loss; seed }
+        in
+        (Baselines.Polling.run setup ~trace).Leases.Sim.metrics
+      | "callback" ->
+        let setup =
+          { Baselines.Callback.default_setup with
+            Baselines.Callback.n_clients = clients; m_prop; m_proc; loss; seed }
+        in
+        (Baselines.Callback.run setup ~trace).Leases.Sim.metrics
+      | "ttl" ->
+        let ttl = if term_s <= 0. then span_sec 10. else span_sec term_s in
+        let setup =
+          { Baselines.Ttl_hints.default_setup with
+            Baselines.Ttl_hints.n_clients = clients; m_prop; m_proc; loss; seed; ttl }
+        in
+        (Baselines.Ttl_hints.run setup ~trace).Leases.Sim.metrics
+      | other ->
+        failwith (Printf.sprintf "unknown protocol %S (leases|polling|callback|ttl)" other)
+    in
+    Format.printf "%a@." Leases.Metrics.pp metrics;
+    `Ok ()
+  with Failure why | Sys_error why -> `Error (false, why)
+
+let protocol =
+  Arg.(value & opt string "leases"
+       & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc:"leases, polling, callback or ttl.")
+
+let term =
+  Arg.(value & opt float 10.
+       & info [ "t"; "term" ] ~docv:"SEC" ~doc:"Lease term (or TTL) in seconds; negative = infinite.")
+
+let clients =
+  Arg.(value & opt int 1 & info [ "n"; "clients" ] ~docv:"N" ~doc:"Number of client caches.")
+
+let duration =
+  Arg.(value & opt float 600. & info [ "d"; "duration" ] ~docv:"SEC" ~doc:"Virtual seconds of workload.")
+
+let seed = Arg.(value & opt int64 1L & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let loss =
+  Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P" ~doc:"Per-delivery message loss probability.")
+
+let rtt =
+  Arg.(value & opt float 5. & info [ "rtt" ] ~docv:"MS" ~doc:"Unicast round-trip time in milliseconds.")
+
+let workload =
+  Arg.(value & opt string "poisson"
+       & info [ "w"; "workload" ] ~docv:"KIND" ~doc:"poisson, bursty or shared-heavy.")
+
+let trace_file =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE" ~doc:"Drive the run from a trace file (see leases-tracegen).")
+
+let cmd =
+  let doc = "Simulate a distributed file cache under a chosen consistency protocol." in
+  Cmd.v (Cmd.info "leases-sim" ~doc)
+    Term.(ret (const main $ protocol $ term $ clients $ duration $ seed $ loss $ rtt $ workload
+               $ trace_file))
+
+let () = exit (Cmd.eval cmd)

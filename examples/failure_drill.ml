@@ -1,0 +1,64 @@
+(* Fault-tolerance drill: a partition hits a cluster mid-workload.
+
+   The same trace runs under leases and under AFS-style callbacks, with
+   the consistency oracle watching both.  Leases convert the partition
+   into bounded write delay; callbacks convert it into stale reads.
+
+   Run with:  dune exec examples/failure_drill.exe *)
+
+open Simtime
+
+let printf = Printf.printf
+
+let () =
+  let clients = 4 in
+  let duration = Time.Span.of_sec 1_200. in
+  let trace =
+    (Experiments.V_trace.shared_heavy ~clients ~duration ()).Experiments.V_trace.trace
+  in
+  let faults =
+    [
+      Leases.Sim.Partition_clients
+        { clients = [ 0 ]; at = Time.of_sec 300.; duration = Time.Span.of_sec 120. };
+      Leases.Sim.Crash_client
+        { client = 1; at = Time.of_sec 700.; duration = Time.Span.of_sec 60. };
+      Leases.Sim.Crash_server { at = Time.of_sec 900.; duration = Time.Span.of_sec 5. };
+    ]
+  in
+  printf "workload: %d clients, 1200 virtual s; faults: client 0 partitioned at t=300 for\n"
+    clients;
+  printf "120 s, client 1 crashes at t=700 for 60 s, the server crashes at t=900 for 5 s.\n\n";
+
+  let lease_setup =
+    {
+      (Experiments.Runner.lease_setup ~n_clients:clients ~term:(Analytic.Model.Finite 10.) ())
+      with
+      Leases.Sim.faults;
+    }
+  in
+  let lease = (Leases.Sim.run lease_setup ~trace).Leases.Sim.metrics in
+  let cb_setup =
+    {
+      Baselines.Callback.default_setup with
+      Baselines.Callback.n_clients = clients;
+      faults;
+      poll_period = Time.Span.of_sec 120.;
+    }
+  in
+  let cb = (Baselines.Callback.run cb_setup ~trace).Leases.Sim.metrics in
+
+  let report name (m : Leases.Metrics.t) =
+    printf "%-22s stale reads %4d   max write wait %6.1f s   consistency %5.3f msg/s\n" name
+      m.Leases.Metrics.oracle_violations
+      (Stats.Histogram.quantile m.Leases.Metrics.write_wait 1.0)
+      m.Leases.Metrics.consistency_msg_rate
+  in
+  report "leases (10 s term)" lease;
+  report "callbacks (AFS)" cb;
+  printf "\nLeases: every fault became a delay bounded by the 10 s term; zero stale reads\n";
+  printf "out of %d checked.  Callbacks: the server abandoned the unreachable holder and\n"
+    lease.Leases.Metrics.oracle_reads;
+  printf "the partitioned client kept serving its dead copy — %d stale reads, up to %.0f s\n"
+    cb.Leases.Metrics.oracle_violations
+    (Stats.Histogram.quantile cb.Leases.Metrics.staleness 1.0);
+  printf "old, until its next revalidation poll.\n"

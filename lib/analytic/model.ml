@@ -1,0 +1,79 @@
+type term = Finite of float | Infinite
+
+let effective_term (p : Params.t) ts =
+  Float.max 0. (ts -. (p.m_prop +. (2. *. p.m_proc)) -. p.epsilon)
+
+let approval_time (p : Params.t) =
+  if p.sharing <= 1 then 0.
+  else (2. *. p.m_prop) +. (float_of_int (p.sharing + 2) *. p.m_proc)
+
+let n p = float_of_int p.Params.n_clients
+let s p = float_of_int p.Params.sharing
+
+let extension_rate (p : Params.t) = function
+  | Infinite -> 0.
+  | Finite ts ->
+    let tc = effective_term p ts in
+    2. *. n p *. p.read_rate /. (1. +. (p.read_rate *. tc))
+
+let approval_rate (p : Params.t) = function
+  | Finite 0. -> 0.
+  | Finite _ | Infinite ->
+    if p.sharing <= 1 then 0. else n p *. s p *. p.write_rate
+
+let consistency_load p term = extension_rate p term +. approval_rate p term
+
+let relative_load p term =
+  let at_zero = consistency_load p (Finite 0.) in
+  if at_zero = 0. then 0. else consistency_load p term /. at_zero
+
+let read_delay (p : Params.t) = function
+  | Infinite -> 0.
+  | Finite ts ->
+    let tc = effective_term p ts in
+    Params.unicast_rtt p /. (1. +. (p.read_rate *. tc))
+
+let write_delay (p : Params.t) = function
+  | Finite 0. -> 0.
+  | Finite _ | Infinite -> approval_time p
+
+let consistency_delay (p : Params.t) term =
+  let total_rate = p.read_rate +. p.write_rate in
+  if total_rate = 0. then 0.
+  else
+    ((p.read_rate *. read_delay p term) +. (p.write_rate *. write_delay p term)) /. total_rate
+
+let alpha (p : Params.t) =
+  if p.write_rate = 0. then infinity else 2. *. p.read_rate /. (s p *. p.write_rate)
+
+let alpha_unicast (p : Params.t) =
+  if p.sharing <= 1 || p.write_rate = 0. then infinity
+  else p.read_rate /. (float_of_int (p.sharing - 1) *. p.write_rate)
+
+let break_even_term (p : Params.t) =
+  let a = alpha p in
+  if a <= 1. || p.read_rate = 0. then None
+  else if a = infinity then Some 0.
+  else Some (1. /. (p.read_rate *. (a -. 1.)))
+
+let other_load p ~consistency_share_at_zero =
+  if consistency_share_at_zero <= 0. || consistency_share_at_zero > 1. then
+    invalid_arg "Model: consistency share must be in (0, 1]";
+  let consistency_at_zero = consistency_load p (Finite 0.) in
+  consistency_at_zero *. (1. -. consistency_share_at_zero) /. consistency_share_at_zero
+
+let total_load p ~consistency_share_at_zero term =
+  consistency_load p term +. other_load p ~consistency_share_at_zero
+
+let reduction_vs_zero p ~consistency_share_at_zero term =
+  let at_zero = total_load p ~consistency_share_at_zero (Finite 0.) in
+  (at_zero -. total_load p ~consistency_share_at_zero term) /. at_zero
+
+let overhead_vs_infinite p ~consistency_share_at_zero term =
+  let floor = total_load p ~consistency_share_at_zero Infinite in
+  (total_load p ~consistency_share_at_zero term -. floor) /. floor
+
+let response_degradation p ~base_response term =
+  if base_response <= 0. then invalid_arg "Model: base response must be positive";
+  let floor = consistency_delay p Infinite in
+  (consistency_delay p term -. floor) /. (base_response +. floor)

@@ -1,0 +1,84 @@
+(** The closed-form performance model of Section 3.1.
+
+    Conventions, straight from the paper:
+
+    - the {e effective} client term is
+      [t_c = max 0 (t_s - (m_prop + 2*m_proc) - epsilon)] — the server term
+      shortened by the grant's transit time and the clock-skew allowance;
+    - lease-extension traffic at the server runs at [2*N*R / (1 + R*t_c)]
+      messages per second (one request/response per extension, amortised
+      over the [R*t_c] extra reads a lease covers);
+    - a write to a file shared by [S > 1] caches costs [S] messages (one
+      multicast plus [S - 1] approvals; the writer's own approval rides on
+      its write request) and takes [t_a = 2*m_prop + (S + 2)*m_proc];
+    - a {e zero} term needs no approvals at all — there are no outstanding
+      leases — which is why zero beats a merely very-short term;
+    - failure-induced waits are excluded (failures assumed rare). *)
+
+type term =
+  | Finite of float  (** the server-side term t_s, in seconds *)
+  | Infinite
+
+val effective_term : Params.t -> float -> float
+(** [t_c] as a function of [t_s]. *)
+
+val approval_time : Params.t -> float
+(** [t_a]; 0 when S = 1 (the writer approves implicitly). *)
+
+val extension_rate : Params.t -> term -> float
+(** Extension-related messages per second handled by the server. *)
+
+val approval_rate : Params.t -> term -> float
+(** Approval-related messages per second; 0 when S = 1 or the term is
+    zero. *)
+
+val consistency_load : Params.t -> term -> float
+(** Formula (1): [extension_rate + approval_rate]. *)
+
+val relative_load : Params.t -> term -> float
+(** Consistency load normalised by its zero-term value — the y axis of
+    Figure 1. *)
+
+val read_delay : Params.t -> term -> float
+(** Expected consistency delay added to one read: a full RPC amortised over
+    the reads a lease covers. *)
+
+val write_delay : Params.t -> term -> float
+(** Expected consistency delay added to one write: [t_a] when approvals are
+    needed. *)
+
+val consistency_delay : Params.t -> term -> float
+(** Formula (2): the read/write-rate-weighted mean of the two delays — the
+    y axis of Figures 2 and 3. *)
+
+val alpha : Params.t -> float
+(** The lease benefit factor [2R / (S*W)]; [infinity] when W = 0. *)
+
+val alpha_unicast : Params.t -> float
+(** The benefit factor when approvals are requested by unicast instead of
+    multicast: [R / ((S-1) * W)]; [infinity] when S = 1 or W = 0. *)
+
+val break_even_term : Params.t -> float option
+(** The effective term beyond which a lease lowers server load:
+    [1 / (R * (alpha - 1))].  [None] when [alpha <= 1] (leasing never
+    pays) or R = 0. *)
+
+(** {2 Totals and headline claims}
+
+    The paper reports consistency load as a share of {e total} server
+    traffic: 30 % at a zero term in the V trace.  Given that share, total
+    load and the §3.2 percentage claims follow. *)
+
+val total_load : Params.t -> consistency_share_at_zero:float -> term -> float
+
+val reduction_vs_zero : Params.t -> consistency_share_at_zero:float -> term -> float
+(** Fractional reduction of total server load relative to a zero term. *)
+
+val overhead_vs_infinite : Params.t -> consistency_share_at_zero:float -> term -> float
+(** Fractional excess of total server load over the infinite-term floor. *)
+
+val response_degradation : Params.t -> base_response:float -> term -> float
+(** Fractional increase of application-level response time over an
+    infinite term, when an operation's base response time (all
+    non-consistency work) is [base_response] seconds.  Figure 3 uses one
+    unicast RTT as the base. *)

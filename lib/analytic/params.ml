@@ -1,0 +1,45 @@
+type t = {
+  n_clients : int;
+  read_rate : float;
+  write_rate : float;
+  sharing : int;
+  m_prop : float;
+  m_proc : float;
+  epsilon : float;
+}
+
+let validate t =
+  if t.n_clients < 1 then invalid_arg "Params: N must be at least 1";
+  if t.sharing < 1 then invalid_arg "Params: S must be at least 1";
+  if t.read_rate < 0. || t.write_rate < 0. then invalid_arg "Params: negative rate";
+  if t.m_prop < 0. || t.m_proc < 0. || t.epsilon < 0. then invalid_arg "Params: negative time"
+
+let v_lan =
+  {
+    n_clients = 1;
+    read_rate = 0.864;
+    write_rate = 0.040;
+    sharing = 1;
+    m_prop = 0.0005;
+    m_proc = 0.001;
+    epsilon = 0.1;
+  }
+
+let with_sharing t sharing =
+  let t = { t with sharing } in
+  validate t;
+  t
+
+let unicast_rtt t = (2. *. t.m_prop) +. (4. *. t.m_proc)
+
+let with_rtt t rtt =
+  let m_prop = (rtt -. (4. *. t.m_proc)) /. 2. in
+  if m_prop < 0. then invalid_arg "Params.with_rtt: round trip shorter than processing time";
+  { t with m_prop }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>N (clients)          %d@,R (reads/s/client)   %.4f@,W (writes/s/client)  %.4f@,\
+     S (sharing degree)   %d@,m_prop               %.4g s@,m_proc               %.4g s@,\
+     epsilon (clock skew) %.4g s@,unicast RTT          %.4g s@]"
+    t.n_clients t.read_rate t.write_rate t.sharing t.m_prop t.m_proc t.epsilon (unicast_rtt t)

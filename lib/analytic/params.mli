@@ -1,0 +1,37 @@
+(** The performance parameters of the paper's Table 1, plus the V-system
+    values of Table 2.
+
+    All times are in seconds and all rates in events per second, matching
+    the paper's units.  The analytic model is pure arithmetic over these —
+    it never touches the simulator. *)
+
+type t = {
+  n_clients : int;  (** N — number of client caches *)
+  read_rate : float;  (** R — server-visible reads per second per client *)
+  write_rate : float;  (** W — server-visible writes per second per client *)
+  sharing : int;  (** S — caches holding the file at each write *)
+  m_prop : float;  (** propagation delay of a message, seconds *)
+  m_proc : float;  (** processing time per message send or receive, seconds *)
+  epsilon : float;  (** allowance for clock skew, seconds *)
+}
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on non-positive N or S, negative rates or
+    times. *)
+
+val v_lan : t
+(** Table 2: the V file-caching parameters.  R = 0.864/s is legible in the
+    paper; W = 0.040/s and the message times are reconstructed by inverting
+    the paper's own §3.2 headline percentages (see EXPERIMENTS.md); the
+    trace has a single client and no write sharing (N = 1, S = 1). *)
+
+val with_sharing : t -> int -> t
+
+val with_rtt : t -> float -> t
+(** Adjust [m_prop] so the unicast round trip [2*m_prop + 4*m_proc] equals
+    the given value — how Figure 3 turns the LAN into a 100 ms WAN. *)
+
+val unicast_rtt : t -> float
+(** [2*m_prop + 4*m_proc]: one request/response exchange. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,36 @@
+type setup = {
+  seed : int64;
+  n_clients : int;
+  m_prop : Simtime.Time.Span.t;
+  m_proc : Simtime.Time.Span.t;
+  loss : float;
+  faults : Leases.Sim.fault list;
+  drain : Simtime.Time.Span.t;
+}
+
+let default_setup =
+  let d = Leases.Sim.default_setup in
+  {
+    seed = d.Leases.Sim.seed;
+    n_clients = d.Leases.Sim.n_clients;
+    m_prop = d.Leases.Sim.m_prop;
+    m_proc = d.Leases.Sim.m_proc;
+    loss = d.Leases.Sim.loss;
+    faults = d.Leases.Sim.faults;
+    drain = d.Leases.Sim.drain;
+  }
+
+let run setup ~trace =
+  let config = Leases.Config.with_term Leases.Config.default Leases.Lease.term_zero in
+  Leases.Sim.run
+    {
+      Leases.Sim.seed = setup.seed;
+      n_clients = setup.n_clients;
+      config;
+      m_prop = setup.m_prop;
+      m_proc = setup.m_proc;
+      loss = setup.loss;
+      faults = setup.faults;
+      drain = setup.drain;
+    }
+    ~trace

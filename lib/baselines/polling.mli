@@ -1,0 +1,22 @@
+(** Check-on-use consistency — Sprite, RFS and the Andrew prototype at
+    open granularity (Section 6).
+
+    Every read validates with the server before using the cache, which is
+    exactly a lease of term zero; this baseline therefore runs the lease
+    machinery with the {!Leases.Term_policy.Zero} policy.  It is always
+    consistent and always pays two messages per read — the load the Andrew
+    prototype buckled under as it scaled. *)
+
+type setup = {
+  seed : int64;
+  n_clients : int;
+  m_prop : Simtime.Time.Span.t;
+  m_proc : Simtime.Time.Span.t;
+  loss : float;
+  faults : Leases.Sim.fault list;
+  drain : Simtime.Time.Span.t;
+}
+
+val default_setup : setup
+
+val run : setup -> trace:Workload.Trace.t -> Leases.Sim.outcome

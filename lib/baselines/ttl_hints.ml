@@ -1,0 +1,375 @@
+open Simtime
+module Host_id = Host.Host_id
+module File_id = Vstore.File_id
+
+type setup = {
+  seed : int64;
+  n_clients : int;
+  m_prop : Time.Span.t;
+  m_proc : Time.Span.t;
+  loss : float;
+  faults : Leases.Sim.fault list;
+  drain : Time.Span.t;
+  ttl : Time.Span.t;
+}
+
+let default_setup =
+  {
+    seed = 1L;
+    n_clients = 1;
+    m_prop = Time.Span.of_ms 0.5;
+    m_proc = Time.Span.of_ms 1.;
+    loss = 0.;
+    faults = [];
+    drain = Time.Span.of_sec 120.;
+    ttl = Time.Span.of_sec 10.;
+  }
+
+type payload =
+  | Fetch_request of { req : int; file : File_id.t }
+  | Fetch_reply of { req : int; file : File_id.t; version : Vstore.Version.t; ttl : Time.Span.t }
+  | Write_request of { req : int; file : File_id.t }
+  | Write_reply of { req : int; file : File_id.t; version : Vstore.Version.t }
+
+type server = {
+  s_net : payload Netsim.Net.t;
+  s_host : Host_id.t;
+  s_store : Vstore.Store.t;
+  s_engine : Engine.t;
+  s_ttl : Time.Span.t;
+  s_counters : Stats.Counter.Registry.t;
+  s_applied : (Host_id.t * int, Vstore.Version.t) Hashtbl.t;
+  mutable s_up : bool;
+}
+
+let s_count srv name = Stats.Counter.incr (Stats.Counter.Registry.counter srv.s_counters name)
+
+let s_send srv ~dst payload =
+  (match payload with
+  | Fetch_request _ | Fetch_reply _ -> s_count srv "msgs/extension"
+  | Write_request _ | Write_reply _ -> s_count srv "msgs/write-transfer");
+  Netsim.Net.send srv.s_net ~src:srv.s_host ~dst payload
+
+let s_handle srv (envelope : payload Netsim.Net.envelope) =
+  if srv.s_up then begin
+    (match envelope.payload with
+    | Fetch_request _ | Fetch_reply _ -> s_count srv "msgs/extension"
+    | Write_request _ | Write_reply _ -> s_count srv "msgs/write-transfer");
+    match envelope.payload with
+    | Fetch_request { req; file } ->
+      s_send srv ~dst:envelope.src
+        (Fetch_reply { req; file; version = Vstore.Store.current srv.s_store file; ttl = srv.s_ttl })
+    | Write_request { req; file } ->
+      let version =
+        match Hashtbl.find_opt srv.s_applied (envelope.src, req) with
+        | Some version -> version
+        | None ->
+          (* No leaseholders to consult: the write commits immediately. *)
+          let version = Vstore.Store.commit srv.s_store file ~at:(Engine.now srv.s_engine) in
+          Hashtbl.replace srv.s_applied (envelope.src, req) version;
+          s_count srv "commits";
+          version
+      in
+      s_send srv ~dst:envelope.src (Write_reply { req; file; version })
+    | Fetch_reply _ | Write_reply _ -> ()
+  end
+
+type entry = { mutable version : Vstore.Version.t; mutable expires : Time.t }
+
+type client_rpc_kind =
+  | C_read of { file : File_id.t; k : Vstore.Version.t -> unit }
+  | C_write of { file : File_id.t; k : Vstore.Version.t -> unit }
+
+type client_rpc = {
+  c_req : int;
+  c_started : Time.t;
+  c_kind : client_rpc_kind;
+  c_message : payload;
+  mutable c_timer : Engine.handle option;
+}
+
+type client = {
+  c_engine : Engine.t;
+  c_clock : Clock.t;
+  c_net : payload Netsim.Net.t;
+  c_host : Host_id.t;
+  c_server : Host_id.t;
+  c_retry : Time.Span.t;
+  c_counters : Stats.Counter.Registry.t;
+  c_cache : (File_id.t, entry) Hashtbl.t;
+  c_rpcs : (int, client_rpc) Hashtbl.t;
+  mutable c_next_req : int;
+  mutable c_up : bool;
+  read_latency : Stats.Histogram.t;
+  write_latency : Stats.Histogram.t;
+}
+
+let c_count c name = Stats.Counter.incr (Stats.Counter.Registry.counter c.c_counters name)
+let c_send c payload = Netsim.Net.send c.c_net ~src:c.c_host ~dst:c.c_server payload
+
+let rec c_arm_retry c rpc =
+  rpc.c_timer <-
+    Some
+      (Engine.schedule_after c.c_engine c.c_retry (fun () ->
+           if c.c_up && Hashtbl.mem c.c_rpcs rpc.c_req then begin
+             c_count c "retransmissions";
+             c_send c rpc.c_message;
+             c_arm_retry c rpc
+           end))
+
+let c_start_rpc c kind message ~req =
+  let rpc =
+    { c_req = req; c_started = Engine.now c.c_engine; c_kind = kind; c_message = message;
+      c_timer = None }
+  in
+  Hashtbl.replace c.c_rpcs req rpc;
+  c_send c message;
+  c_arm_retry c rpc
+
+let c_fresh c =
+  let r = c.c_next_req in
+  c.c_next_req <- c.c_next_req + 1;
+  r
+
+let c_finish c rpc =
+  (match rpc.c_timer with Some h -> Engine.cancel h | None -> ());
+  Hashtbl.remove c.c_rpcs rpc.c_req
+
+let client_read c file ~k =
+  if c.c_up then begin
+    let now = Clock.now c.c_clock in
+    match Hashtbl.find_opt c.c_cache file with
+    | Some entry when Time.(now < entry.expires) ->
+      c_count c "hits";
+      Stats.Histogram.add c.read_latency 0.;
+      k entry.version
+    | Some _ | None ->
+      c_count c "misses";
+      let req = c_fresh c in
+      let started = Engine.now c.c_engine in
+      let k version =
+        Stats.Histogram.add c.read_latency
+          (Time.Span.to_sec (Time.diff (Engine.now c.c_engine) started));
+        k version
+      in
+      c_start_rpc c (C_read { file; k }) (Fetch_request { req; file }) ~req
+  end
+
+let client_write c file ~k =
+  if c.c_up then begin
+    Hashtbl.remove c.c_cache file;
+    let req = c_fresh c in
+    let started = Engine.now c.c_engine in
+    let k version =
+      Stats.Histogram.add c.write_latency
+        (Time.Span.to_sec (Time.diff (Engine.now c.c_engine) started));
+      k version
+    in
+    c_start_rpc c (C_write { file; k }) (Write_request { req; file }) ~req
+  end
+
+let c_handle c (envelope : payload Netsim.Net.envelope) =
+  if c.c_up then begin
+    match envelope.payload with
+    | Fetch_reply { req; file; version; ttl } -> (
+      let expires = Time.add (Clock.now c.c_clock) ttl in
+      Hashtbl.replace c.c_cache file { version; expires };
+      match Hashtbl.find_opt c.c_rpcs req with
+      | Some ({ c_kind = C_read { file = rfile; k }; _ } as rpc) when File_id.equal file rfile ->
+        c_finish c rpc;
+        k version
+      | Some _ | None -> ())
+    | Write_reply { req; file; version } -> (
+      match Hashtbl.find_opt c.c_rpcs req with
+      | Some ({ c_kind = C_write { file = wfile; k }; _ } as rpc) when File_id.equal file wfile ->
+        c_finish c rpc;
+        (* Cache our own result, but only as a hint like anything else. *)
+        ignore version;
+        k version
+      | Some _ | None -> ())
+    | Fetch_request _ | Write_request _ -> ()
+  end
+
+let server_host = Host_id.of_int 0
+let client_host i = Host_id.of_int (i + 1)
+
+let run setup ~trace =
+  if setup.n_clients < 1 then invalid_arg "Ttl_hints.run: need at least one client";
+  let engine = Engine.create () in
+  let liveness = Host.Liveness.create () in
+  let partition = Netsim.Partition.create () in
+  let rng = Prng.Splitmix.create ~seed:setup.seed in
+  let net =
+    Netsim.Net.create engine ~liveness ~partition ~rng:(Prng.Splitmix.split rng) ~loss:setup.loss
+      ~prop_delay:setup.m_prop ~proc_delay:setup.m_proc ()
+  in
+  let store = Vstore.Store.create () in
+  let server =
+    {
+      s_net = net;
+      s_host = server_host;
+      s_store = store;
+      s_engine = engine;
+      s_ttl = setup.ttl;
+      s_counters = Stats.Counter.Registry.create ();
+      s_applied = Hashtbl.create 256;
+      s_up = true;
+    }
+  in
+  Netsim.Net.register net server_host (s_handle server);
+  Host.Liveness.register liveness server_host
+    ~on_crash:(fun () ->
+      server.s_up <- false;
+      Hashtbl.reset server.s_applied)
+    ~on_recover:(fun () -> server.s_up <- true)
+    ();
+  let read_latency = Stats.Histogram.create () in
+  let write_latency = Stats.Histogram.create () in
+  let clients =
+    Array.init setup.n_clients (fun i ->
+        let c =
+          {
+            c_engine = engine;
+            c_clock = Clock.create engine ();
+            c_net = net;
+            c_host = client_host i;
+            c_server = server_host;
+            c_retry = Time.Span.of_sec 1.;
+            c_counters = Stats.Counter.Registry.create ();
+            c_cache = Hashtbl.create 128;
+            c_rpcs = Hashtbl.create 32;
+            c_next_req = 0;
+            c_up = true;
+            read_latency;
+            write_latency;
+          }
+        in
+        Netsim.Net.register net c.c_host (c_handle c);
+        Host.Liveness.register liveness c.c_host
+          ~on_crash:(fun () ->
+            c.c_up <- false;
+            Hashtbl.reset c.c_cache;
+            Hashtbl.iter
+              (fun _ rpc -> match rpc.c_timer with Some h -> Engine.cancel h | None -> ())
+              c.c_rpcs;
+            Hashtbl.reset c.c_rpcs)
+          ~on_recover:(fun () -> c.c_up <- true)
+          ();
+        c)
+  in
+  let oracle = Oracle.Register_oracle.create ~store in
+  List.iter
+    (fun fault ->
+      let at_time at f = ignore (Engine.schedule_at engine at f) in
+      match fault with
+      | Leases.Sim.Crash_client { client; at; duration } ->
+        at_time at (fun () ->
+            Host.Liveness.crash liveness (client_host client);
+            ignore
+              (Engine.schedule_after engine duration (fun () ->
+                   Host.Liveness.recover liveness (client_host client))))
+      | Leases.Sim.Crash_server { at; duration } ->
+        at_time at (fun () ->
+            Host.Liveness.crash liveness server_host;
+            ignore
+              (Engine.schedule_after engine duration (fun () ->
+                   Host.Liveness.recover liveness server_host)))
+      | Leases.Sim.Partition_clients { clients = cs; at; duration } ->
+        at_time at (fun () ->
+            Netsim.Partition.isolate partition (List.map client_host cs);
+            ignore (Engine.schedule_after engine duration (fun () -> Netsim.Partition.heal partition)))
+      | Leases.Sim.Client_drift _ | Leases.Sim.Server_drift _ | Leases.Sim.Client_step _
+      | Leases.Sim.Server_step _ ->
+        ())
+    setup.faults;
+
+  let ops_issued = ref 0 in
+  let completed = ref 0 in
+  let reads_completed = ref 0 in
+  let writes_completed = ref 0 in
+  let temp_ops = ref 0 in
+  List.iter
+    (fun (op : Workload.Op.t) ->
+      if op.client < 0 || op.client >= setup.n_clients then
+        invalid_arg "Ttl_hints.run: trace uses a client index outside the cluster";
+      ignore
+        (Engine.schedule_at engine op.at (fun () ->
+             if op.temporary then incr temp_ops
+             else begin
+               incr ops_issued;
+               let c = clients.(op.client) in
+               match op.kind with
+               | Workload.Op.Read ->
+                 let start = Engine.now engine in
+                 client_read c op.file ~k:(fun version ->
+                     incr completed;
+                     incr reads_completed;
+                     Oracle.Register_oracle.check_read oracle ~file:op.file ~version ~start
+                       ~finish:(Engine.now engine))
+               | Workload.Op.Write ->
+                 client_write c op.file ~k:(fun _version ->
+                     incr completed;
+                     incr writes_completed)
+             end)))
+    (Workload.Trace.ops trace);
+
+  let horizon = Time.add Time.zero (Time.Span.add (Workload.Trace.duration trace) setup.drain) in
+  Engine.run ~until:horizon engine;
+
+  let find registry name = Stats.Counter.Registry.find registry name in
+  let sum name = Array.fold_left (fun acc c -> acc + find c.c_counters name) 0 clients in
+  let hits = sum "hits" and misses = sum "misses" in
+  let sim_duration = Time.Span.to_sec (Time.Span.since_epoch (Engine.now engine)) in
+  let ext = find server.s_counters "msgs/extension" in
+  let wtr = find server.s_counters "msgs/write-transfer" in
+  let rtt = Time.Span.to_sec (Netsim.Net.unicast_rtt net) in
+  let mean_write_added = Float.max 0. (Stats.Histogram.mean write_latency -. rtt) in
+  let reads = Stats.Histogram.count read_latency and writes = Stats.Histogram.count write_latency in
+  let mean_op_delay =
+    if reads + writes = 0 then 0.
+    else
+      ((Stats.Histogram.mean read_latency *. float_of_int reads)
+      +. (mean_write_added *. float_of_int writes))
+      /. float_of_int (reads + writes)
+  in
+  let metrics =
+    {
+      Leases.Metrics.sim_duration;
+      ops_issued = !ops_issued;
+      reads_completed = !reads_completed;
+      writes_completed = !writes_completed;
+      temp_ops = !temp_ops;
+      dropped_ops = !ops_issued - !completed;
+      cache_hits = hits;
+      cache_misses = misses;
+      hit_ratio =
+        (if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses));
+      msgs_extension = ext;
+      msgs_approval = 0;
+      msgs_installed = 0;
+      msgs_write_transfer = wtr;
+      consistency_msgs = ext;
+      server_total_msgs = ext + wtr;
+      consistency_msg_rate = (if sim_duration <= 0. then 0. else float_of_int ext /. sim_duration);
+      callbacks_sent = 0;
+      commits = find server.s_counters "commits";
+      wal_io = 0;
+      read_latency;
+      write_latency;
+      write_wait = Stats.Histogram.create ();
+      mean_read_delay = Stats.Histogram.mean read_latency;
+      mean_write_delay_added = mean_write_added;
+      mean_op_delay;
+      retransmissions = sum "retransmissions";
+      renewals_sent = 0;
+      approvals_answered = 0;
+      net_sent = Netsim.Net.sent net;
+      net_dropped_loss = Netsim.Net.dropped_loss net;
+      net_dropped_partition = Netsim.Net.dropped_partition net;
+      net_dropped_down = Netsim.Net.dropped_down net;
+      oracle_reads = Oracle.Register_oracle.reads_checked oracle;
+      oracle_violations = Oracle.Register_oracle.violations oracle;
+      staleness = Oracle.Register_oracle.staleness oracle;
+    }
+  in
+  { Leases.Sim.metrics; oracle; store }

@@ -1,0 +1,29 @@
+(** TTL-based caching of hints — the DNS / NFS attribute-cache approach
+    (Section 6).
+
+    The server attaches a time-to-live to every datum it returns and
+    clients serve reads from cache until the TTL runs out — but, unlike a
+    lease, the TTL is {e not a promise}: the server neither blocks nor
+    notifies on writes, so data "may be modified during that interval" and
+    any read within the TTL after a write is stale.  The oracle quantifies
+    exactly that: staleness bounded by the TTL, traded against extension
+    traffic identical in shape to a lease of the same length.
+
+    Writes are still write-through (so the paper's comparison isolates the
+    read-consistency mechanism). *)
+
+type setup = {
+  seed : int64;
+  n_clients : int;
+  m_prop : Simtime.Time.Span.t;
+  m_proc : Simtime.Time.Span.t;
+  loss : float;
+  faults : Leases.Sim.fault list;
+  drain : Simtime.Time.Span.t;
+  ttl : Simtime.Time.Span.t;
+}
+
+val default_setup : setup
+(** V LAN message times, 10 s TTL. *)
+
+val run : setup -> trace:Workload.Trace.t -> Leases.Sim.outcome

@@ -1,0 +1,46 @@
+open Simtime
+
+type t = {
+  engine : Engine.t;
+  mutable base_engine : Time.t;
+  mutable base_local : Time.t;
+  mutable rate : float;
+}
+
+let create engine ?(offset = Time.Span.zero) ?(drift = 0.) () =
+  if drift <= -1. then invalid_arg "Clock.create: drift must exceed -1";
+  let now = Engine.now engine in
+  { engine; base_engine = now; base_local = Time.add now offset; rate = 1. +. drift }
+
+let now t =
+  let elapsed = Time.diff (Engine.now t.engine) t.base_engine in
+  Time.add t.base_local (Time.Span.scale t.rate elapsed)
+
+let drift t = t.rate -. 1.
+
+let rebase t =
+  let local = now t in
+  t.base_engine <- Engine.now t.engine;
+  t.base_local <- local
+
+let set_drift t drift =
+  if drift <= -1. then invalid_arg "Clock.set_drift: drift must exceed -1";
+  rebase t;
+  t.rate <- 1. +. drift
+
+let step t span =
+  rebase t;
+  t.base_local <- Time.add t.base_local span
+
+let engine_time_of_local t local =
+  let engine_now = Engine.now t.engine in
+  let local_now = now t in
+  if Time.(local <= local_now) then engine_now
+  else begin
+    let remaining_local = Time.diff local local_now in
+    let remaining_engine = Time.Span.scale (1. /. t.rate) remaining_local in
+    Time.add engine_now remaining_engine
+  end
+
+let schedule_at_local t local callback =
+  Engine.schedule_at t.engine (engine_time_of_local t local) callback

@@ -1,0 +1,45 @@
+(** Per-host physical clocks.
+
+    Leases reason about real time, so each simulated host reads its own
+    clock, which may be offset from true (engine) time and may run at a
+    different rate.  The paper's fault analysis (Section 5) distinguishes:
+
+    - a {e fast server} clock or {e slow client} clock — unsafe: the server
+      may consider a lease expired while the client still trusts it;
+    - a {e slow server} clock or {e fast client} clock — safe but wasteful:
+      extra extension traffic, writes delayed longer than necessary.
+
+    Both are injectable here via [set_drift] and [step].
+
+    A clock is piecewise linear in engine time:
+    [local(t) = base_local + rate * (t - base_engine)], rebased whenever the
+    drift changes or the clock is stepped. *)
+
+type t
+
+val create : Simtime.Engine.t -> ?offset:Simtime.Time.Span.t -> ?drift:float -> unit -> t
+(** [drift] is the rate error: the clock advances [1. +. drift] local
+    seconds per engine second.  [drift] must exceed -1. *)
+
+val now : t -> Simtime.Time.t
+(** The host's local reading of the current instant. *)
+
+val drift : t -> float
+
+val set_drift : t -> float -> unit
+(** Change the rate from the current instant on (the reading is continuous
+    across the change). *)
+
+val step : t -> Simtime.Time.Span.t -> unit
+(** Jump the local reading discontinuously. *)
+
+val engine_time_of_local : t -> Simtime.Time.t -> Simtime.Time.t
+(** The engine instant at which this clock will read the given local time,
+    under the {e current} rate.  Readings already in the local past map to
+    the current engine instant. *)
+
+val schedule_at_local : t -> Simtime.Time.t -> (unit -> unit) -> Simtime.Engine.handle
+(** Schedule a callback for when this clock reads the given local time.
+    Note: computed against the current rate; if the drift subsequently
+    changes, the callback still fires at the originally computed engine
+    instant (a real host's timer wheel has the same behaviour). *)

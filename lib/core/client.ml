@@ -1,0 +1,401 @@
+open Simtime
+module Host_id = Host.Host_id
+module File_id = Vstore.File_id
+
+type read_result = {
+  r_version : Vstore.Version.t;
+  r_latency : Time.Span.t;
+  r_from_cache : bool;
+}
+
+type write_result = { w_version : Vstore.Version.t; w_latency : Time.Span.t }
+
+type entry = {
+  mutable version : Vstore.Version.t;
+  mutable expiry : Lease.expiry;  (** on the client's clock *)
+  mutable renewal_timer : Engine.handle option;
+}
+
+type rpc_kind =
+  | Rpc_read of { file : File_id.t; k : read_result -> unit }
+  | Rpc_renewal  (** anticipatory extension; nobody waits on it *)
+  | Rpc_write of { file : File_id.t; k : write_result -> unit }
+
+type rpc = {
+  req : Messages.req_id;
+  started : Time.t;  (** engine time *)
+  kind : rpc_kind;
+  message : Messages.payload;  (** retransmitted verbatim *)
+  mutable timer : Engine.handle option;
+}
+
+(* Operations waiting for an in-flight RPC on the same file. *)
+type queued_op =
+  | Q_read of (read_result -> unit)
+  | Q_write of (write_result -> unit)
+
+type t = {
+  engine : Engine.t;
+  clock : Clock.t;
+  net : Messages.payload Netsim.Net.t;
+  host : Host_id.t;
+  server : Host_id.t;
+  config : Config.t;
+  counters : Stats.Counter.Registry.t;
+  (* --- volatile state, reset by the crash hook --- *)
+  cache : (File_id.t, entry) Hashtbl.t;
+  rpcs : (Messages.req_id, rpc) Hashtbl.t;
+  busy : (File_id.t, unit) Hashtbl.t;  (** files with a primary RPC in flight *)
+  op_queue : (File_id.t, queued_op Queue.t) Hashtbl.t;
+  mutable renewal_in_flight : bool;
+  mutable next_req : int;
+  mutable up : bool;
+}
+
+let c t name = Stats.Counter.Registry.counter t.counters name
+let bump t name = Stats.Counter.incr (c t name)
+
+let host t = t.host
+let clock t = t.clock
+let local_now t = Clock.now t.clock
+
+let holds_valid_lease t file =
+  match Hashtbl.find_opt t.cache file with
+  | Some entry -> not (Lease.expired entry.expiry ~now:(local_now t))
+  | None -> false
+
+let cached_version t file = Option.map (fun e -> e.version) (Hashtbl.find_opt t.cache file)
+let cache_size t = Hashtbl.length t.cache
+
+(* ------------------------------------------------------------------ *)
+(* RPC plumbing                                                        *)
+
+let send_to_server t payload = Netsim.Net.send t.net ~src:t.host ~dst:t.server payload
+
+let rec arm_retry t rpc =
+  let fire () =
+    if t.up && Hashtbl.mem t.rpcs rpc.req then begin
+      bump t "retransmissions";
+      send_to_server t rpc.message;
+      arm_retry t rpc
+    end
+  in
+  rpc.timer <- Some (Engine.schedule_after t.engine t.config.retry_interval fire)
+
+let start_rpc t kind message =
+  let req =
+    match message with
+    | Messages.Read_request { req; _ } | Messages.Extend_request { req; _ }
+    | Messages.Write_request { req; _ } ->
+      req
+    | Messages.Read_reply _ | Messages.Extend_reply _ | Messages.Write_reply _
+    | Messages.Approval_request _ | Messages.Approval_reply _ | Messages.Installed_refresh _ ->
+      invalid_arg "Client.start_rpc: not a request"
+  in
+  let rpc = { req; started = Engine.now t.engine; kind; message; timer = None } in
+  Hashtbl.replace t.rpcs req rpc;
+  send_to_server t message;
+  arm_retry t rpc
+
+let finish_rpc t rpc =
+  (match rpc.timer with Some h -> Engine.cancel h | None -> ());
+  Hashtbl.remove t.rpcs rpc.req
+
+let fresh_req t =
+  let req = t.next_req in
+  t.next_req <- t.next_req + 1;
+  req
+
+(* ------------------------------------------------------------------ *)
+(* Cache maintenance                                                   *)
+
+let entry_for t file =
+  match Hashtbl.find_opt t.cache file with
+  | Some entry -> entry
+  | None ->
+    let entry = { version = Vstore.Version.initial; expiry = Lease.At Time.zero; renewal_timer = None } in
+    Hashtbl.replace t.cache file entry;
+    entry
+
+let cancel_renewal entry =
+  match entry.renewal_timer with
+  | Some h ->
+    Engine.cancel h;
+    entry.renewal_timer <- None
+  | None -> ()
+
+let invalidate t file =
+  match Hashtbl.find_opt t.cache file with
+  | Some entry ->
+    cancel_renewal entry;
+    Hashtbl.remove t.cache file
+  | None -> ()
+
+(* Everything in the cache, lease live or lapsed: an extension request may
+   renew a lapsed lease (the server refreshes the version if the datum
+   changed), and the paper's batching advice is to extend "all leases over
+   all files that it still holds". *)
+let cached_files t =
+  Hashtbl.fold (fun file _ acc -> file :: acc) t.cache [] |> List.sort File_id.compare
+
+(* Renew every held lease in one batched extension with no waiting read —
+   the anticipatory option of Section 4.  One renewal covers every cached
+   file, so when many per-entry timers fire at the same instant only the
+   first sends; the reply re-arms them all. *)
+let rec send_renewal t =
+  if t.up && not t.renewal_in_flight then begin
+    let files = cached_files t in
+    if files <> [] then begin
+      bump t "renewals-sent";
+      t.renewal_in_flight <- true;
+      start_rpc t Rpc_renewal (Messages.Extend_request { req = fresh_req t; files })
+    end
+  end
+
+and arm_renewal t file entry =
+  match t.config.anticipatory_renewal, entry.expiry with
+  | Some lead, Lease.At expiry ->
+    cancel_renewal entry;
+    let renew_at_local = Time.add expiry (Time.Span.neg lead) in
+    let fire () =
+      if t.up && (match Hashtbl.find_opt t.cache file with Some e -> e == entry | None -> false)
+      then send_renewal t
+    in
+    entry.renewal_timer <- Some (Clock.schedule_at_local t.clock renew_at_local fire)
+  | Some _, Lease.Never | None, _ -> ()
+
+let apply_grant t (line : Messages.grant_line) =
+  let entry = entry_for t line.g_file in
+  (* Guard against resurrecting state that predates a write we already know
+     about: server versions are monotone, so a grant carrying an older
+     version was issued before that write and its lease died with it.  (The
+     fixed-delay network delivers FIFO, so this cannot fire today; it is the
+     locally checkable safety condition nonetheless.) *)
+  if Vstore.Version.compare line.g_version entry.version < 0 then ()
+  else begin
+  entry.version <- line.g_version;
+  let now = local_now t in
+  (match line.g_lease with
+  | Some grant ->
+    entry.expiry <-
+      Lease.client_expiry grant ~received_at:now ~transit_allowance:t.config.transit_allowance
+        ~skew_allowance:t.config.skew_allowance
+  | None ->
+    (* No lease came back (zero term or a write is pending): make sure we
+       do not keep trusting an older one. *)
+    entry.expiry <- Lease.At now);
+  arm_renewal t line.g_file entry
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Operations
+
+   A client serialises its own operations per file: while a read or write
+   RPC on file f is in flight, further operations on f queue behind it.
+   Without this, a read issued after a write (but completing first, e.g.
+   because the write request was lost and retransmitted) can re-acquire a
+   lease on the old version — which the server will then consider
+   implicitly approved when the write finally lands, leaving the writer
+   itself trusting stale data.  A real cache serialises file operations
+   for the same reason. *)
+
+let is_busy t file = Hashtbl.mem t.busy file
+
+let enqueue_op t file op =
+  let q =
+    match Hashtbl.find_opt t.op_queue file with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.op_queue file q;
+      q
+  in
+  Queue.push op q
+
+let rec read t file ~k =
+  if not t.up then ()
+  else if is_busy t file then enqueue_op t file (Q_read k)
+  else begin
+    match Hashtbl.find_opt t.cache file with
+    | Some entry when not (Lease.expired entry.expiry ~now:(local_now t)) ->
+      bump t "hits";
+      k { r_version = entry.version; r_latency = Time.Span.zero; r_from_cache = true }
+    | Some _ | None ->
+      bump t "misses";
+      Hashtbl.replace t.busy file ();
+      let req = fresh_req t in
+      let message =
+        if t.config.batch_extensions then begin
+          let others = List.filter (fun f -> not (File_id.equal f file)) (cached_files t) in
+          match others with
+          | [] -> Messages.Read_request { req; file }
+          | _ -> Messages.Extend_request { req; files = file :: others }
+        end
+        else Messages.Read_request { req; file }
+      in
+      start_rpc t (Rpc_read { file; k }) message
+  end
+
+and write t file ~k =
+  if not t.up then ()
+  else if is_busy t file then enqueue_op t file (Q_write k)
+  else begin
+    (* The write request carries our implicit approval, and "when a
+       leaseholder grants approval for a write, it invalidates its local
+       copy" — that includes the writer itself: until the reply arrives the
+       cached copy must not serve reads. *)
+    invalidate t file;
+    Hashtbl.replace t.busy file ();
+    let req = fresh_req t in
+    start_rpc t (Rpc_write { file; k }) (Messages.Write_request { req; file })
+  end
+
+(* The in-flight operation on [file] finished: unblock the queue.  Queued
+   reads may complete synchronously as cache hits, so keep draining until
+   an operation goes back on the wire (marking the file busy) or the queue
+   empties. *)
+and release t file =
+  Hashtbl.remove t.busy file;
+  drain_queue t file
+
+and drain_queue t file =
+  if not (is_busy t file) then begin
+    match Hashtbl.find_opt t.op_queue file with
+    | Some q when not (Queue.is_empty q) ->
+      (match Queue.pop q with
+      | Q_read k -> read t file ~k
+      | Q_write k -> write t file ~k);
+      drain_queue t file
+    | Some _ | None -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Message handling                                                    *)
+
+let complete_read t rpc (granted : Messages.grant_line list) =
+  List.iter (apply_grant t) granted;
+  match rpc.kind with
+  | Rpc_read { file; k } ->
+    finish_rpc t rpc;
+    let version =
+      match List.find_opt (fun (g : Messages.grant_line) -> File_id.equal g.g_file file) granted with
+      | Some line -> line.g_version
+      | None -> (
+        (* The server answered a different file list (possible after a
+           retransmission raced a crash); fall back to the cache. *)
+        match cached_version t file with
+        | Some version -> version
+        | None -> Vstore.Version.initial)
+    in
+    k
+      {
+        r_version = version;
+        r_latency = Time.diff (Engine.now t.engine) rpc.started;
+        r_from_cache = false;
+      };
+    release t file
+  | Rpc_renewal ->
+    t.renewal_in_flight <- false;
+    finish_rpc t rpc
+  | Rpc_write _ -> ()
+
+let handle_message t (envelope : Messages.payload Netsim.Net.envelope) =
+  if t.up then begin
+    match envelope.payload with
+    | Messages.Read_reply { req; granted } -> (
+      match Hashtbl.find_opt t.rpcs req with
+      | Some rpc -> complete_read t rpc [ granted ]
+      | None -> apply_grant t granted (* late duplicate: still fresh info *))
+    | Messages.Extend_reply { req; granted } -> (
+      match Hashtbl.find_opt t.rpcs req with
+      | Some rpc -> complete_read t rpc granted
+      | None -> List.iter (apply_grant t) granted)
+    | Messages.Write_reply { req; file; version } -> (
+      match Hashtbl.find_opt t.rpcs req with
+      | Some ({ kind = Rpc_write { file = wfile; k }; _ } as rpc) when File_id.equal file wfile ->
+        finish_rpc t rpc;
+        (* Our own write completed: cache the new version, but with no
+           lease — the next read revalidates with an extension request. *)
+        let entry = entry_for t file in
+        if Vstore.Version.compare version entry.version >= 0 then begin
+          entry.version <- version;
+          entry.expiry <- Lease.At (local_now t)
+        end;
+        k { w_version = version; w_latency = Time.diff (Engine.now t.engine) rpc.started };
+        release t file
+      | Some _ | None -> ())
+    | Messages.Approval_request { write; file } ->
+      bump t "approvals-answered";
+      invalidate t file;
+      send_to_server t (Messages.Approval_reply { write; file })
+    | Messages.Installed_refresh { covered; term } ->
+      let now = local_now t in
+      List.iter
+        (fun (file, version) ->
+          match Hashtbl.find_opt t.cache file with
+          | Some entry when Vstore.Version.equal entry.version version ->
+            let refreshed =
+              Lease.client_expiry { Lease.term = Lease.Finite term } ~received_at:now
+                ~transit_allowance:t.config.transit_allowance
+                ~skew_allowance:t.config.skew_allowance
+            in
+            entry.expiry <- Lease.expiry_max entry.expiry refreshed;
+            arm_renewal t file entry
+          | Some _ ->
+            (* our copy missed a delayed update while the file was out of
+               the refresh: drop it rather than revalidate stale data *)
+            if not (is_busy t file) then invalidate t file
+          | None -> ())
+        covered
+    | Messages.Read_request _ | Messages.Extend_request _ | Messages.Write_request _
+    | Messages.Approval_reply _ ->
+      (* Server-bound traffic misdelivered to a client: drop. *)
+      ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let on_crash t =
+  t.up <- false;
+  Hashtbl.iter (fun _ entry -> cancel_renewal entry) t.cache;
+  Hashtbl.reset t.cache;
+  Hashtbl.iter (fun _ rpc -> match rpc.timer with Some h -> Engine.cancel h | None -> ()) t.rpcs;
+  Hashtbl.reset t.rpcs;
+  Hashtbl.reset t.busy;
+  Hashtbl.reset t.op_queue;
+  t.renewal_in_flight <- false
+
+let on_recover t = t.up <- true
+
+let create ~engine ~clock ~net ~liveness ~host ~server ~config () =
+  Config.validate config;
+  let t =
+    {
+      engine;
+      clock;
+      net;
+      host;
+      server;
+      config;
+      counters = Stats.Counter.Registry.create ();
+      cache = Hashtbl.create 128;
+      rpcs = Hashtbl.create 32;
+      busy = Hashtbl.create 16;
+      op_queue = Hashtbl.create 16;
+      renewal_in_flight = false;
+      next_req = 0;
+      up = true;
+    }
+  in
+  Netsim.Net.register net host (handle_message t);
+  Host.Liveness.register liveness host ~on_crash:(fun () -> on_crash t)
+    ~on_recover:(fun () -> on_recover t) ();
+  t
+
+let hits t = Stats.Counter.Registry.find t.counters "hits"
+let misses t = Stats.Counter.Registry.find t.counters "misses"
+let approvals_answered t = Stats.Counter.Registry.find t.counters "approvals-answered"
+let retransmissions t = Stats.Counter.Registry.find t.counters "retransmissions"
+let renewals_sent t = Stats.Counter.Registry.find t.counters "renewals-sent"
+let counters t = t.counters

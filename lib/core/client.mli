@@ -1,0 +1,64 @@
+(** The leasing client cache.
+
+    A read is served locally iff the datum is cached {e and} covered by an
+    unexpired lease on the client's own clock; otherwise the client sends a
+    read/extension RPC (batched over all held files when
+    [batch_extensions]), retransmitting on loss.  Writes are write-through.
+    The client answers the server's approval callbacks by invalidating its
+    copy, and accepts the multicast installed-file refreshes.
+
+    A crash clears the cache and abandons outstanding operations — their
+    continuations are never invoked, which the driver reports as dropped
+    operations. *)
+
+type t
+
+val create :
+  engine:Simtime.Engine.t ->
+  clock:Clock.t ->
+  net:Messages.payload Netsim.Net.t ->
+  liveness:Host.Liveness.t ->
+  host:Host.Host_id.t ->
+  server:Host.Host_id.t ->
+  config:Config.t ->
+  unit ->
+  t
+
+val host : t -> Host.Host_id.t
+val clock : t -> Clock.t
+
+type read_result = {
+  r_version : Vstore.Version.t;
+  r_latency : Simtime.Time.Span.t;  (** engine time from issue to completion *)
+  r_from_cache : bool;
+}
+
+val read : t -> Vstore.File_id.t -> k:(read_result -> unit) -> unit
+(** [k] fires exactly once per completed read — immediately for a cache
+    hit, on RPC completion otherwise; never if the client crashes first. *)
+
+type write_result = {
+  w_version : Vstore.Version.t;
+  w_latency : Simtime.Time.Span.t;
+}
+
+val write : t -> Vstore.File_id.t -> k:(write_result -> unit) -> unit
+
+(** {2 Introspection} *)
+
+val holds_valid_lease : t -> Vstore.File_id.t -> bool
+(** On the client's own clock, right now. *)
+
+val cached_version : t -> Vstore.File_id.t -> Vstore.Version.t option
+(** The version cached, with or without a live lease. *)
+
+val cache_size : t -> int
+
+val hits : t -> int
+val misses : t -> int
+val approvals_answered : t -> int
+val retransmissions : t -> int
+val renewals_sent : t -> int
+(** Anticipatory extension RPCs issued with no read waiting. *)
+
+val counters : t -> Stats.Counter.Registry.t

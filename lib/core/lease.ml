@@ -1,0 +1,57 @@
+open Simtime
+
+type term = Finite of Time.Span.t | Infinite
+
+type grant = { term : term }
+
+type expiry = At of Time.t | Never
+
+let term_zero = Finite Time.Span.zero
+
+let term_of_sec s =
+  if s < 0. then invalid_arg "Lease.term_of_sec: negative term";
+  Finite (Time.Span.of_sec s)
+
+let term_is_zero = function
+  | Finite span -> Time.Span.equal span Time.Span.zero
+  | Infinite -> false
+
+let compare_term a b =
+  match a, b with
+  | Finite a, Finite b -> Time.Span.compare a b
+  | Finite _, Infinite -> -1
+  | Infinite, Finite _ -> 1
+  | Infinite, Infinite -> 0
+
+let pp_term ppf = function
+  | Finite span -> Time.Span.pp ppf span
+  | Infinite -> Format.pp_print_string ppf "infinite"
+
+let server_expiry grant ~granted_at =
+  match grant.term with
+  | Infinite -> Never
+  | Finite span -> At (Time.add granted_at span)
+
+let client_expiry grant ~received_at ~transit_allowance ~skew_allowance =
+  match grant.term with
+  | Infinite -> Never
+  | Finite span ->
+    let effective =
+      Time.Span.clamp_non_negative
+        (Time.Span.sub (Time.Span.sub span transit_allowance) skew_allowance)
+    in
+    At (Time.add received_at effective)
+
+let expired expiry ~now =
+  match expiry with
+  | Never -> false
+  | At deadline -> Time.(deadline <= now)
+
+let expiry_max a b =
+  match a, b with
+  | Never, _ | _, Never -> Never
+  | At a, At b -> At (Time.max a b)
+
+let pp_expiry ppf = function
+  | At t -> Time.pp ppf t
+  | Never -> Format.pp_print_string ppf "never"

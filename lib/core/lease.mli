@@ -1,0 +1,51 @@
+(** Lease terms, grants and expiries.
+
+    A lease is communicated as a {e duration} rather than an absolute
+    deadline — the paper notes (Section 5) that this only requires clocks
+    with bounded drift, not mutually synchronised clocks.  Each side then
+    converts the duration to a deadline on its own clock:
+
+    - the server's deadline is [grant instant + term];
+    - the client's deadline is
+      [receive instant + term - transit allowance - skew allowance],
+      i.e. the paper's effective term
+      [t_c = t_s - (m_prop + 2*m_proc) - epsilon], clamped at zero.
+
+    The asymmetry is the safety argument: the client always believes its
+    lease expires no later than the server does, so (absent clock faults)
+    the server can never commit a write while a client still trusts its
+    cached copy. *)
+
+type term =
+  | Finite of Simtime.Time.Span.t
+  | Infinite
+
+type grant = { term : term }
+
+type expiry =
+  | At of Simtime.Time.t
+  | Never
+
+val term_zero : term
+val term_of_sec : float -> term
+val term_is_zero : term -> bool
+val compare_term : term -> term -> int
+val pp_term : Format.formatter -> term -> unit
+
+val server_expiry : grant -> granted_at:Simtime.Time.t -> expiry
+(** Deadline on the server's clock, measured from the grant instant. *)
+
+val client_expiry :
+  grant ->
+  received_at:Simtime.Time.t ->
+  transit_allowance:Simtime.Time.Span.t ->
+  skew_allowance:Simtime.Time.Span.t ->
+  expiry
+(** Deadline on the client's clock.  A finite term shorter than the
+    combined allowances yields an already-expired lease (the paper's
+    "non-zero t_s but zero t_c" case, which penalises writes without
+    helping reads). *)
+
+val expired : expiry -> now:Simtime.Time.t -> bool
+val expiry_max : expiry -> expiry -> expiry
+val pp_expiry : Format.formatter -> expiry -> unit

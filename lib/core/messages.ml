@@ -1,0 +1,56 @@
+type req_id = int
+type write_id = int
+
+type grant_line = {
+  g_file : Vstore.File_id.t;
+  g_version : Vstore.Version.t;
+  g_lease : Lease.grant option;
+}
+
+type payload =
+  | Read_request of { req : req_id; file : Vstore.File_id.t }
+  | Read_reply of { req : req_id; granted : grant_line }
+  | Extend_request of { req : req_id; files : Vstore.File_id.t list }
+  | Extend_reply of { req : req_id; granted : grant_line list }
+  | Write_request of { req : req_id; file : Vstore.File_id.t }
+  | Write_reply of { req : req_id; file : Vstore.File_id.t; version : Vstore.Version.t }
+  | Approval_request of { write : write_id; file : Vstore.File_id.t }
+  | Approval_reply of { write : write_id; file : Vstore.File_id.t }
+  | Installed_refresh of {
+      covered : (Vstore.File_id.t * Vstore.Version.t) list;
+      term : Simtime.Time.Span.t;
+    }
+
+type category = Extension | Approval | Installed | Write_transfer
+
+let category = function
+  | Read_request _ | Read_reply _ | Extend_request _ | Extend_reply _ -> Extension
+  | Approval_request _ | Approval_reply _ -> Approval
+  | Installed_refresh _ -> Installed
+  | Write_request _ | Write_reply _ -> Write_transfer
+
+let category_name = function
+  | Extension -> "extension"
+  | Approval -> "approval"
+  | Installed -> "installed"
+  | Write_transfer -> "write-transfer"
+
+let pp ppf = function
+  | Read_request { req; file } -> Format.fprintf ppf "read-req #%d %a" req Vstore.File_id.pp file
+  | Read_reply { req; granted } ->
+    Format.fprintf ppf "read-rep #%d %a v%a" req Vstore.File_id.pp granted.g_file
+      Vstore.Version.pp granted.g_version
+  | Extend_request { req; files } ->
+    Format.fprintf ppf "extend-req #%d (%d files)" req (List.length files)
+  | Extend_reply { req; granted } ->
+    Format.fprintf ppf "extend-rep #%d (%d grants)" req (List.length granted)
+  | Write_request { req; file } -> Format.fprintf ppf "write-req #%d %a" req Vstore.File_id.pp file
+  | Write_reply { req; file; version } ->
+    Format.fprintf ppf "write-rep #%d %a v%a" req Vstore.File_id.pp file Vstore.Version.pp version
+  | Approval_request { write; file } ->
+    Format.fprintf ppf "approve-req w%d %a" write Vstore.File_id.pp file
+  | Approval_reply { write; file } ->
+    Format.fprintf ppf "approve-rep w%d %a" write Vstore.File_id.pp file
+  | Installed_refresh { covered; term } ->
+    Format.fprintf ppf "installed-refresh (%d files, term %a)" (List.length covered)
+      Simtime.Time.Span.pp term

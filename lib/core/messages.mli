@@ -1,0 +1,56 @@
+(** The lease protocol's wire messages.
+
+    Five exchanges, matching Section 2:
+
+    - {e read}: a cache-miss read fetches the datum's current version and a
+      lease in one unicast round trip;
+    - {e extend}: renewal of the leases a cache already holds, batched over
+      many files ("a cache should extend together all leases over all files
+      that it still holds");
+    - {e write}: the write-through update;
+    - {e approval}: the server's callback to every other leaseholder before
+      a write may commit; the writer's own approval rides implicitly on its
+      write request;
+    - {e installed refresh}: the Section-4 optimisation — the server
+      periodically multicasts one extension covering all installed files,
+      so clients holding them never send extension requests.
+
+    For accounting, every message falls into a {!category}; the paper's
+    "consistency-related" load counts [Extension], [Approval] and
+    [Installed] messages but not the write transfer itself. *)
+
+type req_id = int
+type write_id = int
+
+type grant_line = {
+  g_file : Vstore.File_id.t;
+  g_version : Vstore.Version.t;
+  g_lease : Lease.grant option;  (** [None]: no lease (zero term or write pending) *)
+}
+
+type payload =
+  | Read_request of { req : req_id; file : Vstore.File_id.t }
+  | Read_reply of { req : req_id; granted : grant_line }
+  | Extend_request of { req : req_id; files : Vstore.File_id.t list }
+  | Extend_reply of { req : req_id; granted : grant_line list }
+  | Write_request of { req : req_id; file : Vstore.File_id.t }
+  | Write_reply of { req : req_id; file : Vstore.File_id.t; version : Vstore.Version.t }
+  | Approval_request of { write : write_id; file : Vstore.File_id.t }
+  | Approval_reply of { write : write_id; file : Vstore.File_id.t }
+  | Installed_refresh of {
+      covered : (Vstore.File_id.t * Vstore.Version.t) list;
+      (** each covered file with its current version: a client may only
+          extend a cached entry whose version matches; a mismatched entry
+          is stale (it missed a delayed update) and must be dropped *)
+      term : Simtime.Time.Span.t;
+    }
+
+type category =
+  | Extension  (** read/extend traffic — what leases exist to eliminate *)
+  | Approval  (** write-approval callbacks and replies *)
+  | Installed  (** periodic multicast refreshes *)
+  | Write_transfer  (** the write itself; present with or without leases *)
+
+val category : payload -> category
+val category_name : category -> string
+val pp : Format.formatter -> payload -> unit

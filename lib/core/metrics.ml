@@ -1,0 +1,71 @@
+type t = {
+  sim_duration : float;
+  ops_issued : int;
+  reads_completed : int;
+  writes_completed : int;
+  temp_ops : int;
+  dropped_ops : int;
+  cache_hits : int;
+  cache_misses : int;
+  hit_ratio : float;
+  msgs_extension : int;
+  msgs_approval : int;
+  msgs_installed : int;
+  msgs_write_transfer : int;
+  consistency_msgs : int;
+  server_total_msgs : int;
+  consistency_msg_rate : float;
+  callbacks_sent : int;
+  commits : int;
+  wal_io : int;
+  read_latency : Stats.Histogram.t;
+  write_latency : Stats.Histogram.t;
+  write_wait : Stats.Histogram.t;
+  mean_read_delay : float;
+  mean_write_delay_added : float;
+  mean_op_delay : float;
+  retransmissions : int;
+  renewals_sent : int;
+  approvals_answered : int;
+  net_sent : int;
+  net_dropped_loss : int;
+  net_dropped_partition : int;
+  net_dropped_down : int;
+  oracle_reads : int;
+  oracle_violations : int;
+  staleness : Stats.Histogram.t;
+}
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>simulated            %.1f s@,\
+     ops issued           %d (dropped %d, temporary %d)@,\
+     reads completed      %d (hits %d, misses %d, hit ratio %.3f)@,\
+     writes completed     %d (commits %d)@,\
+     consistency msgs     %d (ext %d, approval %d, installed %d) = %.3f/s@,\
+     write-transfer msgs  %d; server total %d@,\
+     callbacks sent       %d; approvals answered %d@,\
+     retransmissions      %d; anticipatory renewals %d@,\
+     read latency         %a@,\
+     write latency        %a@,\
+     server write wait    %a@,\
+     mean read delay      %.6f s@,\
+     mean added write delay %.6f s@,\
+     mean op delay        %.6f s@,\
+     wal records          %d@,\
+     net sent %d, dropped: loss %d, partition %d, down %d@,\
+     oracle               %d reads checked, %d violations@]"
+    m.sim_duration m.ops_issued m.dropped_ops m.temp_ops m.reads_completed m.cache_hits
+    m.cache_misses m.hit_ratio m.writes_completed m.commits m.consistency_msgs m.msgs_extension
+    m.msgs_approval m.msgs_installed m.consistency_msg_rate m.msgs_write_transfer
+    m.server_total_msgs m.callbacks_sent m.approvals_answered m.retransmissions m.renewals_sent
+    Stats.Histogram.pp m.read_latency Stats.Histogram.pp m.write_latency Stats.Histogram.pp
+    m.write_wait m.mean_read_delay m.mean_write_delay_added m.mean_op_delay m.wal_io m.net_sent
+    m.net_dropped_loss m.net_dropped_partition m.net_dropped_down m.oracle_reads
+    m.oracle_violations
+
+let pp_brief ppf m =
+  Format.fprintf ppf
+    "ops=%d hit=%.3f cons=%.3f/s read_delay=%.2fms write_delay=%.2fms violations=%d"
+    m.ops_issued m.hit_ratio m.consistency_msg_rate (m.mean_read_delay *. 1000.)
+    (m.mean_write_delay_added *. 1000.) m.oracle_violations

@@ -1,0 +1,72 @@
+(** Leased name caching — the paper's [open] requirement.
+
+    "In order to support a repeated open, the cache must also hold the
+    name-to-file binding and permission information, and it needs a lease
+    over this information in order to use that information to perform the
+    open.  Similarly, modification of this information, such as renaming
+    the file, would constitute a write."
+
+    Every directory carries a {!Vstore.File_id.t} of its own (see
+    {!Vstore.Namespace}); its bindings are leased exactly like file
+    contents.  An {!Cache.open_file} is then two leased reads — one over
+    the directory, one over the file — and both hit the cache on a
+    repeated open within the term.  Renames, creates and removes are
+    writes to the directory's id, going through the full approval
+    machinery, so every other cache's name information is invalidated
+    before the namespace changes.
+
+    Modelling note: the simulator's messages carry versions, not payloads,
+    so binding {e contents} live in the shared {!Vstore.Namespace} while
+    leases guard their {e freshness}.  A mutation is registered with the
+    server-side {!Service} when its covering write is issued and applied
+    by the server's [on_commit] hook at the exact commit instant — the
+    moment the new directory version (and hence the new binding) becomes
+    visible.  In loss-free runs the per-directory FIFO matches the
+    server's per-file write FIFO exactly. *)
+
+module Service : sig
+  type t
+
+  val create : fresh_id:(unit -> Vstore.File_id.t) -> t
+
+  val namespace : t -> Vstore.Namespace.t
+
+  val make_directory : t -> string -> Vstore.File_id.t
+
+  val directory_id : t -> string -> Vstore.File_id.t option
+
+  val submit : t -> dir_id:Vstore.File_id.t -> (Vstore.Namespace.t -> unit) -> unit
+  (** Queue a mutation to apply when the next write to [dir_id] commits. *)
+
+  val on_commit : t -> Vstore.File_id.t -> Vstore.Version.t -> unit
+  (** Wire this into {!Server.create}'s [?on_commit]. *)
+
+  val pending : t -> Vstore.File_id.t -> int
+end
+
+module Cache : sig
+  type t
+
+  val create : client:Client.t -> service:Service.t -> t
+  (** [service] is consulted only for binding contents; all freshness
+      comes from the client's leases. *)
+
+  type open_result = {
+    o_file : Vstore.File_id.t option;  (** [None]: no such name *)
+    o_version : Vstore.Version.t option;  (** the opened file's version *)
+    o_dir_cached : bool;  (** the lookup was served under a cached lease *)
+    o_file_cached : bool;
+  }
+
+  val open_file : t -> dir:string -> name:string -> k:(open_result -> unit) -> unit
+  (** Raises [Invalid_argument] if the directory does not exist. *)
+
+  val bind : t -> dir:string -> name:string -> Vstore.File_id.t -> k:(unit -> unit) -> unit
+  val rename : t -> dir:string -> old_name:string -> new_name:string -> k:(unit -> unit) -> unit
+  val unbind : t -> dir:string -> name:string -> k:(unit -> unit) -> unit
+  (** All three are writes to the directory: they wait for every cached
+      copy of the naming information to approve or expire, exactly like a
+      file write.  The mutation itself is applied at commit; missing
+      names make the commit a no-op rather than an error (the authoritative
+      check happens at apply time). *)
+end

@@ -1,0 +1,200 @@
+open Simtime
+module Host_id = Host.Host_id
+
+type fault =
+  | Crash_client of { client : int; at : Time.t; duration : Time.Span.t }
+  | Crash_server of { at : Time.t; duration : Time.Span.t }
+  | Partition_clients of { clients : int list; at : Time.t; duration : Time.Span.t }
+  | Client_drift of { client : int; at : Time.t; drift : float }
+  | Server_drift of { at : Time.t; drift : float }
+  | Client_step of { client : int; at : Time.t; step : Time.Span.t }
+  | Server_step of { at : Time.t; step : Time.Span.t }
+
+type setup = {
+  seed : int64;
+  n_clients : int;
+  config : Config.t;
+  m_prop : Time.Span.t;
+  m_proc : Time.Span.t;
+  loss : float;
+  faults : fault list;
+  drain : Time.Span.t;
+}
+
+let default_setup =
+  {
+    seed = 1L;
+    n_clients = 1;
+    config = Config.default;
+    m_prop = Time.Span.of_ms 0.5;
+    m_proc = Time.Span.of_ms 1.;
+    loss = 0.;
+    faults = [];
+    drain = Time.Span.of_sec 120.;
+  }
+
+let v_lan_setup = default_setup
+
+type outcome = {
+  metrics : Metrics.t;
+  oracle : Oracle.Register_oracle.t;
+  store : Vstore.Store.t;
+}
+
+let server_host = Host_id.of_int 0
+let client_host i = Host_id.of_int (i + 1)
+
+let schedule_faults engine liveness partition server_clock client_clocks faults =
+  let at_time at f = ignore (Engine.schedule_at engine at f) in
+  List.iter
+    (fun fault ->
+      match fault with
+      | Crash_client { client; at; duration } ->
+        at_time at (fun () ->
+            Host.Liveness.crash liveness (client_host client);
+            ignore
+              (Engine.schedule_after engine duration (fun () ->
+                   Host.Liveness.recover liveness (client_host client))))
+      | Crash_server { at; duration } ->
+        at_time at (fun () ->
+            Host.Liveness.crash liveness server_host;
+            ignore
+              (Engine.schedule_after engine duration (fun () ->
+                   Host.Liveness.recover liveness server_host)))
+      | Partition_clients { clients; at; duration } ->
+        at_time at (fun () ->
+            Netsim.Partition.isolate partition (List.map client_host clients);
+            ignore
+              (Engine.schedule_after engine duration (fun () -> Netsim.Partition.heal partition)))
+      | Client_drift { client; at; drift } ->
+        at_time at (fun () -> Clock.set_drift client_clocks.(client) drift)
+      | Server_drift { at; drift } -> at_time at (fun () -> Clock.set_drift server_clock drift)
+      | Client_step { client; at; step } ->
+        at_time at (fun () -> Clock.step client_clocks.(client) step)
+      | Server_step { at; step } -> at_time at (fun () -> Clock.step server_clock step))
+    faults
+
+let run setup ~trace =
+  if setup.n_clients < 1 then invalid_arg "Sim.run: need at least one client";
+  let engine = Engine.create () in
+  let liveness = Host.Liveness.create () in
+  let partition = Netsim.Partition.create () in
+  let rng = Prng.Splitmix.create ~seed:setup.seed in
+  let net =
+    Netsim.Net.create engine ~liveness ~partition ~rng:(Prng.Splitmix.split rng) ~loss:setup.loss
+      ~prop_delay:setup.m_prop ~proc_delay:setup.m_proc ()
+  in
+  let server_clock = Clock.create engine () in
+  let client_clocks = Array.init setup.n_clients (fun _ -> Clock.create engine ()) in
+  let store = Vstore.Store.create () in
+  let clients_hosts = List.init setup.n_clients client_host in
+  let server =
+    Server.create ~engine ~clock:server_clock ~net ~liveness ~host:server_host
+      ~clients:clients_hosts ~store ~config:setup.config ()
+  in
+  let clients =
+    Array.init setup.n_clients (fun i ->
+        Client.create ~engine ~clock:client_clocks.(i) ~net ~liveness ~host:(client_host i)
+          ~server:server_host ~config:setup.config ())
+  in
+  let oracle = Oracle.Register_oracle.create ~store in
+  schedule_faults engine liveness partition server_clock client_clocks setup.faults;
+
+  (* Drive the trace. *)
+  let read_latency = Stats.Histogram.create () in
+  let write_latency = Stats.Histogram.create () in
+  let ops_issued = ref 0 in
+  let completed = ref 0 in
+  let reads_completed = ref 0 in
+  let writes_completed = ref 0 in
+  let temp_ops = ref 0 in
+  List.iter
+    (fun (op : Workload.Op.t) ->
+      if op.client < 0 || op.client >= setup.n_clients then
+        invalid_arg "Sim.run: trace uses a client index outside the cluster";
+      let issue () =
+        if op.temporary then incr temp_ops
+        else begin
+          incr ops_issued;
+          let client = clients.(op.client) in
+          match op.kind with
+          | Workload.Op.Read ->
+            let start = Engine.now engine in
+            Client.read client op.file ~k:(fun result ->
+                incr completed;
+                incr reads_completed;
+                Stats.Histogram.add read_latency (Time.Span.to_sec result.Client.r_latency);
+                Oracle.Register_oracle.check_read oracle ~file:op.file
+                  ~version:result.Client.r_version ~start ~finish:(Engine.now engine))
+          | Workload.Op.Write ->
+            Client.write client op.file ~k:(fun result ->
+                incr completed;
+                incr writes_completed;
+                Stats.Histogram.add write_latency (Time.Span.to_sec result.Client.w_latency))
+        end
+      in
+      ignore (Engine.schedule_at engine op.at issue))
+    (Workload.Trace.ops trace);
+
+  let horizon = Time.add Time.zero (Time.Span.add (Workload.Trace.duration trace) setup.drain) in
+  Engine.run ~until:horizon engine;
+
+  (* Aggregate. *)
+  let sum f = Array.fold_left (fun acc c -> acc + f c) 0 clients in
+  let hits = sum Client.hits in
+  let misses = sum Client.misses in
+  let sim_duration = Time.Span.to_sec (Time.Span.since_epoch (Engine.now engine)) in
+  let consistency = Server.consistency_messages server in
+  let rtt = Time.Span.to_sec (Netsim.Net.unicast_rtt net) in
+  let mean_write_added = Float.max 0. (Stats.Histogram.mean write_latency -. rtt) in
+  let reads = Stats.Histogram.count read_latency in
+  let writes = Stats.Histogram.count write_latency in
+  let mean_op_delay =
+    if reads + writes = 0 then 0.
+    else
+      ((Stats.Histogram.mean read_latency *. float_of_int reads)
+      +. (mean_write_added *. float_of_int writes))
+      /. float_of_int (reads + writes)
+  in
+  let metrics =
+    {
+      Metrics.sim_duration;
+      ops_issued = !ops_issued;
+      reads_completed = !reads_completed;
+      writes_completed = !writes_completed;
+      temp_ops = !temp_ops;
+      dropped_ops = !ops_issued - !completed;
+      cache_hits = hits;
+      cache_misses = misses;
+      hit_ratio =
+        (if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses));
+      msgs_extension = Server.messages_handled server Messages.Extension;
+      msgs_approval = Server.messages_handled server Messages.Approval;
+      msgs_installed = Server.messages_handled server Messages.Installed;
+      msgs_write_transfer = Server.messages_handled server Messages.Write_transfer;
+      consistency_msgs = consistency;
+      server_total_msgs = Server.messages_handled_total server;
+      consistency_msg_rate =
+        (if sim_duration <= 0. then 0. else float_of_int consistency /. sim_duration);
+      callbacks_sent = Server.callbacks_sent server;
+      commits = Server.commits server;
+      wal_io = Vstore.Wal.io_records (Server.wal server);
+      read_latency;
+      write_latency;
+      write_wait = Server.write_wait server;
+      mean_read_delay = Stats.Histogram.mean read_latency;
+      mean_write_delay_added = mean_write_added;
+      mean_op_delay;
+      retransmissions = sum Client.retransmissions;
+      renewals_sent = sum Client.renewals_sent;
+      approvals_answered = sum Client.approvals_answered;
+      net_sent = Netsim.Net.sent net;
+      net_dropped_loss = Netsim.Net.dropped_loss net;
+      net_dropped_partition = Netsim.Net.dropped_partition net;
+      net_dropped_down = Netsim.Net.dropped_down net;
+      oracle_reads = Oracle.Register_oracle.reads_checked oracle;
+      oracle_violations = Oracle.Register_oracle.violations oracle;
+      staleness = Oracle.Register_oracle.staleness oracle;
+    }
+  in
+  { metrics; oracle; store }

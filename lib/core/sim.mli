@@ -1,0 +1,48 @@
+(** End-to-end simulation harness for the lease protocol.
+
+    Builds a cluster — one server, N client caches, a network with the
+    configured message times — drives a workload trace through it, injects
+    the requested faults, and returns a {!Metrics.t}.  The consistency
+    oracle always observes the run.
+
+    Host layout: the server is host 0; client index [i] is host [i + 1]. *)
+
+type fault =
+  | Crash_client of { client : int; at : Simtime.Time.t; duration : Simtime.Time.Span.t }
+  | Crash_server of { at : Simtime.Time.t; duration : Simtime.Time.Span.t }
+  | Partition_clients of { clients : int list; at : Simtime.Time.t; duration : Simtime.Time.Span.t }
+      (** cut the listed clients off from the rest (server included) *)
+  | Client_drift of { client : int; at : Simtime.Time.t; drift : float }
+  | Server_drift of { at : Simtime.Time.t; drift : float }
+  | Client_step of { client : int; at : Simtime.Time.t; step : Simtime.Time.Span.t }
+  | Server_step of { at : Simtime.Time.t; step : Simtime.Time.Span.t }
+
+type setup = {
+  seed : int64;
+  n_clients : int;
+  config : Config.t;
+  m_prop : Simtime.Time.Span.t;
+  m_proc : Simtime.Time.Span.t;
+  loss : float;  (** per-delivery drop probability *)
+  faults : fault list;
+  drain : Simtime.Time.Span.t;
+  (** how long past the last trace operation to keep the cluster running so
+      in-flight work settles *)
+}
+
+val default_setup : setup
+(** Seed 1, one client, {!Config.default}, the V LAN message times
+    (m_prop 0.5 ms, m_proc 1 ms), no loss, no faults, 120 s drain. *)
+
+val v_lan_setup : setup
+(** Alias of {!default_setup}, named for readability in experiments. *)
+
+type outcome = {
+  metrics : Metrics.t;
+  oracle : Oracle.Register_oracle.t;
+  store : Vstore.Store.t;
+}
+
+val run : setup -> trace:Workload.Trace.t -> outcome
+(** Operations by clients beyond [n_clients - 1] raise
+    [Invalid_argument]. *)

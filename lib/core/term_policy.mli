@@ -1,0 +1,60 @@
+(** How the server picks the term of each lease it grants.
+
+    Section 4: "the server can set the lease term based on the file access
+    characteristics for the requested file as well as the propagation delay
+    to the client".  The adaptive policy implements exactly that, using the
+    paper's own analytic criteria: a file whose benefit factor
+    [alpha = 2R/(S*W)] falls below 1 gets a zero term (heavy write sharing
+    makes caching counter-productive), otherwise the term is a multiple of
+    the break-even effective term [1/(R(alpha-1))], further capped by a
+    quarter of the file's mean write interarrival (the paper's "a lease
+    term should be set to zero if a client is not going to access the
+    file before it is modified", applied gradually) and clamped into a
+    configured range. *)
+
+type adaptive = {
+  min_term : Simtime.Time.Span.t;
+  max_term : Simtime.Time.Span.t;
+  break_even_multiple : float;  (** term = multiple * break-even, default 10 *)
+  rate_halflife : Simtime.Time.Span.t;  (** EWMA half-life for per-file R and W *)
+}
+
+type t =
+  | Zero  (** check-on-use: every read contacts the server *)
+  | Fixed of Simtime.Time.Span.t
+  | Infinite  (** callback-style: leases never expire *)
+  | Adaptive of adaptive
+
+val default_adaptive : adaptive
+(** min 0, max 60 s, multiple 10, half-life 30 s. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Per-file access tracking for the adaptive policy} *)
+
+module Tracker : sig
+  type t
+
+  val create : adaptive -> t
+
+  val note_read : t -> Vstore.File_id.t -> now:Simtime.Time.t -> unit
+  val note_write : t -> Vstore.File_id.t -> now:Simtime.Time.t -> unit
+
+  val read_rate : t -> Vstore.File_id.t -> now:Simtime.Time.t -> float
+  val write_rate : t -> Vstore.File_id.t -> now:Simtime.Time.t -> float
+
+  val term_for :
+    t -> Vstore.File_id.t -> now:Simtime.Time.t -> holders:int -> Lease.term
+  (** The adaptive choice described above; [holders] is the current number
+      of leaseholders, used as the sharing degree estimate (at least 1). *)
+end
+
+val term_for :
+  t ->
+  tracker:Tracker.t option ->
+  file:Vstore.File_id.t ->
+  now:Simtime.Time.t ->
+  holders:int ->
+  Lease.term
+(** Resolve a policy to a concrete term for one grant.  [Adaptive] requires
+    a tracker (raises [Invalid_argument] otherwise). *)

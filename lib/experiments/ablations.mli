@@ -1,0 +1,31 @@
+(** Section 4 — lease-management options, measured one against another.
+
+    Five configurations over the same multi-client bursty workload
+    (10 s fixed term unless noted):
+
+    - {e on-demand}: plain per-miss extension, no batching;
+    - {e batched}: extensions cover every cached file (the default);
+    - {e anticipatory}: leases renewed 2 s before expiry even when idle —
+      better read delay, more server load, exactly the trade-off the paper
+      describes;
+    - {e installed multicast}: installed files covered by one periodic
+      server multicast (no per-client state, no extension requests for
+      them), writes to them handled by delayed update;
+    - {e unicast approvals}: approval requests sent per-holder instead of
+      multicast — a shared write costs 2(S-1) messages instead of S (the
+      footnote behind the paper's alpha_unicast);
+    - {e wait-only writes}: the server never calls back and simply waits
+      out the leases (the degenerate Xerox-DFS scheme) — write delay blows
+      up to the full residual term. *)
+
+type row = {
+  name : string;
+  metrics : Leases.Metrics.t;
+}
+
+type result = {
+  rows : row list;
+  table : string;
+}
+
+val run : ?duration:Simtime.Time.Span.t -> ?clients:int -> unit -> result

@@ -1,0 +1,26 @@
+(** Section 6 — leases against the era's alternatives, on one shared
+    multi-client workload:
+
+    - {e leases, 10 s term} — consistent, cheap;
+    - {e polling / check-on-use} (Sprite, RFS, Andrew prototype) —
+      consistent, two messages per read;
+    - {e callbacks} (revised Andrew) — cheap, but only consistent while
+      the network cooperates (run both fault-free and under a partition);
+    - {e TTL hints} (DNS/NFS-style) — cheap, never consistent by
+      construction.
+
+    The table shows the two-axis outcome the paper argues: only leases sit
+    in the consistent-{e and}-cheap corner under failures. *)
+
+type row = {
+  name : string;
+  metrics : Leases.Metrics.t;
+}
+
+type result = {
+  rows : row list;  (** fault-free runs *)
+  partition_rows : row list;  (** same protocols under a 60 s partition *)
+  table : string;
+}
+
+val run : ?duration:Simtime.Time.Span.t -> ?clients:int -> unit -> result

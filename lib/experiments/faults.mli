@@ -1,0 +1,31 @@
+(** Section 5 — fault-tolerance drills.
+
+    Four scripted scenarios, each checking the paper's claim that
+    non-Byzantine failures cost performance, never correctness:
+
+    - {e client crash}: a leaseholder dies; another client's write to the
+      covered file is delayed, but by no more than the crashed lease's
+      residual term;
+    - {e server crash}: after restarting, the server delays writes for the
+      maximum term it had granted ([Max_term_only] recovery) — or not at
+      all when the [Detailed] record shows the lease already expired;
+    - {e partition}: a leaseholder is cut off; with leases the writer
+      waits out the lease and nobody ever reads stale data, while the
+      callback baseline gives up on the unreachable client, commits, and
+      the partitioned client keeps reading stale data until its next poll;
+    - {e clock fault}: a server clock stepped forward past epsilon breaks
+      the lease promise — the oracle catches the resulting stale reads —
+      while the slow-server direction remains safe (only slower). *)
+
+type scenario = {
+  name : string;
+  lines : string list;  (** human-readable findings *)
+  ok : bool;  (** did the run behave as the paper predicts? *)
+}
+
+type result = {
+  scenarios : scenario list;
+  table : string;
+}
+
+val run : unit -> result

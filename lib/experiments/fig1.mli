@@ -1,0 +1,20 @@
+(** Figure 1 — relative server consistency load vs. lease term.
+
+    Reproduces the paper's Figure 1: analytic curves for sharing degrees
+    S = 1, 10, 20, 40 (formula 1, normalised by the zero-term load) plus
+    trace-driven simulation curves — one over a Poisson trace (validating
+    the model, the paper's "proximity of this curve to the S = 1 curve"
+    argument) and one over the bursty compile-shaped trace (the paper's
+    {e Trace} curve, with its sharper knee at a lower term). *)
+
+type result = {
+  series : Stats.Series.t list;
+  table : string;
+  knee_note : string;
+  (** the headline reading: the S = 1 load at a 10 s term as a fraction of
+      the zero-term load (paper: ~10 %) *)
+}
+
+val run : ?duration:Simtime.Time.Span.t -> unit -> result
+(** [duration] is the simulated trace length (default 10 000 s; the longer
+    the smoother the simulated curves). *)

@@ -1,0 +1,19 @@
+(** Figure 2 — average delay added to each operation by consistency, as a
+    function of the lease term (V LAN message times).
+
+    The paper's reading: the S = 1 … 40 curves are indistinguishable
+    (writes are too rare for approval delay to matter) and most of the
+    benefit arrives by a ~10 s term.  Analytic curves come from formula 2;
+    the simulated curve measures per-operation consistency delay directly
+    (cache hits contribute zero; a write contributes its latency beyond
+    one plain RPC). *)
+
+type result = {
+  series : Stats.Series.t list;  (** y in milliseconds *)
+  table : string;
+  spread_note : string;
+  (** maximum spread between the S = 1 and S = 40 model curves, supporting
+      the "indistinguishable" claim *)
+}
+
+val run : ?duration:Simtime.Time.Span.t -> unit -> result

@@ -1,0 +1,64 @@
+type result = {
+  series : Stats.Series.t list;
+  table : string;
+  degradation_10s : float;
+  degradation_30s : float;
+  sim_degradation_10s : float;
+  note : string;
+}
+
+let rtt = 0.1
+
+let run ?(duration = Simtime.Time.Span.of_sec 10_000.) () =
+  let params = Analytic.Params.with_rtt Analytic.Params.v_lan rtt in
+  let terms = Runner.term_axis () in
+  let model_series = Stats.Series.create ~label:"model (ms)" in
+  List.iter
+    (fun term_s ->
+      Stats.Series.add model_series ~x:term_s
+        ~y:(1000. *. Analytic.Model.consistency_delay params (Analytic.Model.Finite term_s)))
+    terms;
+  (* Simulated counterpart: same trace, propagation delay raised to make the
+     unicast RTT 100 ms. *)
+  let m_proc = Simtime.Time.Span.of_ms 1. in
+  let m_prop = Simtime.Time.Span.of_ms ((rtt *. 1000. -. 4.) /. 2.) in
+  let trace = (V_trace.poisson ~duration ()).V_trace.trace in
+  let sim_series = Stats.Series.create ~label:"sim (ms)" in
+  let sim_delay_at = Hashtbl.create 16 in
+  List.iter
+    (fun term_s ->
+      let setup = Runner.lease_setup ~m_prop ~m_proc ~term:(Analytic.Model.Finite term_s) () in
+      let m = Runner.run_lease setup trace in
+      Hashtbl.replace sim_delay_at term_s m.Leases.Metrics.mean_op_delay;
+      Stats.Series.add sim_series ~x:term_s ~y:(1000. *. m.Leases.Metrics.mean_op_delay))
+    terms;
+  let series = [ model_series; sim_series ] in
+  let table =
+    Stats.Table.of_series ~x_label:"term(s)" ~x_format:Runner.fmt_term ~y_format:Runner.fmt3
+      series
+  in
+  let degradation term_s =
+    Analytic.Model.response_degradation params ~base_response:rtt (Analytic.Model.Finite term_s)
+  in
+  let sim_inf =
+    let setup = Runner.lease_setup ~m_prop ~m_proc ~term:Analytic.Model.Infinite () in
+    (Runner.run_lease setup trace).Leases.Metrics.mean_op_delay
+  in
+  let sim_degradation_10s =
+    let d10 = Option.value (Hashtbl.find_opt sim_delay_at 10.) ~default:nan in
+    (d10 -. sim_inf) /. (rtt +. sim_inf)
+  in
+  let note =
+    Printf.sprintf
+      "response degradation vs infinite term (base response = one 100 ms RTT): 10 s term \
+       model %.1f%% / sim %.1f%% (paper: 10.1%%); 30 s term model %.1f%% (paper: 3.6%%)"
+      (100. *. degradation 10.) (100. *. sim_degradation_10s) (100. *. degradation 30.)
+  in
+  {
+    series;
+    table;
+    degradation_10s = degradation 10.;
+    degradation_30s = degradation 30.;
+    sim_degradation_10s;
+    note;
+  }

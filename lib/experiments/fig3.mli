@@ -1,0 +1,20 @@
+(** Figure 3 — added delay when the network round trip is 100 ms.
+
+    Same parameters as Figure 2 except the propagation delay is raised so
+    a unicast request/response takes 100 ms (the paper's wide-area case).
+    The paper's headline: a 10 s term degrades application-level response
+    by 10.1 % over an infinite term, a 30 s term by 3.6 % — so the 10–30 s
+    range remains adequate even across a WAN.  The base application-level
+    response is taken as one round trip (see EXPERIMENTS.md for why this
+    reproduces the paper's numbers exactly). *)
+
+type result = {
+  series : Stats.Series.t list;  (** y in milliseconds *)
+  table : string;
+  degradation_10s : float;  (** model, vs infinite term (paper: 0.101) *)
+  degradation_30s : float;  (** model (paper: 0.036) *)
+  sim_degradation_10s : float;
+  note : string;
+}
+
+val run : ?duration:Simtime.Time.Span.t -> unit -> result

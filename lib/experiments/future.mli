@@ -1,0 +1,32 @@
+(** Section 3.3 — leases in "future" distributed systems.
+
+    The paper argues leases matter {e more} as systems scale: faster
+    client processors raise the operation rate R (pushing the knee of the
+    load curve toward shorter terms and raising the cost of consistency
+    checks), and wider networks raise the round trip (making every
+    consistency check dearer).  This experiment quantifies both, model and
+    simulation, for 1x and 10x processor speed on the 5 ms LAN and the
+    100 ms WAN:
+
+    - relative consistency load at a 10 s term (the knee sharpens with R:
+      the relative load at a fixed term drops as 1/(1 + R t_c));
+    - the consistency share of each operation's response (grows with RTT
+      and with processor speed, since compute shrinks while message time
+      does not). *)
+
+type row = {
+  label : string;
+  read_rate : float;
+  rtt_ms : float;
+  rel_load_10s_model : float;
+  rel_load_10s_sim : float;
+  delay_ms_model : float;  (** consistency delay per op at a 10 s term *)
+  delay_ms_sim : float;
+}
+
+type result = {
+  rows : row list;
+  table : string;
+}
+
+val run : ?duration:Simtime.Time.Span.t -> unit -> result

@@ -1,0 +1,24 @@
+let lease_setup ?(n_clients = 1) ?m_prop ?m_proc ?(config = Leases.Config.default) ~term () =
+  let config =
+    match term with
+    | Analytic.Model.Infinite -> Leases.Config.with_term config Leases.Lease.Infinite
+    | Analytic.Model.Finite s -> Leases.Config.with_term config (Leases.Lease.term_of_sec s)
+  in
+  let base = Leases.Sim.default_setup in
+  {
+    base with
+    Leases.Sim.n_clients;
+    config;
+    m_prop = Option.value m_prop ~default:base.Leases.Sim.m_prop;
+    m_proc = Option.value m_proc ~default:base.Leases.Sim.m_proc;
+  }
+
+let run_lease setup trace =
+  let outcome = Leases.Sim.run setup ~trace in
+  outcome.Leases.Sim.metrics
+
+let term_axis () = [ 0.; 1.; 2.; 3.; 5.; 7.5; 10.; 15.; 20.; 25.; 30. ]
+
+let fmt_term t = Printf.sprintf "%g" t
+let fmt3 v = Printf.sprintf "%.3f" v
+let pct v = Printf.sprintf "%.1f%%" (100. *. v)

@@ -1,0 +1,22 @@
+(** Shared plumbing for the experiment modules. *)
+
+val lease_setup :
+  ?n_clients:int ->
+  ?m_prop:Simtime.Time.Span.t ->
+  ?m_proc:Simtime.Time.Span.t ->
+  ?config:Leases.Config.t ->
+  term:Analytic.Model.term ->
+  unit ->
+  Leases.Sim.setup
+(** A lease-simulation setup with the given term; other fields default to
+    the V LAN values. *)
+
+val run_lease : Leases.Sim.setup -> Workload.Trace.t -> Leases.Metrics.t
+
+val term_axis : unit -> float list
+(** The x values (seconds) the figures sweep: 0–30 s, denser near the
+    knee. *)
+
+val fmt_term : float -> string
+val fmt3 : float -> string
+val pct : float -> string

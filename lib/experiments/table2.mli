@@ -1,0 +1,14 @@
+(** Table 2 — the V file-caching parameters, paper value vs. what our
+    synthetic V workload actually measures.
+
+    R = 0.864/s is legible in the paper; W, the message times and epsilon
+    are reconstructed (see EXPERIMENTS.md §Calibration).  The generated
+    bursty trace is summarised back through {!Workload.Trace.summarize} to
+    show the targets are hit. *)
+
+type result = {
+  table : string;
+  measured : Workload.Trace.summary;
+}
+
+val run : ?duration:Simtime.Time.Span.t -> unit -> result

@@ -1,0 +1,31 @@
+(** Canonical V-system workloads for the experiments.
+
+    Both generators target the Table 2 rates (R = 0.864 reads/s,
+    W = 0.040 writes/s per client, server-visible) over a file population
+    shaped like the paper's: installed files take just under half the
+    reads, temporary files take the bulk of raw writes but are handled
+    locally. *)
+
+type t = {
+  trace : Workload.Trace.t;
+  fileset : Workload.Fileset.t;
+}
+
+val poisson : ?seed:int64 -> ?clients:int -> duration:Simtime.Time.Span.t -> unit -> t
+(** The analytic model's arrival assumption. *)
+
+val bursty : ?seed:int64 -> ?clients:int -> duration:Simtime.Time.Span.t -> unit -> t
+(** The measured trace's shape: compile-session bursts with Pareto think
+    times — the paper's "Trace" curve, with its sharper knee. *)
+
+val shared_heavy : ?seed:int64 -> ?clients:int -> duration:Simtime.Time.Span.t -> unit -> t
+(** A write-sharing-heavy Poisson variant (most reads and writes go to a
+    small shared set) — the contention regime where the consistency
+    protocols actually diverge; used by the baseline comparison. *)
+
+val read_rate : float
+val write_rate : float
+
+val fileset : ?clients:int -> unit -> Workload.Fileset.t
+(** The file population alone (20 installed, 10 shared, 30 private and 10
+    temporary files per client). *)

@@ -1,0 +1,33 @@
+(** The non-write-through extension, measured.
+
+    The paper confines write-back to a remark ("extending the mechanism to
+    support non-write-through caches is straightforward") and to Section
+    6's comparison with MFS/Echo tokens; this experiment quantifies what
+    the extension buys and what it costs, on two workloads:
+
+    - {e rewrite-heavy}: each client repeatedly writes its own files (the
+      document-editing / log-append pattern).  Write-through pays one RPC
+      per write; write-back pays one lease acquisition and then writes
+      locally, flushing in batches;
+    - {e ping-pong}: two clients alternately write the same file — the
+      thrashing regime the paper mentions around Mirage's minimum-hold
+      timer.  Every alternation costs a recall round trip, so write-back
+      loses its advantage exactly where exclusivity keeps bouncing. *)
+
+type row = {
+  name : string;
+  mean_write_ms : float;
+  p99_write_ms : float;
+  consistency_per_s : float;
+  server_msgs : int;
+  commits : int;
+  violations : int;
+  writes_lost : int;
+}
+
+type result = {
+  rows : row list;
+  table : string;
+}
+
+val run : ?duration:Simtime.Time.Span.t -> unit -> result

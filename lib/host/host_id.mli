@@ -1,0 +1,19 @@
+(** Host identities.
+
+    A host is any party in the simulated distributed system: the file
+    server, each client workstation, or a fault injector impersonating
+    one. *)
+
+type t
+
+val of_int : int -> t
+(** Must be non-negative. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

@@ -1,0 +1,35 @@
+type entry = { mutable up : bool; mutable on_crash : unit -> unit; mutable on_recover : unit -> unit }
+
+type t = (Host_id.t, entry) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let register t host ?(on_crash = ignore) ?(on_recover = ignore) () =
+  match Hashtbl.find_opt t host with
+  | Some entry ->
+    entry.on_crash <- on_crash;
+    entry.on_recover <- on_recover
+  | None -> Hashtbl.add t host { up = true; on_crash; on_recover }
+
+let is_up t host =
+  match Hashtbl.find_opt t host with
+  | Some entry -> entry.up
+  | None -> true
+
+let crash t host =
+  match Hashtbl.find_opt t host with
+  | Some entry when entry.up ->
+    entry.up <- false;
+    entry.on_crash ()
+  | Some _ -> ()
+  | None ->
+    let entry = { up = false; on_crash = ignore; on_recover = ignore } in
+    Hashtbl.add t host entry
+
+let recover t host =
+  match Hashtbl.find_opt t host with
+  | Some entry when not entry.up ->
+    entry.up <- true;
+    entry.on_recover ()
+  | Some _ -> ()
+  | None -> ()

@@ -1,0 +1,24 @@
+(** Host lifecycle: up, or crashed.
+
+    A crash is fail-stop: the host loses all volatile state (its [on_crash]
+    hook must reset it) and neither sends nor receives messages until it
+    recovers.  Recovery invokes [on_recover], where a host reinitialises —
+    e.g. a lease server replays its persistent maximum-term record. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> Host_id.t -> ?on_crash:(unit -> unit) -> ?on_recover:(unit -> unit) -> unit -> unit
+(** Registering an already-registered host replaces its hooks.  Hosts start
+    up. *)
+
+val is_up : t -> Host_id.t -> bool
+(** Unregistered hosts are considered up, so simple simulations need not
+    register anything. *)
+
+val crash : t -> Host_id.t -> unit
+(** No-op if already crashed. *)
+
+val recover : t -> Host_id.t -> unit
+(** No-op if already up. *)

@@ -1,0 +1,109 @@
+open Simtime
+
+type 'a envelope = { src : Host.Host_id.t; dst : Host.Host_id.t; payload : 'a }
+
+type 'a t = {
+  engine : Engine.t;
+  liveness : Host.Liveness.t;
+  partition : Partition.t;
+  rng : Prng.Splitmix.t option;
+  loss : float;
+  link_delay : (src:Host.Host_id.t -> dst:Host.Host_id.t -> Time.Span.t) option;
+  prop_delay : Time.Span.t;
+  proc_delay : Time.Span.t;
+  handlers : (Host.Host_id.t, 'a envelope -> unit) Hashtbl.t;
+  mutable sent : int;
+  mutable deliveries : int;
+  mutable dropped_loss : int;
+  mutable dropped_partition : int;
+  mutable dropped_down : int;
+}
+
+let create engine ?liveness ?partition ?rng ?(loss = 0.) ?link_delay ~prop_delay ~proc_delay () =
+  if loss < 0. || loss >= 1. then invalid_arg "Net.create: loss must be in [0, 1)";
+  if loss > 0. && rng = None then invalid_arg "Net.create: positive loss requires an rng";
+  {
+    engine;
+    liveness = (match liveness with Some l -> l | None -> Host.Liveness.create ());
+    partition = (match partition with Some p -> p | None -> Partition.create ());
+    rng;
+    loss;
+    link_delay;
+    prop_delay;
+    proc_delay;
+    handlers = Hashtbl.create 32;
+    sent = 0;
+    deliveries = 0;
+    dropped_loss = 0;
+    dropped_partition = 0;
+    dropped_down = 0;
+  }
+
+let register t host handler = Hashtbl.replace t.handlers host handler
+
+let delay_between t ~src ~dst =
+  match t.link_delay with
+  | Some f -> f ~src ~dst
+  | None -> t.prop_delay
+
+let lost t =
+  match t.rng with
+  | Some rng when t.loss > 0. -> Prng.Splitmix.bool rng ~p:t.loss
+  | Some _ | None -> false
+
+(* One delivery attempt toward [dst]; transit time is sender processing +
+   propagation + receiver processing. *)
+let deliver_one t ~src ~dst payload =
+  let transit =
+    Time.Span.add t.proc_delay (Time.Span.add (delay_between t ~src ~dst) t.proc_delay)
+  in
+  let attempt () =
+    if not (Host.Liveness.is_up t.liveness dst) then t.dropped_down <- t.dropped_down + 1
+    else if not (Partition.connected t.partition src dst) then
+      t.dropped_partition <- t.dropped_partition + 1
+    else begin
+      match Hashtbl.find_opt t.handlers dst with
+      | None -> t.dropped_down <- t.dropped_down + 1
+      | Some handler ->
+        t.deliveries <- t.deliveries + 1;
+        handler { src; dst; payload }
+    end
+  in
+  if lost t then t.dropped_loss <- t.dropped_loss + 1
+  else ignore (Engine.schedule_after t.engine transit attempt)
+
+let sender_can_send t ~src ~dst =
+  if not (Host.Liveness.is_up t.liveness src) then begin
+    t.dropped_down <- t.dropped_down + 1;
+    false
+  end
+  else if not (Partition.connected t.partition src dst) then begin
+    (* The sender's packet leaves the interface but dies at the partition;
+       counted once per destination at delivery below, so allow it on. *)
+    true
+  end
+  else true
+
+let send t ~src ~dst payload =
+  t.sent <- t.sent + 1;
+  if sender_can_send t ~src ~dst then deliver_one t ~src ~dst payload
+
+let multicast t ~src ~dsts payload =
+  t.sent <- t.sent + 1;
+  if Host.Liveness.is_up t.liveness src then
+    List.iter (fun dst -> deliver_one t ~src ~dst payload) dsts
+  else t.dropped_down <- t.dropped_down + 1
+
+let sent t = t.sent
+let deliveries t = t.deliveries
+let dropped_loss t = t.dropped_loss
+let dropped_partition t = t.dropped_partition
+let dropped_down t = t.dropped_down
+
+let unicast_rtt t =
+  let ( + ) = Time.Span.add in
+  let twice s = Time.Span.scale 2. s in
+  twice t.prop_delay + twice (twice t.proc_delay)
+
+let prop_delay t = t.prop_delay
+let proc_delay t = t.proc_delay

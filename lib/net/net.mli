@@ -1,0 +1,64 @@
+(** The simulated datagram network.
+
+    Timing follows the paper's cost model (Table 1): a message put on the
+    wire at instant [t] is handed to the recipient at
+    [t + m_proc + m_prop + m_proc] — one processing interval at the sender,
+    propagation, one at the receiver.  A unicast request/response therefore
+    costs [2*m_prop + 4*m_proc], the figure the paper uses for an RPC.
+
+    Multicast is "best effort, sent once": the sender pays one [m_proc]
+    regardless of group size; each recipient is an independent delivery
+    subject to loss, partition and liveness, mirroring the V-system
+    multicast facility the paper relies on.
+
+    Failure semantics: a message is silently dropped when it is lost (with
+    probability [loss]), when sender and recipient are in different
+    partition groups, or when either end is crashed.  Liveness and
+    partition are evaluated at {e delivery} time for the recipient (a host
+    that crashes while a message is in flight never sees it) and at send
+    time for the sender. *)
+
+type 'a envelope = { src : Host.Host_id.t; dst : Host.Host_id.t; payload : 'a }
+
+type 'a t
+
+val create :
+  Simtime.Engine.t ->
+  ?liveness:Host.Liveness.t ->
+  ?partition:Partition.t ->
+  ?rng:Prng.Splitmix.t ->
+  ?loss:float ->
+  ?link_delay:(src:Host.Host_id.t -> dst:Host.Host_id.t -> Simtime.Time.Span.t) ->
+  prop_delay:Simtime.Time.Span.t ->
+  proc_delay:Simtime.Time.Span.t ->
+  unit ->
+  'a t
+(** [loss] is the independent per-delivery drop probability (default 0;
+    requires [rng] when positive).  [link_delay] overrides the propagation
+    delay per (src, dst) pair, for mixed LAN/WAN topologies. *)
+
+val register : 'a t -> Host.Host_id.t -> ('a envelope -> unit) -> unit
+(** Install the message handler for a host.  Re-registering replaces it. *)
+
+val send : 'a t -> src:Host.Host_id.t -> dst:Host.Host_id.t -> 'a -> unit
+
+val multicast : 'a t -> src:Host.Host_id.t -> dsts:Host.Host_id.t list -> 'a -> unit
+
+(** {2 Transport statistics} *)
+
+val sent : 'a t -> int
+(** Send operations: a multicast counts once. *)
+
+val deliveries : 'a t -> int
+
+val dropped_loss : 'a t -> int
+val dropped_partition : 'a t -> int
+val dropped_down : 'a t -> int
+(** Deliveries suppressed because an endpoint was crashed. *)
+
+val unicast_rtt : 'a t -> Simtime.Time.Span.t
+(** The request/response round trip [2*m_prop + 4*m_proc] under the default
+    link delay — the quantity the analytic model calls the RPC time. *)
+
+val prop_delay : 'a t -> Simtime.Time.Span.t
+val proc_delay : 'a t -> Simtime.Time.Span.t

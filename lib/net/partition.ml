@@ -1,0 +1,16 @@
+type t = { groups : (Host.Host_id.t, int) Hashtbl.t; mutable next_group : int }
+
+let create () = { groups = Hashtbl.create 16; next_group = 1 }
+
+let set_group t host group = Hashtbl.replace t.groups host group
+
+let group t host = Option.value (Hashtbl.find_opt t.groups host) ~default:0
+
+let isolate t hosts =
+  let fresh = t.next_group in
+  t.next_group <- t.next_group + 1;
+  List.iter (fun host -> set_group t host fresh) hosts
+
+let heal t = Hashtbl.reset t.groups
+
+let connected t a b = group t a = group t b

@@ -1,0 +1,22 @@
+(** Network partitions.
+
+    Hosts are assigned to partition groups; two hosts can communicate only
+    when in the same group.  Every host starts in group 0, so a fresh
+    partition object imposes no restriction. *)
+
+type t
+
+val create : unit -> t
+
+val set_group : t -> Host.Host_id.t -> int -> unit
+
+val group : t -> Host.Host_id.t -> int
+
+val isolate : t -> Host.Host_id.t list -> unit
+(** Move the listed hosts into a fresh group of their own, cutting them off
+    from everyone else (but not from each other). *)
+
+val heal : t -> unit
+(** Return every host to group 0. *)
+
+val connected : t -> Host.Host_id.t -> Host.Host_id.t -> bool

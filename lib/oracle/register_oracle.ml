@@ -1,0 +1,31 @@
+type t = {
+  store : Vstore.Store.t;
+  mutable reads_checked : int;
+  mutable violations : int;
+  staleness : Stats.Histogram.t;
+  mutable first_violation : (Vstore.File_id.t * Vstore.Version.t * Simtime.Time.t) option;
+}
+
+let create ~store =
+  {
+    store;
+    reads_checked = 0;
+    violations = 0;
+    staleness = Stats.Histogram.create ();
+    first_violation = None;
+  }
+
+let check_read t ~file ~version ~start ~finish =
+  t.reads_checked <- t.reads_checked + 1;
+  if not (Vstore.Store.was_current_during t.store file version ~start ~finish) then begin
+    t.violations <- t.violations + 1;
+    (match Vstore.Store.staleness_at t.store file version ~at:finish with
+    | Some age -> Stats.Histogram.add t.staleness (Simtime.Time.Span.to_sec age)
+    | None -> ());
+    if t.first_violation = None then t.first_violation <- Some (file, version, finish)
+  end
+
+let reads_checked t = t.reads_checked
+let violations t = t.violations
+let staleness t = t.staleness
+let first_violation t = t.first_violation

@@ -1,0 +1,39 @@
+(** The consistency checker.
+
+    The paper's definition of consistent: "the behavior is equivalent to
+    there being only a single (uncached) copy of the data except for the
+    performance benefit of the cache".  For reads of a single datum that is
+    atomicity: every read must return a version that was current at some
+    instant between the read's issue and its completion (both in true
+    engine time — the oracle, unlike the hosts, sees the global clock).
+
+    The oracle is pure observation: protocols run identically with or
+    without it.  Lease runs must report zero violations under any
+    non-Byzantine fault script; the callback and TTL baselines violate it
+    exactly where the paper says they do. *)
+
+type t
+
+val create : store:Vstore.Store.t -> t
+
+val check_read :
+  t ->
+  file:Vstore.File_id.t ->
+  version:Vstore.Version.t ->
+  start:Simtime.Time.t ->
+  finish:Simtime.Time.t ->
+  unit
+(** Record one completed read.  A cache hit passes [start = finish]. *)
+
+val reads_checked : t -> int
+
+val violations : t -> int
+(** Reads that were not atomic. *)
+
+val staleness : t -> Stats.Histogram.t
+(** For each violating read, how stale the returned version already was at
+    the read's completion, in seconds. *)
+
+val first_violation : t -> (Vstore.File_id.t * Vstore.Version.t * Simtime.Time.t) option
+(** The earliest violation seen (file, version returned, completion
+    instant) — for failing tests with a useful message. *)

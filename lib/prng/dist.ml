@@ -1,0 +1,52 @@
+let exponential rng ~mean =
+  if mean <= 0. then invalid_arg "Dist.exponential: mean must be positive";
+  let u = 1. -. Splitmix.float rng in
+  -.mean *. log u
+
+let geometric rng ~p =
+  if p <= 0. || p > 1. then invalid_arg "Dist.geometric: p must be in (0, 1]";
+  if p = 1. then 1
+  else begin
+    let u = 1. -. Splitmix.float rng in
+    1 + int_of_float (log u /. log (1. -. p))
+  end
+
+let uniform rng ~lo ~hi = lo +. ((hi -. lo) *. Splitmix.float rng)
+
+module Zipf_table = struct
+  type t = { cdf : float array }
+
+  let create ~n ~s =
+    if n <= 0 then invalid_arg "Zipf_table.create: n must be positive";
+    if s < 0. then invalid_arg "Zipf_table.create: s must be non-negative";
+    let weights = Array.init n (fun i -> 1. /. Float.pow (float_of_int (i + 1)) s) in
+    let total = Array.fold_left ( +. ) 0. weights in
+    let cdf = Array.make n 0. in
+    let acc = ref 0. in
+    for i = 0 to n - 1 do
+      acc := !acc +. (weights.(i) /. total);
+      cdf.(i) <- !acc
+    done;
+    cdf.(n - 1) <- 1.;
+    { cdf }
+
+  let draw t rng =
+    let u = Splitmix.float rng in
+    (* Binary search for the first index whose CDF value exceeds u. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if t.cdf.(mid) > u then search lo mid else search (mid + 1) hi
+      end
+    in
+    search 0 (Array.length t.cdf - 1)
+end
+
+let zipf rng ~n ~s = Zipf_table.draw (Zipf_table.create ~n ~s) rng
+
+let pareto rng ~shape ~scale =
+  if shape <= 0. then invalid_arg "Dist.pareto: shape must be positive";
+  if scale <= 0. then invalid_arg "Dist.pareto: scale must be positive";
+  let u = 1. -. Splitmix.float rng in
+  scale /. Float.pow u (1. /. shape)

@@ -1,0 +1,34 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = seed }
+
+(* The splitmix64 output function (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = next_int64 t }
+
+let float t =
+  (* 53 uniform bits mapped to [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: bound must be positive";
+  (* Rejection sampling over the top bits avoids modulo bias. *)
+  let rec draw () =
+    let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    let value = bits mod bound in
+    if bits - value + (bound - 1) >= 0 then value else draw ()
+  in
+  draw ()
+
+let bool t ~p = float t < p

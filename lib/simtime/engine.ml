@@ -1,0 +1,46 @@
+type t = { mutable now : Time.t; queue : (unit -> unit) Event_queue.t }
+
+type handle = Event_queue.handle
+
+let create () = { now = Time.zero; queue = Event_queue.create () }
+
+let now t = t.now
+
+let schedule_at t at callback =
+  if Time.(at < t.now) then
+    invalid_arg
+      (Format.asprintf "Engine.schedule_at: %a is in the past (now %a)" Time.pp at Time.pp t.now);
+  Event_queue.push t.queue ~at callback
+
+let schedule_after t delay callback =
+  if Time.Span.is_negative delay then
+    invalid_arg
+      (Format.asprintf "Engine.schedule_after: negative delay %a" Time.Span.pp delay);
+  schedule_at t (Time.add t.now delay) callback
+
+let cancel = Event_queue.cancel
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (at, callback) ->
+    t.now <- at;
+    callback ();
+    true
+
+let run ?until t =
+  let continue () =
+    match until, Event_queue.peek_time t.queue with
+    | _, None -> false
+    | None, Some _ -> true
+    | Some limit, Some next -> Time.(next <= limit)
+  in
+  while continue () do
+    ignore (step t)
+  done;
+  (* When bounded, land exactly on the limit so callers can resume cleanly. *)
+  match until with
+  | Some limit when Time.(t.now < limit) -> t.now <- limit
+  | Some _ | None -> ()
+
+let pending t = Event_queue.length t.queue

@@ -1,0 +1,40 @@
+(** The discrete-event simulation engine.
+
+    The engine owns the virtual clock and a queue of pending callbacks.  All
+    simulated activity — message deliveries, lease expirations, workload
+    arrivals, crash/recover events — is expressed as callbacks scheduled at
+    absolute instants.  Running the engine advances virtual time from event
+    to event; between events, no time passes.
+
+    Determinism: callbacks scheduled for the same instant run in the order
+    they were scheduled. *)
+
+type t
+
+type handle = Event_queue.handle
+
+val create : unit -> t
+
+val now : t -> Time.t
+(** Current virtual time.  Inside a callback, this is the instant the
+    callback was scheduled for. *)
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+(** Schedule a callback at an absolute instant.  Scheduling in the past
+    raises [Invalid_argument]. *)
+
+val schedule_after : t -> Time.span -> (unit -> unit) -> handle
+(** Schedule a callback after a delay from [now].  Negative delays raise
+    [Invalid_argument]. *)
+
+val cancel : handle -> unit
+
+val run : ?until:Time.t -> t -> unit
+(** Run events in timestamp order until the queue is empty, or until the
+    first event strictly after [until] (which remains queued). *)
+
+val step : t -> bool
+(** Run the single earliest event.  Returns [false] if none was pending. *)
+
+val pending : t -> int
+(** Number of live scheduled events. *)

@@ -1,0 +1,114 @@
+type handle = { mutable live : bool }
+
+type 'a entry = { at : Time.t; seq : int; handle : handle; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable live_count : int;
+}
+
+(* Min-heap ordered by (at, seq); seq breaks ties in insertion order. *)
+let entry_before a b =
+  match Time.compare a.at b.at with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let create () = { heap = [||]; size = 0; next_seq = 0; live_count = 0 }
+
+let grow q dummy =
+  let capacity = Array.length q.heap in
+  if q.size >= capacity then begin
+    let capacity' = Stdlib.max 16 (2 * capacity) in
+    let heap' = Array.make capacity' dummy in
+    Array.blit q.heap 0 heap' 0 q.size;
+    q.heap <- heap'
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = if left < q.size && entry_before q.heap.(left) q.heap.(i) then left else i in
+  let smallest =
+    if right < q.size && entry_before q.heap.(right) q.heap.(smallest) then right else smallest
+  in
+  if smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(smallest);
+    q.heap.(smallest) <- tmp;
+    sift_down q smallest
+  end
+
+let push q ~at payload =
+  let handle = { live = true } in
+  let entry = { at; seq = q.next_seq; handle; payload } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  q.live_count <- q.live_count + 1;
+  sift_up q (q.size - 1);
+  handle
+
+let cancel handle = handle.live <- false
+
+let cancelled handle = not handle.live
+
+let pop_entry q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some top
+  end
+
+let rec pop q =
+  match pop_entry q with
+  | None -> None
+  | Some entry ->
+    if entry.handle.live then begin
+      q.live_count <- q.live_count - 1;
+      Some (entry.at, entry.payload)
+    end
+    else pop q
+
+let rec peek_time q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    if top.handle.live then Some top.at
+    else begin
+      (* Discard the cancelled top so repeated peeks stay cheap. *)
+      ignore (pop_entry q);
+      peek_time q
+    end
+  end
+
+let length q =
+  (* Cancelled-but-unpopped entries are excluded via the live counter.  The
+     counter can only drift if [cancel] is called twice on one handle, which
+     [cancel]'s idempotence below prevents from double-counting: we recount
+     lazily here instead of trusting it blindly. *)
+  let live = ref 0 in
+  for i = 0 to q.size - 1 do
+    if q.heap.(i).handle.live then incr live
+  done;
+  q.live_count <- !live;
+  !live
+
+let is_empty q = length q = 0

@@ -1,0 +1,32 @@
+(** A priority queue of timestamped events.
+
+    Events with equal timestamps are dequeued in insertion order, which makes
+    simulation runs fully deterministic.  Cancellation is O(1) (a tombstone
+    flag); cancelled events are dropped lazily on [pop]. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> 'a t
+
+val push : 'a t -> at:Time.t -> 'a -> handle
+(** Schedule an event at the given instant. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-popped or already-cancelled event is a no-op. *)
+
+val cancelled : handle -> bool
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest live event, or [None] if the queue holds
+    no live events. *)
+
+val peek_time : 'a t -> Time.t option
+(** Timestamp of the earliest live event, without removing it. *)
+
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val is_empty : 'a t -> bool

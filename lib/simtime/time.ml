@@ -1,0 +1,50 @@
+type t = int64
+type span = int64
+
+let zero = 0L
+let add = Int64.add
+let diff = Int64.sub
+let compare = Int64.compare
+let equal = Int64.equal
+let ( <= ) a b = compare a b <= 0
+let ( < ) a b = compare a b < 0
+let ( >= ) a b = compare a b >= 0
+let ( > ) a b = compare a b > 0
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+
+let us_per_sec = 1_000_000.
+
+let of_sec s = Int64.of_float (Float.round (s *. us_per_sec))
+let to_sec t = Int64.to_float t /. us_per_sec
+let of_us = Int64.of_int
+let to_us = Int64.to_int
+let pp ppf t = Format.fprintf ppf "%.6fs" (to_sec t)
+
+module Span = struct
+  type t = span
+
+  let zero = 0L
+  let of_sec = of_sec
+  let to_sec = to_sec
+  let of_ms ms = of_sec (ms /. 1000.)
+  let to_ms t = to_sec t *. 1000.
+  let of_us = of_us
+  let to_us = to_us
+  let add = Int64.add
+  let sub = Int64.sub
+  let neg = Int64.neg
+  let scale f t = Int64.of_float (Float.round (f *. Int64.to_float t))
+  let compare = Int64.compare
+  let equal = Int64.equal
+  let ( <= ) a b = Stdlib.( <= ) (compare a b) 0
+  let ( < ) a b = Stdlib.( < ) (compare a b) 0
+  let ( >= ) a b = Stdlib.( >= ) (compare a b) 0
+  let ( > ) a b = Stdlib.( > ) (compare a b) 0
+  let min a b = if a <= b then a else b
+  let max a b = if a >= b then a else b
+  let is_negative t = t < zero
+  let clamp_non_negative t = max zero t
+  let since_epoch t = t
+  let pp ppf t = Format.fprintf ppf "%.6fs" (to_sec t)
+end

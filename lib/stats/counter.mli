@@ -1,0 +1,30 @@
+(** Named monotonic counters, grouped into a registry so a simulation can
+    dump every count it accumulated in one call. *)
+
+type t
+
+module Registry : sig
+  type counter := t
+  type t
+
+  val create : unit -> t
+
+  val counter : t -> string -> counter
+  (** The counter registered under [name], creating it at zero on first
+      use.  Repeated calls with the same name return the same counter. *)
+
+  val to_list : t -> (string * int) list
+  (** All counters, sorted by name. *)
+
+  val find : t -> string -> int
+  (** Current value under [name]; 0 if never touched. *)
+
+  val reset : t -> unit
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val incr : t -> unit
+val add : t -> int -> unit
+val value : t -> int
+val name : t -> string

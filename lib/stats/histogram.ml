@@ -1,0 +1,67 @@
+type t = {
+  least : float;
+  growth : float;
+  bounds : float array; (* upper bound of bucket i, exclusive *)
+  counts : int array; (* length = Array.length bounds + 2: under- and overflow *)
+  mutable total_count : int;
+  mutable sum : float;
+}
+
+let create ?(least = 1e-6) ?(growth = 1.2) ?(buckets = 128) () =
+  if least <= 0. then invalid_arg "Histogram.create: least must be positive";
+  if growth <= 1. then invalid_arg "Histogram.create: growth must exceed 1";
+  if buckets < 1 then invalid_arg "Histogram.create: need at least one bucket";
+  let bounds = Array.init buckets (fun i -> least *. Float.pow growth (float_of_int (i + 1))) in
+  { least; growth; bounds; counts = Array.make (buckets + 2) 0; total_count = 0; sum = 0. }
+
+(* Bucket index layout: 0 = underflow (< least), 1..buckets = geometric
+   buckets, buckets+1 = overflow. *)
+let bucket_index t x =
+  if x < t.least then 0
+  else begin
+    let raw = log (x /. t.least) /. log t.growth in
+    let i = int_of_float (Float.floor raw) + 1 in
+    if i > Array.length t.bounds then Array.length t.bounds + 1 else i
+  end
+
+let bucket_lo t i = if i <= 1 then 0. else t.least *. Float.pow t.growth (float_of_int (i - 1))
+let bucket_hi t i =
+  if i = 0 then t.least
+  else if i > Array.length t.bounds then infinity
+  else t.bounds.(i - 1)
+
+let add t x =
+  let i = bucket_index t x in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total_count <- t.total_count + 1;
+  t.sum <- t.sum +. x
+
+let count t = t.total_count
+
+let quantile t q =
+  if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q must be in [0, 1]";
+  if t.total_count = 0 then 0.
+  else begin
+    let target = q *. float_of_int t.total_count in
+    let rec walk i seen =
+      if i >= Array.length t.counts then bucket_lo t (Array.length t.counts - 1)
+      else begin
+        let seen' = seen +. float_of_int t.counts.(i) in
+        if seen' >= target && t.counts.(i) > 0 then begin
+          let lo = bucket_lo t i in
+          let hi = bucket_hi t i in
+          let hi = if hi = infinity then lo *. t.growth else hi in
+          let within = (target -. seen) /. float_of_int t.counts.(i) in
+          lo +. ((hi -. lo) *. Float.max 0. (Float.min 1. within))
+        end
+        else walk (i + 1) seen'
+      end
+    in
+    walk 0 0.
+  end
+
+let mean t = if t.total_count = 0 then 0. else t.sum /. float_of_int t.total_count
+
+let pp ppf t =
+  Format.fprintf ppf "n=%d mean=%.6g p50=%.6g p90=%.6g p99=%.6g" t.total_count (mean t)
+    (quantile t 0.5) (quantile t 0.9) (quantile t 0.99)

@@ -1,0 +1,21 @@
+(** Log-bucketed histogram for latency-like quantities.
+
+    Buckets grow geometrically from [least] with ratio [growth]; quantile
+    estimates interpolate linearly within a bucket.  Relative error of a
+    quantile estimate is bounded by [growth - 1]. *)
+
+type t
+
+val create : ?least:float -> ?growth:float -> ?buckets:int -> unit -> t
+(** Defaults: [least] = 1e-6, [growth] = 1.2, [buckets] = 128.  Values below
+    [least] (including zero) land in an underflow bucket; values beyond the
+    last bound land in an overflow bucket. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val quantile : t -> float -> float
+(** [quantile t q] for q in [0, 1].  0.0 when empty. *)
+
+val mean : t -> float
+val pp : Format.formatter -> t -> unit
+(** A compact summary line: count, mean, p50, p90, p99, max bucket. *)

@@ -1,0 +1,21 @@
+type t = { label : string; mutable rev_points : (float * float) list; mutable length : int }
+
+let create ~label = { label; rev_points = []; length = 0 }
+let label t = t.label
+
+let add t ~x ~y =
+  t.rev_points <- (x, y) :: t.rev_points;
+  t.length <- t.length + 1
+
+let points t = List.rev t.rev_points
+let length t = t.length
+
+let y_at t ~x =
+  List.find_map (fun (px, py) -> if px = x then Some py else None) (points t)
+
+let map_y t ~f =
+  {
+    label = t.label;
+    rev_points = List.map (fun (x, y) -> (x, f y)) t.rev_points;
+    length = t.length;
+  }

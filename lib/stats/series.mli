@@ -1,0 +1,19 @@
+(** A labelled series of (x, y) points — the unit in which experiments hand
+    their results to the figure printer. *)
+
+type t
+
+val create : label:string -> t
+val label : t -> string
+val add : t -> x:float -> y:float -> unit
+val points : t -> (float * float) list
+(** In insertion order. *)
+
+val length : t -> int
+
+val y_at : t -> x:float -> float option
+(** The y value recorded for exactly this x, if any. *)
+
+val map_y : t -> f:(float -> float) -> t
+(** A new series with every y transformed; used e.g. to normalise a load
+    series by its zero-term value. *)

@@ -1,0 +1,14 @@
+(** Plain-text table rendering for experiment output.
+
+    Figures are printed as one row per x value with one column per series,
+    matching the "same rows/series the paper reports" requirement without
+    any plotting dependency. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Columns padded to their widest cell; header separated by a dashed
+    rule.  Ragged rows are padded with empty cells. *)
+
+val of_series : x_label:string -> x_format:(float -> string) -> y_format:(float -> string)
+  -> Series.t list -> string
+(** Join series on their x values (union, ascending).  A series missing a
+    given x contributes an empty cell. *)

@@ -1,0 +1,26 @@
+(** Online mean and variance (Welford's algorithm).
+
+    Numerically stable single-pass accumulation; used for latency and load
+    summaries where storing every sample would be wasteful. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0.0 when no samples have been added. *)
+
+val variance : t -> float
+(** Sample (unbiased) variance; 0.0 with fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+(** [infinity] when empty. *)
+
+val max : t -> float
+(** [neg_infinity] when empty. *)
+
+val total : t -> float
+val merge : t -> t -> t
+(** Combined statistics of two disjoint sample sets. *)

@@ -1,0 +1,20 @@
+(** Identities of leasable data.
+
+    A "file" here is anything a lease can cover: file contents, but also a
+    directory's name-to-file bindings and permission information — the paper
+    notes a repeated [open] needs a lease over naming data too.  Directories
+    therefore get file ids of their own (see {!Namespace}). *)
+
+type t
+
+val of_int : int -> t
+(** Must be non-negative. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

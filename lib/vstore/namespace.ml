@@ -1,0 +1,45 @@
+type directory = { id : File_id.t; entries : (string, File_id.t) Hashtbl.t }
+
+type t = { fresh_id : unit -> File_id.t; directories : (string, directory) Hashtbl.t }
+
+let create ~fresh_id = { fresh_id; directories = Hashtbl.create 16 }
+
+let make_directory t name =
+  match Hashtbl.find_opt t.directories name with
+  | Some dir -> dir.id
+  | None ->
+    let dir = { id = t.fresh_id (); entries = Hashtbl.create 16 } in
+    Hashtbl.add t.directories name dir;
+    dir.id
+
+let directory_id t name = Option.map (fun d -> d.id) (Hashtbl.find_opt t.directories name)
+
+let find_directory t name =
+  match Hashtbl.find_opt t.directories name with
+  | Some dir -> dir
+  | None -> raise Not_found
+
+let bind t ~dir ~name file = Hashtbl.replace (find_directory t dir).entries name file
+
+let unbind t ~dir ~name =
+  let d = find_directory t dir in
+  if not (Hashtbl.mem d.entries name) then raise Not_found;
+  Hashtbl.remove d.entries name
+
+let lookup t ~dir ~name =
+  match Hashtbl.find_opt t.directories dir with
+  | None -> None
+  | Some d -> Hashtbl.find_opt d.entries name
+
+let rename t ~dir ~old_name ~new_name =
+  let d = find_directory t dir in
+  match Hashtbl.find_opt d.entries old_name with
+  | None -> raise Not_found
+  | Some file ->
+    Hashtbl.remove d.entries old_name;
+    Hashtbl.replace d.entries new_name file
+
+let bindings t ~dir =
+  let d = find_directory t dir in
+  Hashtbl.fold (fun name file acc -> (name, file) :: acc) d.entries []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,36 @@
+(** Name-to-file bindings.
+
+    The paper points out that supporting a repeated [open] from the cache
+    requires leasing the naming and permission information as well as the
+    file contents, and that renaming a file is a {e write} to that
+    information.  We model this by giving every directory a {!File_id.t} of
+    its own: looking a name up is a read of the directory's id, and
+    creating, removing or renaming a binding is a write to it (the caller
+    routes that write through the consistency protocol like any other). *)
+
+type t
+
+val create : fresh_id:(unit -> File_id.t) -> t
+(** [fresh_id] allocates file ids; shared with whatever allocates ordinary
+    file ids so directories and files never collide. *)
+
+val make_directory : t -> string -> File_id.t
+(** Idempotent: returns the existing id if the directory exists. *)
+
+val directory_id : t -> string -> File_id.t option
+
+val bind : t -> dir:string -> name:string -> File_id.t -> unit
+(** Create or replace a binding.  The directory must exist.  This mutates
+    naming data: callers must treat it as a write to [directory_id dir]. *)
+
+val unbind : t -> dir:string -> name:string -> unit
+(** Removing an absent binding raises [Not_found]. *)
+
+val lookup : t -> dir:string -> name:string -> File_id.t option
+(** A read of the directory's naming data. *)
+
+val rename : t -> dir:string -> old_name:string -> new_name:string -> unit
+(** Raises [Not_found] if [old_name] is unbound. *)
+
+val bindings : t -> dir:string -> (string * File_id.t) list
+(** Sorted by name.  Raises [Not_found] if the directory does not exist. *)

@@ -1,0 +1,72 @@
+open Simtime
+
+(* Per-file history: newest first, as (version, commit instant).  Version
+   [initial] is implicit with commit instant [Time.zero]. *)
+type t = { histories : (File_id.t, (Version.t * Time.t) list ref) Hashtbl.t; mutable commits : int }
+
+let create () = { histories = Hashtbl.create 64; commits = 0 }
+
+let history t file =
+  match Hashtbl.find_opt t.histories file with
+  | Some h -> h
+  | None ->
+    let h = ref [] in
+    Hashtbl.add t.histories file h;
+    h
+
+let current t file =
+  match !(history t file) with
+  | (version, _) :: _ -> version
+  | [] -> Version.initial
+
+let commit t file ~at =
+  let h = history t file in
+  (match !h with
+  | (_, last) :: _ when Time.(at < last) ->
+    invalid_arg "Store.commit: commit instants must be non-decreasing"
+  | _ -> ());
+  let version = Version.next (current t file) in
+  h := (version, at) :: !h;
+  t.commits <- t.commits + 1;
+  version
+
+let commits t = t.commits
+
+let current_at t file at =
+  let rec find = function
+    | [] -> Version.initial
+    | (version, committed) :: older -> if Time.(committed <= at) then version else find older
+  in
+  find !(history t file)
+
+(* The validity interval of [version] is [its commit instant, the next
+   version's commit instant).  A read is atomic if that interval intersects
+   the read's [start, finish] window. *)
+let validity_interval t file version =
+  let rec find next = function
+    | [] ->
+      if Version.equal version Version.initial then Some (Time.zero, next) else None
+    | (v, committed) :: older ->
+      if Version.equal v version then Some (committed, next) else find (Some committed) older
+  in
+  find None !(history t file)
+
+let was_current_during t file version ~start ~finish =
+  if Time.(finish < start) then invalid_arg "Store.was_current_during: empty window";
+  match validity_interval t file version with
+  | None -> false
+  | Some (valid_from, valid_until) ->
+    let begins_in_time = Time.(valid_from <= finish) in
+    let still_valid =
+      match valid_until with
+      | None -> true
+      | Some until -> Time.(start < until)
+    in
+    begins_in_time && still_valid
+
+let staleness_at t file version ~at =
+  match validity_interval t file version with
+  | None -> Some (Time.diff at Time.zero) (* unknown version: maximally stale *)
+  | Some (_, None) -> None
+  | Some (_, Some superseded) ->
+    if Time.(superseded <= at) then Some (Time.diff at superseded) else None

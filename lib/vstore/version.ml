@@ -1,0 +1,12 @@
+type t = int
+
+let initial = 0
+let next t = t + 1
+let equal = Int.equal
+let compare = Int.compare
+let to_int t = t
+let of_int i =
+  if i < 0 then invalid_arg "Version.of_int: negative version";
+  i
+
+let pp = Format.pp_print_int

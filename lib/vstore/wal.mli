@@ -1,0 +1,37 @@
+(** The server's persistent lease record.
+
+    The paper offers two recovery designs: remember just the {e maximum
+    term ever granted} and delay all writes for that long after a restart,
+    or log every lease and delay per file.  Both are supported; the default
+    (max-term) matches the paper's recommendation that detailed logging "is
+    unlikely to be justified unless terms are much longer than the time to
+    recover".
+
+    A [Wal.t] survives server crashes by construction: the simulation keeps
+    it outside the volatile state that the crash hook resets. *)
+
+type t
+
+type mode =
+  | Max_term_only  (** one persistent word: the longest term ever granted *)
+  | Detailed  (** per-file latest expiry, allowing per-file recovery waits *)
+
+val create : mode -> t
+
+val mode : t -> mode
+
+val record_grant : t -> File_id.t -> term:Simtime.Time.Span.t -> expiry:Simtime.Time.t -> unit
+(** Called on every grant.  In [Max_term_only] mode only the term maximum
+    is retained; [Detailed] mode also tracks the latest expiry per file. *)
+
+val max_term : t -> Simtime.Time.Span.t
+(** Zero if nothing was ever granted. *)
+
+val recovery_wait_for : t -> File_id.t -> recovered_at:Simtime.Time.t -> Simtime.Time.Span.t
+(** How long after [recovered_at] writes to this file must still be
+    delayed.  [Max_term_only]: the max term, for every file.  [Detailed]:
+    the remaining life of the file's last recorded lease (zero if none). *)
+
+val io_records : t -> int
+(** Number of persistent-record updates performed — the "additional I/O
+    traffic" cost the paper weighs detailed logging against. *)

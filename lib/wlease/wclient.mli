@@ -1,0 +1,69 @@
+(** The write-back client cache.
+
+    Reads are served locally under any valid lease.  Writes require a
+    write lease; once held, writes apply locally (zero latency) and are
+    flushed to the server either when the configured write-back delay
+    elapses, shortly before the lease expires, or when the server recalls
+    the lease for a conflicting acquisition.
+
+    A crash loses the dirty buffer — only writes no other client could
+    have observed, since the write lease was exclusive.  A flush rejected
+    by the server (stale epoch: the lease expired or the server moved on)
+    also discards the buffer; both cases are counted in [writes_lost]. *)
+
+type t
+
+type wconfig = {
+  transit_allowance : Simtime.Time.Span.t;
+  skew_allowance : Simtime.Time.Span.t;
+  retry_interval : Simtime.Time.Span.t;
+  write_back_delay : Simtime.Time.Span.t;  (** flush dirty data after this long *)
+  flush_lead : Simtime.Time.Span.t;
+  (** flush at least this long before the write lease expires *)
+}
+
+val default_wconfig : wconfig
+(** V LAN allowances, 1 s retries, 5 s write-back delay, 1 s flush lead. *)
+
+val create :
+  engine:Simtime.Engine.t ->
+  clock:Clock.t ->
+  net:Wmessages.payload Netsim.Net.t ->
+  liveness:Host.Liveness.t ->
+  host:Host.Host_id.t ->
+  server:Host.Host_id.t ->
+  config:wconfig ->
+  unit ->
+  t
+
+val host : t -> Host.Host_id.t
+
+type read_result = {
+  r_version : Vstore.Version.t;
+      (** for a dirty local read, the last {e flushed} version — the local
+          writes on top of it have no server version yet *)
+  r_latency : Simtime.Time.Span.t;
+  r_from_cache : bool;
+  r_dirty : bool;  (** served from locally buffered (unflushed) writes *)
+}
+
+val read : t -> Vstore.File_id.t -> k:(read_result -> unit) -> unit
+
+type write_result = {
+  w_latency : Simtime.Time.Span.t;
+      (** zero when the write lease was already held — the whole point *)
+  w_acquired_lease : bool;
+}
+
+val write : t -> Vstore.File_id.t -> k:(write_result -> unit) -> unit
+
+(** {2 Introspection} *)
+
+val holds_lease : t -> Vstore.File_id.t -> Wmessages.mode option
+val dirty_writes : t -> Vstore.File_id.t -> int
+val hits : t -> int
+val misses : t -> int
+val flushes_sent : t -> int
+val writes_lost : t -> int
+val recalls_answered : t -> int
+val retransmissions : t -> int

@@ -1,0 +1,44 @@
+type mode = Read_lease | Write_lease
+
+type epoch = int
+
+type payload =
+  | Acquire_request of { req : int; file : Vstore.File_id.t; mode : mode }
+  | Acquire_reply of {
+      req : int;
+      file : Vstore.File_id.t;
+      version : Vstore.Version.t;
+      granted : (mode * Simtime.Time.Span.t * epoch) option;
+    }
+  | Flush_request of { req : int; file : Vstore.File_id.t; epoch : epoch; local_writes : int }
+  | Flush_reply of {
+      req : int;
+      file : Vstore.File_id.t;
+      accepted : (Vstore.Version.t * Simtime.Time.Span.t) option;
+    }
+  | Recall_request of { recall : int; file : Vstore.File_id.t }
+  | Recall_reply of { recall : int; file : Vstore.File_id.t }
+
+let mode_to_string = function Read_lease -> "read" | Write_lease -> "write"
+
+let pp ppf = function
+  | Acquire_request { req; file; mode } ->
+    Format.fprintf ppf "acquire-req #%d %a %s" req Vstore.File_id.pp file (mode_to_string mode)
+  | Acquire_reply { req; file; version; granted } ->
+    Format.fprintf ppf "acquire-rep #%d %a v%a%s" req Vstore.File_id.pp file Vstore.Version.pp
+      version
+      (match granted with
+      | Some (mode, _, epoch) -> Printf.sprintf " %s lease e%d" (mode_to_string mode) epoch
+      | None -> " (no lease)")
+  | Flush_request { req; file; epoch; local_writes } ->
+    Format.fprintf ppf "flush-req #%d %a e%d (%d writes)" req Vstore.File_id.pp file epoch
+      local_writes
+  | Flush_reply { req; file; accepted } ->
+    Format.fprintf ppf "flush-rep #%d %a %s" req Vstore.File_id.pp file
+      (match accepted with
+      | Some (v, _) -> Format.asprintf "v%a" Vstore.Version.pp v
+      | None -> "REJECTED")
+  | Recall_request { recall; file } ->
+    Format.fprintf ppf "recall-req r%d %a" recall Vstore.File_id.pp file
+  | Recall_reply { recall; file } ->
+    Format.fprintf ppf "recall-rep r%d %a" recall Vstore.File_id.pp file

@@ -1,0 +1,56 @@
+open Simtime
+
+let generate ~rng ~fileset ~mix ~read_rate ~write_rate ?(ops_per_burst = 20.)
+    ?(gap = Time.Span.of_ms 50.) ?(working_set = 8) ?(pareto_shape = 2.5) ~duration () =
+  Mix.validate mix;
+  let total_rate = read_rate +. write_rate in
+  if total_rate <= 0. then invalid_arg "Bursty_gen.generate: need a positive total rate";
+  if ops_per_burst < 1. then invalid_arg "Bursty_gen.generate: ops_per_burst must be >= 1";
+  if working_set < 1 then invalid_arg "Bursty_gen.generate: working_set must be >= 1";
+  if pareto_shape <= 1. then
+    invalid_arg "Bursty_gen.generate: pareto_shape must exceed 1 for a finite mean";
+  let gap_sec = Time.Span.to_sec gap in
+  (* A burst of n operations advances time by n*gap (each op is followed by
+     one gap), so the long-run rate is m / (think + m*gap); solve for the
+     think mean. *)
+  let mean_think = (ops_per_burst /. total_rate) -. (ops_per_burst *. gap_sec) in
+  if mean_think <= 0. then
+    invalid_arg "Bursty_gen.generate: requested rate unattainable with this burst shape";
+  (* Pareto(shape, scale) has mean scale*shape/(shape-1). *)
+  let pareto_scale = mean_think *. (pareto_shape -. 1.) /. pareto_shape in
+  let write_fraction = write_rate /. total_rate in
+  let horizon = Time.Span.to_sec duration in
+  let clients = Fileset.clients fileset in
+  let client_ops client =
+    let rng = Prng.Splitmix.split rng in
+    let p_stop = 1. /. ops_per_burst in
+    let rec bursts acc t =
+      let t = t +. Prng.Dist.pareto rng ~shape:pareto_shape ~scale:pareto_scale in
+      if t > horizon then List.rev acc
+      else begin
+        let set =
+          Array.init working_set (fun _ -> Mix.pick_read mix rng fileset ~client)
+        in
+        let burst_len = Prng.Dist.geometric rng ~p:p_stop in
+        let rec burst acc t remaining =
+          if remaining = 0 || t > horizon then (acc, t)
+          else begin
+            let is_write = Prng.Splitmix.bool rng ~p:write_fraction in
+            let op =
+              if is_write then
+                { Op.at = Time.of_sec t; client; kind = Op.Write;
+                  file = Mix.pick_write mix rng fileset ~client; temporary = false }
+              else
+                { Op.at = Time.of_sec t; client; kind = Op.Read;
+                  file = set.(Prng.Splitmix.int rng ~bound:working_set); temporary = false }
+            in
+            burst (op :: acc) (t +. gap_sec) (remaining - 1)
+          end
+        in
+        let acc, t = burst acc t burst_len in
+        bursts acc t
+      end
+    in
+    bursts [] 0.
+  in
+  Trace.of_ops (List.concat (List.init clients client_ops))

@@ -1,0 +1,54 @@
+type file_class = Installed | Shared | Private of int | Temporary of int
+
+type t = {
+  clients : int;
+  installed : Vstore.File_id.t array;
+  shared : Vstore.File_id.t array;
+  private_ : Vstore.File_id.t array array;
+  temporary : Vstore.File_id.t array array;
+  classes : (Vstore.File_id.t, file_class) Hashtbl.t;
+}
+
+let create ~fresh_id ~clients ~installed ~shared ~private_per_client ~temporary_per_client =
+  if clients <= 0 then invalid_arg "Fileset.create: need at least one client";
+  if installed <= 0 then invalid_arg "Fileset.create: need at least one installed file";
+  if shared < 0 || private_per_client < 0 || temporary_per_client < 0 then
+    invalid_arg "Fileset.create: negative file count";
+  let classes = Hashtbl.create 256 in
+  let allocate n cls = Array.init n (fun _ ->
+    let id = fresh_id () in
+    Hashtbl.add classes id cls;
+    id)
+  in
+  {
+    clients;
+    installed = allocate installed Installed;
+    shared = allocate shared Shared;
+    private_ = Array.init clients (fun c -> allocate private_per_client (Private c));
+    temporary = Array.init clients (fun c -> allocate temporary_per_client (Temporary c));
+    classes;
+  }
+
+let clients t = t.clients
+let installed t = t.installed
+let shared t = t.shared
+
+let check_client t c =
+  if c < 0 || c >= t.clients then invalid_arg "Fileset: client index out of range"
+
+let private_of t c =
+  check_client t c;
+  t.private_.(c)
+
+let temporary_of t c =
+  check_client t c;
+  t.temporary.(c)
+
+let class_of t file =
+  match Hashtbl.find_opt t.classes file with
+  | Some cls -> cls
+  | None -> raise Not_found
+
+let all t = Hashtbl.fold (fun id _ acc -> id :: acc) t.classes [] |> List.sort Vstore.File_id.compare
+
+let size t = Hashtbl.length t.classes

@@ -1,0 +1,56 @@
+type t = {
+  p_installed_read : float;
+  p_shared_read : float;
+  p_shared_write : float;
+  zipf_installed : float;
+  zipf_shared : float;
+}
+
+let v_default =
+  {
+    p_installed_read = 0.48;
+    p_shared_read = 0.12;
+    p_shared_write = 0.25;
+    zipf_installed = 0.8;
+    zipf_shared = 0.8;
+  }
+
+let validate t =
+  let probability name p =
+    if p < 0. || p > 1. then invalid_arg (Printf.sprintf "Mix: %s outside [0, 1]" name)
+  in
+  probability "p_installed_read" t.p_installed_read;
+  probability "p_shared_read" t.p_shared_read;
+  probability "p_shared_write" t.p_shared_write;
+  if t.p_installed_read +. t.p_shared_read > 1. then
+    invalid_arg "Mix: read fractions exceed 1";
+  if t.zipf_installed < 0. || t.zipf_shared < 0. then invalid_arg "Mix: negative Zipf exponent"
+
+let zipf_pick rng files s =
+  files.(Prng.Dist.zipf rng ~n:(Array.length files) ~s)
+
+let uniform_pick rng files = files.(Prng.Splitmix.int rng ~bound:(Array.length files))
+
+let private_fallback rng fileset ~client =
+  let own = Fileset.private_of fileset client in
+  if Array.length own = 0 then invalid_arg "Mix: no private files to fall back on"
+  else uniform_pick rng own
+
+let pick_read t rng fileset ~client =
+  let u = Prng.Splitmix.float rng in
+  if u < t.p_installed_read then zipf_pick rng (Fileset.installed fileset) t.zipf_installed
+  else if u < t.p_installed_read +. t.p_shared_read then begin
+    let shared = Fileset.shared fileset in
+    if Array.length shared = 0 then private_fallback rng fileset ~client
+    else zipf_pick rng shared t.zipf_shared
+  end
+  else private_fallback rng fileset ~client
+
+let pick_write t rng fileset ~client =
+  let u = Prng.Splitmix.float rng in
+  if u < t.p_shared_write then begin
+    let shared = Fileset.shared fileset in
+    if Array.length shared = 0 then private_fallback rng fileset ~client
+    else zipf_pick rng shared t.zipf_shared
+  end
+  else private_fallback rng fileset ~client

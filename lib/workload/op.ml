@@ -1,0 +1,24 @@
+type kind = Read | Write
+
+type t = {
+  at : Simtime.Time.t;
+  client : int;
+  kind : kind;
+  file : Vstore.File_id.t;
+  temporary : bool;
+}
+
+let kind_to_string = function Read -> "R" | Write -> "W"
+
+let compare_by_time a b =
+  match Simtime.Time.compare a.at b.at with
+  | 0 -> (
+    match Int.compare a.client b.client with
+    | 0 -> Vstore.File_id.compare a.file b.file
+    | c -> c)
+  | c -> c
+
+let pp ppf t =
+  Format.fprintf ppf "%a client-%d %s %a%s" Simtime.Time.pp t.at t.client (kind_to_string t.kind)
+    Vstore.File_id.pp t.file
+    (if t.temporary then " (tmp)" else "")

@@ -1,0 +1,26 @@
+(** A single file-system operation, as the workload generators emit them.
+
+    Reads and writes are "logical" operations at the granularity the paper
+    measures: a read corresponds to an open-for-read (or a directory
+    lookup / program load), a write to a close-with-commit.  Temporary-file
+    operations are tagged so the cache can give them the special local
+    handling the V system does. *)
+
+type kind =
+  | Read
+  | Write
+
+type t = {
+  at : Simtime.Time.t;  (** arrival instant *)
+  client : int;  (** 0-based client index *)
+  kind : kind;
+  file : Vstore.File_id.t;
+  temporary : bool;  (** handled locally, never reaches the server *)
+}
+
+val kind_to_string : kind -> string
+val compare_by_time : t -> t -> int
+(** Orders by arrival, then client, then file — a deterministic total order
+    for merging independently generated streams. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+open Simtime
+
+(* One Poisson stream of operations for one client. *)
+let stream ~rng ~duration ~rate ~make_op =
+  if rate <= 0. then []
+  else begin
+    let mean_gap = 1. /. rate in
+    let horizon = Time.Span.to_sec duration in
+    let rec arrivals acc t =
+      let t = t +. Prng.Dist.exponential rng ~mean:mean_gap in
+      if t > horizon then List.rev acc else arrivals (make_op (Time.of_sec t) :: acc) t
+    in
+    arrivals [] 0.
+  end
+
+let generate ~rng ~fileset ~mix ~read_rate ~write_rate ?(temp_read_rate = 0.)
+    ?(temp_write_rate = 0.) ~duration () =
+  Mix.validate mix;
+  if read_rate < 0. || write_rate < 0. || temp_read_rate < 0. || temp_write_rate < 0. then
+    invalid_arg "Poisson_gen.generate: negative rate";
+  let clients = Fileset.clients fileset in
+  let client_ops client =
+    let rng = Prng.Splitmix.split rng in
+    let temp_pick () =
+      let temps = Fileset.temporary_of fileset client in
+      if Array.length temps = 0 then None
+      else Some temps.(Prng.Splitmix.int rng ~bound:(Array.length temps))
+    in
+    let reads =
+      stream ~rng ~duration ~rate:read_rate ~make_op:(fun at ->
+          { Op.at; client; kind = Op.Read; file = Mix.pick_read mix rng fileset ~client;
+            temporary = false })
+    in
+    let writes =
+      stream ~rng ~duration ~rate:write_rate ~make_op:(fun at ->
+          { Op.at; client; kind = Op.Write; file = Mix.pick_write mix rng fileset ~client;
+            temporary = false })
+    in
+    let temp_stream rate kind =
+      stream ~rng ~duration ~rate ~make_op:(fun at ->
+          match temp_pick () with
+          | Some file -> { Op.at; client; kind; file; temporary = true }
+          | None ->
+            (* No temporary files configured: degrade to a private op. *)
+            { Op.at; client; kind; file = Mix.pick_write mix rng fileset ~client;
+              temporary = false })
+    in
+    List.concat [ reads; writes; temp_stream temp_read_rate Op.Read;
+                  temp_stream temp_write_rate Op.Write ]
+  in
+  Trace.of_ops (List.concat (List.init clients client_ops))

@@ -1,0 +1,23 @@
+(** Poisson workload generation — the arrival model of the paper's analytic
+    treatment: each client issues reads at rate R and writes at rate W with
+    exponential inter-arrival gaps, independently of every other client.
+
+    Temporary-file operations are generated as separate streams and tagged;
+    they never reach the server, mirroring the V cache's local handling
+    (the paper notes temporary files receive the majority of writes, which
+    is why the server-visible write rate is so low). *)
+
+val generate :
+  rng:Prng.Splitmix.t ->
+  fileset:Fileset.t ->
+  mix:Mix.t ->
+  read_rate:float ->
+  write_rate:float ->
+  ?temp_read_rate:float ->
+  ?temp_write_rate:float ->
+  duration:Simtime.Time.Span.t ->
+  unit ->
+  Trace.t
+(** [read_rate] and [write_rate] are the {e server-visible} per-client
+    rates (the paper's R and W).  [temp_read_rate] / [temp_write_rate]
+    default to 0. *)

@@ -1,0 +1,35 @@
+(** An operation trace: the unit the simulator consumes and the generators
+    produce. *)
+
+type t
+
+val of_ops : Op.t list -> t
+(** Sorts into deterministic time order. *)
+
+val ops : t -> Op.t list
+val length : t -> int
+val duration : t -> Simtime.Time.Span.t
+(** Instant of the last operation; zero for an empty trace. *)
+
+val merge : t list -> t
+
+val filter : t -> f:(Op.t -> bool) -> t
+
+type summary = {
+  operations : int;
+  reads : int;
+  writes : int;
+  temporary_ops : int;
+  clients : int;  (** distinct client indices *)
+  files : int;  (** distinct files touched *)
+  duration_sec : float;
+  read_rate_per_client : float;  (** server-visible reads/sec/client *)
+  write_rate_per_client : float;  (** server-visible writes/sec/client *)
+  read_write_ratio : float;  (** server-visible reads per write; [infinity] when no writes *)
+}
+
+val summarize : t -> summary
+(** Rates exclude temporary-file operations, which never reach the server —
+    matching how the paper's Table 2 parameters were measured. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,14 @@
+(** Text encoding of traces, one operation per line:
+
+    {v <microseconds> <client> <R|W> <file-id> [T] v}
+
+    The trailing [T] marks temporary-file operations.  Lines starting with
+    [#] and blank lines are ignored on input, so traces can be annotated. *)
+
+val print : Trace.t -> string
+
+val parse : string -> (Trace.t, string) result
+(** The error names the first offending line (1-based) and why it failed. *)
+
+val parse_exn : string -> Trace.t
+(** Raises [Failure] with the parse error message. *)

@@ -1,0 +1,160 @@
+(* Unit tests for the Section-3.1 analytic model — including the paper's
+   own headline numbers, which double as regression anchors for the
+   reconstructed Table 2 parameters. *)
+
+let params = Analytic.Params.v_lan
+let with_s = Analytic.Params.with_sharing params
+let finite s = Analytic.Model.Finite s
+
+let test_effective_term () =
+  (* t_c = t_s - (m_prop + 2 m_proc) - eps = t_s - 0.0025 - 0.1 *)
+  Alcotest.(check (float 1e-9)) "t_c at 10 s" 9.8975 (Analytic.Model.effective_term params 10.);
+  Alcotest.(check (float 1e-9)) "clamped at zero" 0. (Analytic.Model.effective_term params 0.05);
+  Alcotest.(check (float 1e-9)) "zero term" 0. (Analytic.Model.effective_term params 0.)
+
+let test_zero_term_load () =
+  (* 2NR: every read is a two-message check *)
+  Alcotest.(check (float 1e-9)) "2NR" (2. *. 0.864)
+    (Analytic.Model.consistency_load params (finite 0.));
+  (* a zero term needs no approvals even when shared *)
+  Alcotest.(check (float 1e-9)) "no approvals at zero term" (2. *. 0.864)
+    (Analytic.Model.consistency_load (with_s 10) (finite 0.))
+
+let test_infinite_term_load () =
+  Alcotest.(check (float 1e-9)) "S=1: nothing at infinity" 0.
+    (Analytic.Model.consistency_load params Analytic.Model.Infinite);
+  (* S=10: NSW approval messages remain *)
+  Alcotest.(check (float 1e-9)) "S=10: NSW" (10. *. 0.04)
+    (Analytic.Model.consistency_load (with_s 10) Analytic.Model.Infinite)
+
+let test_monotone_in_term_s1 () =
+  let rec check prev = function
+    | [] -> ()
+    | term :: rest ->
+      let load = Analytic.Model.consistency_load params (finite term) in
+      if load > prev +. 1e-12 then Alcotest.failf "load increased at term %g" term;
+      check load rest
+  in
+  check infinity [ 0.; 0.5; 1.; 2.; 5.; 10.; 20.; 50.; 100. ]
+
+let test_relative_load_10s () =
+  (* the paper: a 10 s term cuts consistency traffic to ~10 % of zero term *)
+  Alcotest.(check (float 0.005)) "~10%" 0.105
+    (Analytic.Model.relative_load params (finite 10.))
+
+let test_approval_cost () =
+  Alcotest.(check (float 1e-9)) "S=1 approvals free" 0. (Analytic.Model.approval_time params);
+  (* t_a = 2 m_prop + (S+2) m_proc *)
+  Alcotest.(check (float 1e-9)) "S=10" ((2. *. 0.0005) +. (12. *. 0.001))
+    (Analytic.Model.approval_time (with_s 10));
+  Alcotest.(check (float 1e-9)) "write delay zero at zero term" 0.
+    (Analytic.Model.write_delay (with_s 10) (finite 0.));
+  Alcotest.(check (float 1e-9)) "write delay t_a otherwise"
+    (Analytic.Model.approval_time (with_s 10))
+    (Analytic.Model.write_delay (with_s 10) (finite 10.))
+
+let test_read_delay () =
+  (* at zero term every read pays one RPC *)
+  Alcotest.(check (float 1e-9)) "zero term = rtt" 0.005
+    (Analytic.Model.read_delay params (finite 0.));
+  Alcotest.(check (float 1e-9)) "infinite = 0"
+    0. (Analytic.Model.read_delay params Analytic.Model.Infinite);
+  let d10 = Analytic.Model.read_delay params (finite 10.) in
+  Alcotest.(check bool) "amortised" true (d10 < 0.001 && d10 > 0.)
+
+let test_alpha_and_break_even () =
+  (* alpha = 2R/(SW) = 2*0.864/0.04 = 43.2 at S=1 *)
+  Alcotest.(check (float 1e-6)) "alpha S=1" 43.2 (Analytic.Model.alpha params);
+  Alcotest.(check (float 1e-6)) "alpha S=10" 4.32 (Analytic.Model.alpha (with_s 10));
+  (match Analytic.Model.break_even_term params with
+  | Some t -> Alcotest.(check (float 1e-6)) "break-even term" (1. /. (0.864 *. 42.2)) t
+  | None -> Alcotest.fail "expected a break-even term");
+  (* heavy write sharing: alpha <= 1, leasing never pays *)
+  let heavy = { (with_s 50) with Analytic.Params.write_rate = 0.1 } in
+  Alcotest.(check bool) "alpha below 1" true (Analytic.Model.alpha heavy < 1.);
+  Alcotest.(check bool) "no break-even" true (Analytic.Model.break_even_term heavy = None);
+  (* unicast variant: alpha = R/((S-1) W) *)
+  Alcotest.(check (float 1e-6)) "alpha unicast S=10" (0.864 /. (9. *. 0.04))
+    (Analytic.Model.alpha_unicast (with_s 10));
+  Alcotest.(check bool) "alpha unicast S=1 infinite" true
+    (Analytic.Model.alpha_unicast params = infinity)
+
+let test_break_even_consistent_with_load () =
+  (* just above the break-even effective term, a lease beats zero term *)
+  let p = with_s 10 in
+  match Analytic.Model.break_even_term p with
+  | None -> Alcotest.fail "expected break-even"
+  | Some tc ->
+    let allowances = 0.0005 +. 0.002 +. 0.1 in
+    let ts_above = tc +. allowances +. 0.5 in
+    let at_zero = Analytic.Model.consistency_load p (finite 0.) in
+    Alcotest.(check bool) "beats zero term above break-even" true
+      (Analytic.Model.consistency_load p (finite ts_above) < at_zero)
+
+let test_headline_claims () =
+  let share = 0.30 in
+  Alcotest.(check (float 0.005)) "S=1: -27% total" 0.27
+    (Analytic.Model.reduction_vs_zero params ~consistency_share_at_zero:share (finite 10.));
+  Alcotest.(check (float 0.003)) "S=1: +4.5% over infinite" 0.045
+    (Analytic.Model.overhead_vs_infinite params ~consistency_share_at_zero:share (finite 10.));
+  Alcotest.(check (float 0.005)) "S=10: -20% total" 0.20
+    (Analytic.Model.reduction_vs_zero (with_s 10) ~consistency_share_at_zero:share (finite 10.));
+  Alcotest.(check (float 0.003)) "S=10: +4.1% over infinite" 0.041
+    (Analytic.Model.overhead_vs_infinite (with_s 10) ~consistency_share_at_zero:share (finite 10.))
+
+let test_wan_claims () =
+  let wan = Analytic.Params.with_rtt params 0.1 in
+  Alcotest.(check (float 1e-9)) "rtt set" 0.1 (Analytic.Params.unicast_rtt wan);
+  Alcotest.(check (float 0.005)) "10 s: +10.1%" 0.101
+    (Analytic.Model.response_degradation wan ~base_response:0.1 (finite 10.));
+  Alcotest.(check (float 0.002)) "30 s: +3.6%" 0.036
+    (Analytic.Model.response_degradation wan ~base_response:0.1 (finite 30.))
+
+let test_validation () =
+  Alcotest.check_raises "S=0" (Invalid_argument "Params: S must be at least 1") (fun () ->
+      ignore (Analytic.Params.with_sharing params 0));
+  Alcotest.check_raises "impossible rtt"
+    (Invalid_argument "Params.with_rtt: round trip shorter than processing time") (fun () ->
+      ignore (Analytic.Params.with_rtt params 0.001));
+  Alcotest.check_raises "bad share" (Invalid_argument "Model: consistency share must be in (0, 1]")
+    (fun () ->
+      ignore (Analytic.Model.total_load params ~consistency_share_at_zero:0. (finite 1.)))
+
+let test_delay_weighting () =
+  (* formula 2 is the R/W-weighted mean of the two delays *)
+  let p = with_s 10 in
+  let term = finite 10. in
+  let expected =
+    ((p.Analytic.Params.read_rate *. Analytic.Model.read_delay p term)
+    +. (p.Analytic.Params.write_rate *. Analytic.Model.write_delay p term))
+    /. (p.Analytic.Params.read_rate +. p.Analytic.Params.write_rate)
+  in
+  Alcotest.(check (float 1e-12)) "weighted mean" expected (Analytic.Model.consistency_delay p term)
+
+let () =
+  Alcotest.run "analytic"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "effective term" `Quick test_effective_term;
+          Alcotest.test_case "zero-term load" `Quick test_zero_term_load;
+          Alcotest.test_case "infinite-term load" `Quick test_infinite_term_load;
+          Alcotest.test_case "monotone in term (S=1)" `Quick test_monotone_in_term_s1;
+          Alcotest.test_case "relative load at 10 s" `Quick test_relative_load_10s;
+          Alcotest.test_case "approval cost" `Quick test_approval_cost;
+          Alcotest.test_case "read delay" `Quick test_read_delay;
+          Alcotest.test_case "delay weighting" `Quick test_delay_weighting;
+        ] );
+      ( "alpha",
+        [
+          Alcotest.test_case "benefit factor + break-even" `Quick test_alpha_and_break_even;
+          Alcotest.test_case "break-even consistent with load" `Quick
+            test_break_even_consistent_with_load;
+        ] );
+      ( "paper claims",
+        [
+          Alcotest.test_case "section 3.2 totals" `Quick test_headline_claims;
+          Alcotest.test_case "figure 3 degradations" `Quick test_wan_claims;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+    ]

@@ -1,0 +1,99 @@
+(* Unit tests for per-host clocks: drift, offset, steps, and local-time
+   scheduling — the machinery Section 5's fault analysis rests on. *)
+
+open Simtime
+
+let sec = Time.of_sec
+let span = Time.Span.of_sec
+
+let advance_to engine t =
+  ignore (Engine.schedule_at engine t (fun () -> ()));
+  Engine.run engine
+
+let test_perfect_clock () =
+  let engine = Engine.create () in
+  let clock = Clock.create engine () in
+  advance_to engine (sec 5.);
+  Alcotest.(check (float 1e-9)) "tracks engine time" 5. (Time.to_sec (Clock.now clock))
+
+let test_offset () =
+  let engine = Engine.create () in
+  let clock = Clock.create engine ~offset:(span 2.) () in
+  advance_to engine (sec 3.);
+  Alcotest.(check (float 1e-9)) "offset added" 5. (Time.to_sec (Clock.now clock))
+
+let test_drift () =
+  let engine = Engine.create () in
+  let fast = Clock.create engine ~drift:0.1 () in
+  let slow = Clock.create engine ~drift:(-0.1) () in
+  advance_to engine (sec 10.);
+  Alcotest.(check (float 1e-5)) "fast clock" 11. (Time.to_sec (Clock.now fast));
+  Alcotest.(check (float 1e-5)) "slow clock" 9. (Time.to_sec (Clock.now slow));
+  Alcotest.(check (float 1e-9)) "drift accessor" 0.1 (Clock.drift fast)
+
+let test_drift_change_continuity () =
+  let engine = Engine.create () in
+  let clock = Clock.create engine ~drift:0.5 () in
+  advance_to engine (sec 4.);
+  let before = Clock.now clock in
+  Clock.set_drift clock 0.;
+  Alcotest.(check (float 1e-6)) "reading continuous across rate change"
+    (Time.to_sec before) (Time.to_sec (Clock.now clock));
+  advance_to engine (sec 6.);
+  (* 6 at rate 1.5 = 9, wait: first 4 s at 1.5 = 6, then 2 s at 1.0 = 2 *)
+  Alcotest.(check (float 1e-5)) "piecewise linear" 8. (Time.to_sec (Clock.now clock))
+
+let test_step () =
+  let engine = Engine.create () in
+  let clock = Clock.create engine () in
+  advance_to engine (sec 1.);
+  Clock.step clock (span 5.);
+  Alcotest.(check (float 1e-9)) "jump forward" 6. (Time.to_sec (Clock.now clock));
+  Clock.step clock (Time.Span.neg (span 2.));
+  Alcotest.(check (float 1e-9)) "jump backward" 4. (Time.to_sec (Clock.now clock))
+
+let test_engine_time_of_local () =
+  let engine = Engine.create () in
+  let clock = Clock.create engine ~drift:1.0 () in
+  (* rate 2: local 10 is engine 5 *)
+  Alcotest.(check (float 1e-6)) "inverse mapping" 5.
+    (Time.to_sec (Clock.engine_time_of_local clock (sec 10.)));
+  advance_to engine (sec 3.);
+  (* local now = 6; a local past target maps to the current engine time *)
+  Alcotest.(check (float 1e-6)) "past target clamps to now" 3.
+    (Time.to_sec (Clock.engine_time_of_local clock (sec 2.)))
+
+let test_schedule_at_local () =
+  let engine = Engine.create () in
+  let clock = Clock.create engine ~drift:(-0.5) () in
+  (* rate 0.5: local 2 happens at engine 4 *)
+  let fired_at = ref Time.zero in
+  ignore (Clock.schedule_at_local clock (sec 2.) (fun () -> fired_at := Engine.now engine));
+  Engine.run engine;
+  Alcotest.(check (float 1e-5)) "fires at the right engine instant" 4. (Time.to_sec !fired_at)
+
+let test_invalid_drift () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "create drift <= -1"
+    (Invalid_argument "Clock.create: drift must exceed -1") (fun () ->
+      ignore (Clock.create engine ~drift:(-1.) ()));
+  let clock = Clock.create engine () in
+  Alcotest.check_raises "set_drift <= -1"
+    (Invalid_argument "Clock.set_drift: drift must exceed -1") (fun () ->
+      Clock.set_drift clock (-2.))
+
+let () =
+  Alcotest.run "clock"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "perfect" `Quick test_perfect_clock;
+          Alcotest.test_case "offset" `Quick test_offset;
+          Alcotest.test_case "drift" `Quick test_drift;
+          Alcotest.test_case "drift change continuity" `Quick test_drift_change_continuity;
+          Alcotest.test_case "step" `Quick test_step;
+          Alcotest.test_case "inverse mapping" `Quick test_engine_time_of_local;
+          Alcotest.test_case "schedule at local" `Quick test_schedule_at_local;
+          Alcotest.test_case "invalid drift" `Quick test_invalid_drift;
+        ] );
+    ]

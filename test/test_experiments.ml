@@ -1,0 +1,228 @@
+(* Smoke + shape tests for every experiment module: the figures must keep
+   telling the paper's story after any refactor. *)
+
+let span = Simtime.Time.Span.of_sec
+
+let quick = span 400.
+
+let y_at series x =
+  match Stats.Series.y_at series ~x with
+  | Some y -> y
+  | None -> Alcotest.failf "series %s has no point at %g" (Stats.Series.label series) x
+
+let find_series label series_list =
+  match List.find_opt (fun s -> Stats.Series.label s = label) series_list with
+  | Some s -> s
+  | None -> Alcotest.failf "missing series %s" label
+
+let test_fig1_shape () =
+  (* figure 1 needs a longer trace than the other smoke tests: with only a
+     few hundred operations the simulated knee is too noisy to compare *)
+  let r = Experiments.Fig1.run ~duration:(span 2_000.) () in
+  let s1 = find_series "S=1 (model)" r.Experiments.Fig1.series in
+  let s40 = find_series "S=40 (model)" r.Experiments.Fig1.series in
+  let sim = find_series "sim (Poisson)" r.Experiments.Fig1.series in
+  let bursty = find_series "sim (Trace/bursty)" r.Experiments.Fig1.series in
+  (* normalised at zero *)
+  Alcotest.(check (float 1e-9)) "model starts at 1" 1. (y_at s1 0.);
+  Alcotest.(check (float 1e-9)) "sim starts at 1" 1. (y_at sim 0.);
+  (* the paper's knee: S=1 at 10 s is ~0.10; quick traces are noisy, allow slack *)
+  Alcotest.(check bool) "S=1 knee" true (y_at s1 10. > 0.08 && y_at s1 10. < 0.13);
+  Alcotest.(check bool) "sim tracks the model loosely" true
+    (Float.abs (y_at sim 10. -. y_at s1 10.) < 0.1);
+  (* burstiness sharpens the knee *)
+  Alcotest.(check bool) "bursty below poisson at 2 s" true (y_at bursty 2. < y_at sim 2.);
+  (* heavy sharing keeps the load high *)
+  Alcotest.(check bool) "S=40 stays high" true (y_at s40 30. > 0.9)
+
+let test_fig2_shape () =
+  let r = Experiments.Fig2.run ~duration:quick () in
+  let s1 = find_series "S=1 (model, ms)" r.Experiments.Fig2.series in
+  Alcotest.(check bool) "delay at zero term ~ rtt fraction" true
+    (y_at s1 0. > 4. && y_at s1 0. < 5.);
+  Alcotest.(check bool) "monotone decreasing" true (y_at s1 30. < y_at s1 10.);
+  Alcotest.(check bool) "spread note present" true
+    (String.length r.Experiments.Fig2.spread_note > 0)
+
+let test_fig3_claims () =
+  let r = Experiments.Fig3.run ~duration:quick () in
+  Alcotest.(check (float 0.01)) "10 s degradation ~10.1%" 0.101 r.Experiments.Fig3.degradation_10s;
+  Alcotest.(check (float 0.005)) "30 s degradation ~3.6%" 0.036 r.Experiments.Fig3.degradation_30s
+
+let test_table2_targets () =
+  let r = Experiments.Table2.run ~duration:(span 5_000.) () in
+  let m = r.Experiments.Table2.measured in
+  Alcotest.(check (float 0.2)) "R near target" 0.864 m.Workload.Trace.read_rate_per_client;
+  Alcotest.(check (float 0.02)) "W near target" 0.040 m.Workload.Trace.write_rate_per_client
+
+let test_claims_model_column () =
+  let r = Experiments.Claims.run ~duration:quick () in
+  (* the model column must reproduce the paper's numbers regardless of the
+     simulated trace length *)
+  let find claim =
+    match
+      List.find_opt
+        (fun (row : Experiments.Claims.row) ->
+          String.length row.Experiments.Claims.claim >= String.length claim
+          && String.sub row.Experiments.Claims.claim 0 (String.length claim) = claim)
+        r.Experiments.Claims.rows
+    with
+    | Some row -> row.Experiments.Claims.model
+    | None -> Alcotest.failf "missing claim %s" claim
+  in
+  Alcotest.(check string) "-27%" "26.9%" (find "S=1: total server traffic reduction");
+  Alcotest.(check string) "+4.5%" "4.5%" (find "S=1: total traffic over the infinite-term");
+  Alcotest.(check string) "-20%" "19.9%" (find "S=10: total server traffic reduction");
+  Alcotest.(check string) "+4.1%" "4.1%" (find "S=10: total traffic over the infinite-term")
+
+let test_ablations_ordering () =
+  let r = Experiments.Ablations.run ~duration:quick ~clients:4 () in
+  let metric name f =
+    match
+      List.find_opt
+        (fun (row : Experiments.Ablations.row) ->
+          String.length row.Experiments.Ablations.name >= String.length name
+          && String.sub row.Experiments.Ablations.name 0 (String.length name) = name)
+        r.Experiments.Ablations.rows
+    with
+    | Some row -> f row.Experiments.Ablations.metrics
+    | None -> Alcotest.failf "missing ablation row %s" name
+  in
+  let cons r = r.Leases.Metrics.consistency_msg_rate in
+  Alcotest.(check bool) "batching beats on-demand" true
+    (metric "batched" cons < metric "on-demand" cons);
+  Alcotest.(check bool) "anticipatory trades load for delay" true
+    (metric "anticipatory" cons > metric "batched" cons
+    && metric "anticipatory" (fun m -> m.Leases.Metrics.mean_read_delay)
+       <= metric "batched" (fun m -> m.Leases.Metrics.mean_read_delay));
+  Alcotest.(check bool) "wait-only writes stall" true
+    (metric "wait-only" (fun m -> Stats.Histogram.mean m.Leases.Metrics.write_wait)
+    > 100. *. metric "batched" (fun m -> Stats.Histogram.mean m.Leases.Metrics.write_wait));
+  List.iter
+    (fun (row : Experiments.Ablations.row) ->
+      Alcotest.(check int)
+        (row.Experiments.Ablations.name ^ " stays consistent")
+        0 row.Experiments.Ablations.metrics.Leases.Metrics.oracle_violations)
+    r.Experiments.Ablations.rows
+
+let test_future_trends () =
+  let r = Experiments.Future.run ~duration:quick () in
+  let find label =
+    match
+      List.find_opt (fun (row : Experiments.Future.row) -> row.Experiments.Future.label = label)
+        r.Experiments.Future.rows
+    with
+    | Some row -> row
+    | None -> Alcotest.failf "missing future row %s" label
+  in
+  let lan = find "V 1989 (LAN)" in
+  let fast = find "10x CPU (LAN)" in
+  let wan = find "V 1989 (WAN)" in
+  Alcotest.(check bool) "faster processors push the knee down" true
+    (fast.Experiments.Future.rel_load_10s_model < lan.Experiments.Future.rel_load_10s_model /. 5.);
+  Alcotest.(check bool) "wan multiplies the stakes" true
+    (wan.Experiments.Future.delay_ms_model > 10. *. lan.Experiments.Future.delay_ms_model)
+
+let test_writeback_story () =
+  let r = Experiments.Writeback.run ~duration:quick () in
+  let find prefix =
+    match
+      List.find_opt
+        (fun (row : Experiments.Writeback.row) ->
+          String.length row.Experiments.Writeback.name >= String.length prefix
+          && String.sub row.Experiments.Writeback.name 0 (String.length prefix) = prefix)
+        r.Experiments.Writeback.rows
+    with
+    | Some row -> row
+    | None -> Alcotest.failf "missing writeback row %s" prefix
+  in
+  let wt = find "rewrite: write-through" in
+  let wb = find "rewrite: write-back" in
+  let pp_wt = find "ping-pong: write-through" in
+  let pp_wb = find "ping-pong: write-back" in
+  Alcotest.(check bool) "write-back wins on rewrites" true
+    (wb.Experiments.Writeback.mean_write_ms < wt.Experiments.Writeback.mean_write_ms);
+  Alcotest.(check bool) "write-back loses on ping-pong" true
+    (pp_wb.Experiments.Writeback.mean_write_ms > pp_wt.Experiments.Writeback.mean_write_ms);
+  List.iter
+    (fun (row : Experiments.Writeback.row) ->
+      Alcotest.(check int) (row.Experiments.Writeback.name ^ " consistent") 0
+        row.Experiments.Writeback.violations;
+      Alcotest.(check int) (row.Experiments.Writeback.name ^ " loses nothing") 0
+        row.Experiments.Writeback.writes_lost)
+    r.Experiments.Writeback.rows
+
+let test_granularity_tradeoff () =
+  let r = Experiments.Granularity.run ~duration:quick ~clients:4 () in
+  match r.Experiments.Granularity.rows with
+  | fine :: _ :: _ :: coarse :: _ | [ fine; _; coarse ] | [ fine; coarse ] ->
+    Alcotest.(check bool) "coarser leases shrink the server record" true
+      (coarse.Experiments.Granularity.lease_units * 10
+      < fine.Experiments.Granularity.lease_units);
+    Alcotest.(check bool) "but raise contention (callbacks)" true
+      (coarse.Experiments.Granularity.callbacks > fine.Experiments.Granularity.callbacks);
+    Alcotest.(check int) "fine stays consistent" 0 fine.Experiments.Granularity.violations;
+    Alcotest.(check int) "coarse stays consistent" 0 coarse.Experiments.Granularity.violations
+  | _ -> Alcotest.fail "expected at least two granularity rows"
+
+let test_adaptive_dominates () =
+  let r = Experiments.Adaptive.run ~duration:(span 1_000.) () in
+  let find name =
+    match
+      List.find_opt (fun (row : Experiments.Adaptive.row) -> row.Experiments.Adaptive.policy = name)
+        r.Experiments.Adaptive.rows
+    with
+    | Some row -> row
+    | None -> Alcotest.failf "missing adaptive row %s" name
+  in
+  let zero = find "zero term" in
+  let fixed = find "fixed 10 s" in
+  let infinite = find "infinite" in
+  let adaptive = find "adaptive" in
+  Alcotest.(check bool) "adaptive load far below zero-term" true
+    (adaptive.Experiments.Adaptive.consistency_per_s
+    < zero.Experiments.Adaptive.consistency_per_s /. 3.);
+  Alcotest.(check bool) "adaptive write wait far below fixed" true
+    (adaptive.Experiments.Adaptive.mean_write_wait_ms
+    < fixed.Experiments.Adaptive.mean_write_wait_ms /. 2.);
+  Alcotest.(check bool) "infinite blocks writes (wait-only mode)" true
+    (infinite.Experiments.Adaptive.dropped > 0);
+  Alcotest.(check int) "adaptive drops nothing" 0 adaptive.Experiments.Adaptive.dropped;
+  Alcotest.(check int) "adaptive consistent" 0 adaptive.Experiments.Adaptive.violations
+
+let test_baselines_story () =
+  let r = Experiments.Baselines_cmp.run ~duration:quick ~clients:4 () in
+  List.iter
+    (fun (row : Experiments.Baselines_cmp.row) ->
+      let name = row.Experiments.Baselines_cmp.name in
+      let m = row.Experiments.Baselines_cmp.metrics in
+      let is prefix =
+        String.length name >= String.length prefix && String.sub name 0 (String.length prefix) = prefix
+      in
+      if is "leases" || is "polling" then
+        Alcotest.(check int) (name ^ " consistent") 0 m.Leases.Metrics.oracle_violations;
+      if is "TTL" then
+        Alcotest.(check bool) (name ^ " stale-prone") true (m.Leases.Metrics.oracle_violations > 0))
+    (r.Experiments.Baselines_cmp.rows @ r.Experiments.Baselines_cmp.partition_rows)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "figures",
+        [
+          Alcotest.test_case "fig1 shape" `Slow test_fig1_shape;
+          Alcotest.test_case "fig2 shape" `Slow test_fig2_shape;
+          Alcotest.test_case "fig3 claims" `Slow test_fig3_claims;
+          Alcotest.test_case "table2 targets" `Slow test_table2_targets;
+          Alcotest.test_case "claims model column" `Slow test_claims_model_column;
+        ] );
+      ( "narratives",
+        [
+          Alcotest.test_case "ablations ordering" `Slow test_ablations_ordering;
+          Alcotest.test_case "future trends" `Slow test_future_trends;
+          Alcotest.test_case "write-back story" `Slow test_writeback_story;
+          Alcotest.test_case "granularity trade-off" `Slow test_granularity_tradeoff;
+          Alcotest.test_case "adaptive dominates" `Slow test_adaptive_dominates;
+          Alcotest.test_case "baselines story" `Slow test_baselines_story;
+        ] );
+    ]

@@ -1,0 +1,68 @@
+(* Unit tests for host identities and the liveness registry. *)
+
+let test_host_id () =
+  let a = Host.Host_id.of_int 3 in
+  let b = Host.Host_id.of_int 3 in
+  let c = Host.Host_id.of_int 4 in
+  Alcotest.(check bool) "equal" true (Host.Host_id.equal a b);
+  Alcotest.(check bool) "distinct" false (Host.Host_id.equal a c);
+  Alcotest.(check int) "roundtrip" 3 (Host.Host_id.to_int a);
+  Alcotest.(check bool) "compare" true (Host.Host_id.compare a c < 0);
+  Alcotest.check_raises "negative id" (Invalid_argument "Host_id.of_int: negative id") (fun () ->
+      ignore (Host.Host_id.of_int (-1)))
+
+let test_liveness_default_up () =
+  let l = Host.Liveness.create () in
+  Alcotest.(check bool) "unregistered hosts are up" true
+    (Host.Liveness.is_up l (Host.Host_id.of_int 99))
+
+let test_crash_recover_hooks () =
+  let l = Host.Liveness.create () in
+  let host = Host.Host_id.of_int 1 in
+  let crashes = ref 0 and recoveries = ref 0 in
+  Host.Liveness.register l host
+    ~on_crash:(fun () -> incr crashes)
+    ~on_recover:(fun () -> incr recoveries)
+    ();
+  Alcotest.(check bool) "registered starts up" true (Host.Liveness.is_up l host);
+  Host.Liveness.crash l host;
+  Alcotest.(check bool) "down after crash" false (Host.Liveness.is_up l host);
+  Alcotest.(check int) "crash hook ran" 1 !crashes;
+  Host.Liveness.crash l host;
+  Alcotest.(check int) "crash idempotent" 1 !crashes;
+  Host.Liveness.recover l host;
+  Alcotest.(check bool) "up after recover" true (Host.Liveness.is_up l host);
+  Alcotest.(check int) "recover hook ran" 1 !recoveries;
+  Host.Liveness.recover l host;
+  Alcotest.(check int) "recover idempotent" 1 !recoveries
+
+let test_crash_unregistered () =
+  let l = Host.Liveness.create () in
+  let host = Host.Host_id.of_int 2 in
+  Host.Liveness.crash l host;
+  Alcotest.(check bool) "crash without registration sticks" false (Host.Liveness.is_up l host);
+  Host.Liveness.recover l host;
+  Alcotest.(check bool) "recovers" true (Host.Liveness.is_up l host)
+
+let test_reregister_replaces_hooks () =
+  let l = Host.Liveness.create () in
+  let host = Host.Host_id.of_int 5 in
+  let first = ref 0 and second = ref 0 in
+  Host.Liveness.register l host ~on_crash:(fun () -> incr first) ();
+  Host.Liveness.register l host ~on_crash:(fun () -> incr second) ();
+  Host.Liveness.crash l host;
+  Alcotest.(check int) "old hook replaced" 0 !first;
+  Alcotest.(check int) "new hook ran" 1 !second
+
+let () =
+  Alcotest.run "host"
+    [
+      ( "host",
+        [
+          Alcotest.test_case "host id" `Quick test_host_id;
+          Alcotest.test_case "default up" `Quick test_liveness_default_up;
+          Alcotest.test_case "crash/recover hooks" `Quick test_crash_recover_hooks;
+          Alcotest.test_case "crash unregistered" `Quick test_crash_unregistered;
+          Alcotest.test_case "re-register" `Quick test_reregister_replaces_hooks;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+(* Unit tests for the simulated network: delivery timing, loss, partitions,
+   liveness filtering and multicast accounting. *)
+
+open Simtime
+
+let sec = Time.of_sec
+let ms = Time.Span.of_ms
+
+let host = Host.Host_id.of_int
+
+(* A standard two-host rig: m_prop = 0.5 ms, m_proc = 1 ms, so transit is
+   2.5 ms and the unicast RTT is 5 ms. *)
+let rig ?liveness ?partition ?rng ?loss ?link_delay () =
+  let engine = Engine.create () in
+  let net =
+    Netsim.Net.create engine ?liveness ?partition ?rng ?loss ?link_delay ~prop_delay:(ms 0.5)
+      ~proc_delay:(ms 1.) ()
+  in
+  (engine, net)
+
+let test_delivery_timing () =
+  let engine, net = rig () in
+  let delivered_at = ref Time.zero in
+  let received = ref "" in
+  Netsim.Net.register net (host 1) (fun e ->
+      delivered_at := Engine.now engine;
+      received := e.Netsim.Net.payload);
+  ignore (Engine.schedule_at engine (sec 1.) (fun () ->
+      Netsim.Net.send net ~src:(host 0) ~dst:(host 1) "hello"));
+  Engine.run engine;
+  Alcotest.(check string) "payload" "hello" !received;
+  Alcotest.(check (float 1e-7)) "transit = proc + prop + proc" 1.0025 (Time.to_sec !delivered_at);
+  Alcotest.(check (float 1e-9)) "unicast rtt" 0.005
+    (Time.Span.to_sec (Netsim.Net.unicast_rtt net))
+
+let test_envelope_addressing () =
+  let engine, net = rig () in
+  let src = ref (host 9) in
+  Netsim.Net.register net (host 2) (fun e -> src := e.Netsim.Net.src);
+  Netsim.Net.send net ~src:(host 7) ~dst:(host 2) ();
+  Engine.run engine;
+  Alcotest.(check int) "src" 7 (Host.Host_id.to_int !src)
+
+let test_unregistered_destination () =
+  let engine, net = rig () in
+  Netsim.Net.send net ~src:(host 0) ~dst:(host 1) ();
+  Engine.run engine;
+  Alcotest.(check int) "counted as down-drop" 1 (Netsim.Net.dropped_down net);
+  Alcotest.(check int) "no delivery" 0 (Netsim.Net.deliveries net)
+
+let test_loss () =
+  let rng = Prng.Splitmix.create ~seed:1L in
+  let engine, net = rig ~rng ~loss:0.5 () in
+  let received = ref 0 in
+  Netsim.Net.register net (host 1) (fun _ -> incr received);
+  for _ = 1 to 1000 do
+    Netsim.Net.send net ~src:(host 0) ~dst:(host 1) ()
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "sends counted" 1000 (Netsim.Net.sent net);
+  Alcotest.(check int) "drops + deliveries = sends" 1000
+    (Netsim.Net.dropped_loss net + Netsim.Net.deliveries net);
+  if !received < 400 || !received > 600 then
+    Alcotest.failf "loss rate off: %d/1000 delivered" !received
+
+let test_loss_requires_rng () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "loss without rng"
+    (Invalid_argument "Net.create: positive loss requires an rng") (fun () ->
+      ignore
+        (Netsim.Net.create engine ~loss:0.1 ~prop_delay:(ms 1.) ~proc_delay:(ms 1.) () : unit Netsim.Net.t))
+
+let test_partition_blocks () =
+  let partition = Netsim.Partition.create () in
+  let engine, net = rig ~partition () in
+  let received = ref 0 in
+  Netsim.Net.register net (host 1) (fun _ -> incr received);
+  Netsim.Partition.isolate partition [ host 1 ];
+  Netsim.Net.send net ~src:(host 0) ~dst:(host 1) ();
+  Engine.run engine;
+  Alcotest.(check int) "blocked" 0 !received;
+  Alcotest.(check int) "partition drop counted" 1 (Netsim.Net.dropped_partition net);
+  Netsim.Partition.heal partition;
+  Netsim.Net.send net ~src:(host 0) ~dst:(host 1) ();
+  Engine.run engine;
+  Alcotest.(check int) "healed" 1 !received
+
+let test_partition_groups () =
+  let p = Netsim.Partition.create () in
+  Alcotest.(check bool) "default connected" true (Netsim.Partition.connected p (host 0) (host 1));
+  Netsim.Partition.isolate p [ host 1; host 2 ];
+  Alcotest.(check bool) "islanders see each other" true
+    (Netsim.Partition.connected p (host 1) (host 2));
+  Alcotest.(check bool) "cut from the rest" false (Netsim.Partition.connected p (host 0) (host 1));
+  Netsim.Partition.set_group p (host 3) 7;
+  Alcotest.(check int) "explicit group" 7 (Netsim.Partition.group p (host 3));
+  Netsim.Partition.heal p;
+  Alcotest.(check bool) "heal restores" true (Netsim.Partition.connected p (host 0) (host 3))
+
+let test_partition_checked_at_delivery () =
+  (* A message in flight when the partition rises is lost: delivery-time
+     semantics. *)
+  let partition = Netsim.Partition.create () in
+  let engine, net = rig ~partition () in
+  let received = ref 0 in
+  Netsim.Net.register net (host 1) (fun _ -> incr received);
+  ignore (Engine.schedule_at engine (sec 1.) (fun () ->
+      Netsim.Net.send net ~src:(host 0) ~dst:(host 1) ();
+      (* transit is 2.5 ms; the partition rises 1 ms in *)
+      ignore (Engine.schedule_after engine (ms 1.) (fun () ->
+          Netsim.Partition.isolate partition [ host 1 ]))));
+  Engine.run engine;
+  Alcotest.(check int) "in-flight message cut" 0 !received
+
+let test_crashed_receiver () =
+  let liveness = Host.Liveness.create () in
+  let engine, net = rig ~liveness () in
+  let received = ref 0 in
+  Netsim.Net.register net (host 1) (fun _ -> incr received);
+  Host.Liveness.crash liveness (host 1);
+  Netsim.Net.send net ~src:(host 0) ~dst:(host 1) ();
+  Engine.run engine;
+  Alcotest.(check int) "no delivery to crashed host" 0 !received;
+  Alcotest.(check int) "down drop" 1 (Netsim.Net.dropped_down net)
+
+let test_crashed_sender () =
+  let liveness = Host.Liveness.create () in
+  let engine, net = rig ~liveness () in
+  let received = ref 0 in
+  Netsim.Net.register net (host 1) (fun _ -> incr received);
+  Host.Liveness.crash liveness (host 0);
+  Netsim.Net.send net ~src:(host 0) ~dst:(host 1) ();
+  Engine.run engine;
+  Alcotest.(check int) "crashed host cannot send" 0 !received
+
+let test_multicast () =
+  let engine, net = rig () in
+  let received = ref [] in
+  List.iter
+    (fun i -> Netsim.Net.register net (host i) (fun _ -> received := i :: !received))
+    [ 1; 2; 3 ];
+  Netsim.Net.multicast net ~src:(host 0) ~dsts:[ host 1; host 2; host 3 ] ();
+  Engine.run engine;
+  Alcotest.(check (list int)) "all recipients" [ 1; 2; 3 ] (List.sort compare !received);
+  Alcotest.(check int) "multicast counted once as a send" 1 (Netsim.Net.sent net);
+  Alcotest.(check int) "three deliveries" 3 (Netsim.Net.deliveries net)
+
+let test_link_delay_override () =
+  let wan = host 9 in
+  let link_delay ~src:_ ~dst = if Host.Host_id.equal dst wan then ms 50. else ms 0.5 in
+  let engine, net = rig ~link_delay () in
+  let wan_at = ref Time.zero and lan_at = ref Time.zero in
+  Netsim.Net.register net wan (fun _ -> wan_at := Engine.now engine);
+  Netsim.Net.register net (host 1) (fun _ -> lan_at := Engine.now engine);
+  Netsim.Net.send net ~src:(host 0) ~dst:wan ();
+  Netsim.Net.send net ~src:(host 0) ~dst:(host 1) ();
+  Engine.run engine;
+  Alcotest.(check (float 1e-7)) "wan transit" 0.052 (Time.to_sec !wan_at);
+  Alcotest.(check (float 1e-7)) "lan transit" 0.0025 (Time.to_sec !lan_at)
+
+let () =
+  Alcotest.run "netsim"
+    [
+      ( "net",
+        [
+          Alcotest.test_case "delivery timing" `Quick test_delivery_timing;
+          Alcotest.test_case "envelope addressing" `Quick test_envelope_addressing;
+          Alcotest.test_case "unregistered destination" `Quick test_unregistered_destination;
+          Alcotest.test_case "loss" `Quick test_loss;
+          Alcotest.test_case "loss requires rng" `Quick test_loss_requires_rng;
+          Alcotest.test_case "multicast" `Quick test_multicast;
+          Alcotest.test_case "link delay override" `Quick test_link_delay_override;
+        ] );
+      ( "partition+liveness",
+        [
+          Alcotest.test_case "partition blocks" `Quick test_partition_blocks;
+          Alcotest.test_case "partition groups" `Quick test_partition_groups;
+          Alcotest.test_case "delivery-time check" `Quick test_partition_checked_at_delivery;
+          Alcotest.test_case "crashed receiver" `Quick test_crashed_receiver;
+          Alcotest.test_case "crashed sender" `Quick test_crashed_sender;
+        ] );
+    ]

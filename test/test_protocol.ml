@@ -1,0 +1,447 @@
+(* Protocol-level tests: one server, a few clients, hand-scripted
+   interactions exercising every edge of the lease state machine. *)
+
+open Simtime
+
+let sec = Time.of_sec
+let span = Time.Span.of_sec
+let file = Vstore.File_id.of_int
+
+type rig = {
+  engine : Engine.t;
+  liveness : Host.Liveness.t;
+  partition : Netsim.Partition.t;
+  net : Leases.Messages.payload Netsim.Net.t;
+  server : Leases.Server.t;
+  clients : Leases.Client.t array;
+  store : Vstore.Store.t;
+}
+
+let make_rig ?(n = 2) ?(config = Leases.Config.default) ?loss ?seed () =
+  let engine = Engine.create () in
+  let liveness = Host.Liveness.create () in
+  let partition = Netsim.Partition.create () in
+  let rng = Option.map (fun seed -> Prng.Splitmix.create ~seed) seed in
+  let net =
+    Netsim.Net.create engine ~liveness ~partition ?rng ?loss ~prop_delay:(Time.Span.of_ms 0.5)
+      ~proc_delay:(Time.Span.of_ms 1.) ()
+  in
+  let server_host = Host.Host_id.of_int 0 in
+  let client_hosts = List.init n (fun i -> Host.Host_id.of_int (i + 1)) in
+  let store = Vstore.Store.create () in
+  let server =
+    Leases.Server.create ~engine ~clock:(Clock.create engine ()) ~net ~liveness ~host:server_host
+      ~clients:client_hosts ~store ~config ()
+  in
+  let clients =
+    Array.of_list
+      (List.map
+         (fun host ->
+           Leases.Client.create ~engine ~clock:(Clock.create engine ()) ~net ~liveness ~host
+             ~server:server_host ~config ())
+         client_hosts)
+  in
+  { engine; liveness; partition; net; server; clients; store }
+
+let at rig t f = ignore (Engine.schedule_at rig.engine (sec t) f)
+
+let read_into rig client file results =
+  Leases.Client.read rig.clients.(client) file ~k:(fun r -> results := r :: !results)
+
+let test_read_grants_lease () =
+  let rig = make_rig () in
+  let results = ref [] in
+  at rig 1. (fun () -> read_into rig 0 (file 0) results);
+  Engine.run rig.engine;
+  (match !results with
+  | [ r ] ->
+    Alcotest.(check bool) "not from cache" false r.Leases.Client.r_from_cache;
+    Alcotest.(check (float 1e-7)) "one RPC" 0.005 (Time.Span.to_sec r.Leases.Client.r_latency);
+    Alcotest.(check int) "initial version" 0 (Vstore.Version.to_int r.Leases.Client.r_version)
+  | _ -> Alcotest.fail "expected one read");
+  Alcotest.(check bool) "client holds a lease" true
+    (Leases.Client.holds_valid_lease rig.clients.(0) (file 0));
+  Alcotest.(check int) "server records the holder" 1
+    (List.length (Leases.Server.leaseholders rig.server (file 0)))
+
+let test_cache_hit_within_term () =
+  let rig = make_rig () in
+  let results = ref [] in
+  at rig 1. (fun () -> read_into rig 0 (file 0) results);
+  at rig 5. (fun () -> read_into rig 0 (file 0) results);
+  Engine.run rig.engine;
+  match !results with
+  | [ second; _first ] ->
+    Alcotest.(check bool) "hit" true second.Leases.Client.r_from_cache;
+    Alcotest.(check (float 0.)) "zero latency" 0. (Time.Span.to_sec second.Leases.Client.r_latency);
+    Alcotest.(check int) "one miss only" 1 (Leases.Client.misses rig.clients.(0))
+  | _ -> Alcotest.fail "expected two reads"
+
+let test_lease_expires () =
+  let rig = make_rig () in
+  let results = ref [] in
+  at rig 1. (fun () -> read_into rig 0 (file 0) results);
+  (* default term is 10 s; at t=15 the lease is gone *)
+  at rig 15. (fun () -> read_into rig 0 (file 0) results);
+  Engine.run rig.engine;
+  match !results with
+  | [ second; _ ] ->
+    Alcotest.(check bool) "expired -> server round" false second.Leases.Client.r_from_cache;
+    Alcotest.(check int) "two misses" 2 (Leases.Client.misses rig.clients.(0))
+  | _ -> Alcotest.fail "expected two reads"
+
+let test_zero_term_always_checks () =
+  let config = Leases.Config.with_term Leases.Config.default Leases.Lease.term_zero in
+  let rig = make_rig ~config () in
+  let results = ref [] in
+  at rig 1. (fun () -> read_into rig 0 (file 0) results);
+  at rig 1.5 (fun () -> read_into rig 0 (file 0) results);
+  Engine.run rig.engine;
+  Alcotest.(check int) "every read a miss" 2 (Leases.Client.misses rig.clients.(0));
+  Alcotest.(check bool) "no lease held" false
+    (Leases.Client.holds_valid_lease rig.clients.(0) (file 0))
+
+let test_write_approval_round () =
+  let rig = make_rig () in
+  let write_result = ref None in
+  at rig 1. (fun () -> read_into rig 1 (file 0) (ref []));
+  at rig 2. (fun () ->
+      Leases.Client.write rig.clients.(0) (file 0) ~k:(fun w -> write_result := Some w));
+  Engine.run rig.engine;
+  (match !write_result with
+  | Some w ->
+    Alcotest.(check int) "version bumped" 1 (Vstore.Version.to_int w.Leases.Client.w_version);
+    (* write RPC (5 ms) + approval round (~5 ms) *)
+    let ms = 1000. *. Time.Span.to_sec w.Leases.Client.w_latency in
+    Alcotest.(check bool) "approval adds a round" true (ms > 7. && ms < 13.)
+  | None -> Alcotest.fail "write never completed");
+  Alcotest.(check int) "client 1 answered the callback" 1
+    (Leases.Client.approvals_answered rig.clients.(1));
+  Alcotest.(check bool) "holder's copy invalidated" false
+    (Leases.Client.holds_valid_lease rig.clients.(1) (file 0));
+  Alcotest.(check int) "lease table cleared" 0
+    (List.length (Leases.Server.leaseholders rig.server (file 0)))
+
+let test_writer_implicit_approval () =
+  (* the writer being the only leaseholder: single round trip, no callbacks *)
+  let rig = make_rig () in
+  let write_result = ref None in
+  at rig 1. (fun () -> read_into rig 0 (file 0) (ref []));
+  at rig 2. (fun () ->
+      Leases.Client.write rig.clients.(0) (file 0) ~k:(fun w -> write_result := Some w));
+  Engine.run rig.engine;
+  (match !write_result with
+  | Some w ->
+    Alcotest.(check (float 1e-7)) "plain RPC" 0.005 (Time.Span.to_sec w.Leases.Client.w_latency)
+  | None -> Alcotest.fail "write never completed");
+  Alcotest.(check int) "no callbacks" 0 (Leases.Server.callbacks_sent rig.server)
+
+let test_reader_sees_new_version_after_write () =
+  let rig = make_rig () in
+  let late_read = ref None in
+  at rig 1. (fun () -> read_into rig 1 (file 0) (ref []));
+  at rig 2. (fun () -> Leases.Client.write rig.clients.(0) (file 0) ~k:(fun _ -> ()));
+  at rig 3. (fun () ->
+      Leases.Client.read rig.clients.(1) (file 0) ~k:(fun r -> late_read := Some r));
+  Engine.run rig.engine;
+  match !late_read with
+  | Some r ->
+    Alcotest.(check int) "sees version 1" 1 (Vstore.Version.to_int r.Leases.Client.r_version);
+    Alcotest.(check bool) "via server (copy was invalidated)" false r.Leases.Client.r_from_cache
+  | None -> Alcotest.fail "read never completed"
+
+let test_no_grants_while_write_pending () =
+  (* the anti-starvation footnote: a file with a write waiting gives out no
+     new leases, so readers cannot starve the writer *)
+  let rig = make_rig ~n:3 () in
+  let read_during = ref None in
+  at rig 1. (fun () -> read_into rig 1 (file 0) (ref []));
+  (* client 1 now holds a lease; crash it so the write must wait out the term *)
+  at rig 2. (fun () -> Host.Liveness.crash rig.liveness (Host.Host_id.of_int 2));
+  at rig 3. (fun () -> Leases.Client.write rig.clients.(0) (file 0) ~k:(fun _ -> ()));
+  at rig 4. (fun () ->
+      Leases.Client.read rig.clients.(2) (file 0) ~k:(fun r -> read_during := Some r));
+  Engine.run rig.engine;
+  (match !read_during with
+  | Some r ->
+    (* the read is answered (with the still-current old version) but gets
+       no lease *)
+    Alcotest.(check int) "old version still current" 0
+      (Vstore.Version.to_int r.Leases.Client.r_version);
+    Alcotest.(check bool) "no lease granted during pending write" false
+      (Leases.Client.holds_valid_lease rig.clients.(2) (file 0))
+  | None -> Alcotest.fail "read never completed");
+  Alcotest.(check int) "write committed eventually" 1 (Leases.Server.commits rig.server)
+
+let test_queued_writes_fifo () =
+  let rig = make_rig ~n:3 () in
+  let order = ref [] in
+  at rig 1. (fun () -> read_into rig 2 (file 0) (ref []));
+  at rig 2. (fun () -> Host.Liveness.crash rig.liveness (Host.Host_id.of_int 3));
+  (* two writes queue behind the blocked one; they must commit in order *)
+  at rig 3. (fun () ->
+      Leases.Client.write rig.clients.(0) (file 0) ~k:(fun w ->
+          order := ("a", Vstore.Version.to_int w.Leases.Client.w_version) :: !order));
+  at rig 4. (fun () ->
+      Leases.Client.write rig.clients.(1) (file 0) ~k:(fun w ->
+          order := ("b", Vstore.Version.to_int w.Leases.Client.w_version) :: !order));
+  Engine.run rig.engine;
+  Alcotest.(check (list (pair string int))) "fifo versions" [ ("a", 1); ("b", 2) ]
+    (List.rev !order)
+
+let test_batched_extension () =
+  let rig = make_rig () in
+  (* populate three files, let the leases lapse, then one read renews all *)
+  at rig 1. (fun () -> read_into rig 0 (file 0) (ref []));
+  at rig 1.2 (fun () -> read_into rig 0 (file 1) (ref []));
+  at rig 1.4 (fun () -> read_into rig 0 (file 2) (ref []));
+  at rig 15. (fun () -> read_into rig 0 (file 1) (ref []));
+  at rig 15.1 (fun () -> read_into rig 0 (file 0) (ref []));
+  at rig 15.2 (fun () -> read_into rig 0 (file 2) (ref []));
+  Engine.run rig.engine;
+  (* misses: 3 cold + 1 at 15 (which renewed everything); the two reads
+     right after are hits again *)
+  Alcotest.(check int) "batching renews siblings" 4 (Leases.Client.misses rig.clients.(0));
+  Alcotest.(check int) "hits" 2 (Leases.Client.hits rig.clients.(0))
+
+let test_unbatched_extension () =
+  let config = { Leases.Config.default with Leases.Config.batch_extensions = false } in
+  let rig = make_rig ~config () in
+  at rig 1. (fun () -> read_into rig 0 (file 0) (ref []));
+  at rig 1.2 (fun () -> read_into rig 0 (file 1) (ref []));
+  at rig 15. (fun () -> read_into rig 0 (file 1) (ref []));
+  at rig 15.1 (fun () -> read_into rig 0 (file 0) (ref []));
+  Engine.run rig.engine;
+  Alcotest.(check int) "every lapsed file re-misses" 4 (Leases.Client.misses rig.clients.(0))
+
+let test_anticipatory_renewal () =
+  let config =
+    { Leases.Config.default with Leases.Config.anticipatory_renewal = Some (span 2.) }
+  in
+  let rig = make_rig ~config () in
+  let late = ref None in
+  at rig 1. (fun () -> read_into rig 0 (file 0) (ref []));
+  (* lease expires ~10.9; renewal fires ~8.9; the read at 15 still hits *)
+  at rig 15. (fun () -> Leases.Client.read rig.clients.(0) (file 0) ~k:(fun r -> late := Some r));
+  Engine.run ~until:(sec 16.) rig.engine;
+  (match !late with
+  | Some r -> Alcotest.(check bool) "still cached thanks to renewal" true r.Leases.Client.r_from_cache
+  | None -> Alcotest.fail "read never completed");
+  Alcotest.(check bool) "renewals sent" true (Leases.Client.renewals_sent rig.clients.(0) >= 1)
+
+let test_retransmission_under_loss () =
+  (* 60 % loss: RPCs still complete via retries, and dedup keeps a
+     retransmitted write from committing twice *)
+  let rig = make_rig ~loss:0.6 ~seed:77L () in
+  let reads = ref [] in
+  let writes = ref [] in
+  for i = 0 to 9 do
+    at rig (1. +. float_of_int i) (fun () -> read_into rig 0 (file i) reads)
+  done;
+  at rig 20. (fun () ->
+      Leases.Client.write rig.clients.(0) (file 0) ~k:(fun w -> writes := w :: !writes));
+  Engine.run ~until:(sec 200.) rig.engine;
+  Alcotest.(check int) "all reads completed" 10 (List.length !reads);
+  Alcotest.(check int) "write completed" 1 (List.length !writes);
+  Alcotest.(check int) "write applied exactly once" 1 (Leases.Server.commits rig.server);
+  Alcotest.(check bool) "retransmissions happened" true
+    (Leases.Client.retransmissions rig.clients.(0) > 0)
+
+let test_installed_refresh () =
+  let installed_files = [ file 0; file 1 ] in
+  let config =
+    {
+      Leases.Config.default with
+      Leases.Config.installed =
+        Some { Leases.Config.files = installed_files; period = span 4.; term = span 9. };
+    }
+  in
+  let rig = make_rig ~config () in
+  at rig 1. (fun () -> read_into rig 0 (file 0) (ref []));
+  (* multicast refreshes keep extending the lease: reads at 12, 25, 40 all hit *)
+  at rig 12. (fun () -> read_into rig 0 (file 0) (ref []));
+  at rig 25. (fun () -> read_into rig 0 (file 0) (ref []));
+  at rig 40. (fun () -> read_into rig 0 (file 0) (ref []));
+  Engine.run ~until:(sec 41.) rig.engine;
+  Alcotest.(check int) "single cold miss" 1 (Leases.Client.misses rig.clients.(0));
+  Alcotest.(check int) "the rest free" 3 (Leases.Client.hits rig.clients.(0));
+  (* no per-client record for installed files *)
+  Alcotest.(check int) "no holder tracking" 0
+    (List.length (Leases.Server.leaseholders rig.server (file 0)))
+
+let test_installed_write_delayed_update () =
+  let config =
+    {
+      Leases.Config.default with
+      Leases.Config.installed =
+        Some { Leases.Config.files = [ file 0 ]; period = span 4.; term = span 9. };
+    }
+  in
+  let rig = make_rig ~config () in
+  let w = ref None in
+  let late = ref None in
+  at rig 1. (fun () -> read_into rig 1 (file 0) (ref []));
+  at rig 6. (fun () -> Leases.Client.write rig.clients.(0) (file 0) ~k:(fun r -> w := Some r));
+  at rig 30. (fun () -> Leases.Client.read rig.clients.(1) (file 0) ~k:(fun r -> late := Some r));
+  Engine.run ~until:(sec 31.) rig.engine;
+  (match !w with
+  | Some w ->
+    let wait = Time.Span.to_sec w.Leases.Client.w_latency in
+    (* must wait out the refresh coverage (granted at ~4, term 9 -> ~13),
+       and send no callbacks at all *)
+    Alcotest.(check bool) "delayed update" true (wait > 5. && wait < 10.);
+    Alcotest.(check int) "no callbacks for installed files" 0
+      (Leases.Server.callbacks_sent rig.server)
+  | None -> Alcotest.fail "write never completed");
+  match !late with
+  | Some r -> Alcotest.(check int) "new version visible" 1 (Vstore.Version.to_int r.Leases.Client.r_version)
+  | None -> Alcotest.fail "late read never completed"
+
+let test_unicast_approvals () =
+  let config = { Leases.Config.default with Leases.Config.approval_multicast = false } in
+  let rig = make_rig ~n:3 ~config () in
+  at rig 1. (fun () -> read_into rig 1 (file 0) (ref []));
+  at rig 1.5 (fun () -> read_into rig 2 (file 0) (ref []));
+  at rig 2. (fun () -> Leases.Client.write rig.clients.(0) (file 0) ~k:(fun _ -> ()));
+  Engine.run rig.engine;
+  (* 2(S-1) approval messages: one request per holder plus each reply *)
+  Alcotest.(check int) "2(S-1) approval messages" 4
+    (Leases.Server.messages_handled rig.server Leases.Messages.Approval);
+  Alcotest.(check int) "write committed" 1 (Leases.Server.commits rig.server)
+
+let test_multicast_approvals_cheaper () =
+  let rig = make_rig ~n:3 () in
+  at rig 1. (fun () -> read_into rig 1 (file 0) (ref []));
+  at rig 1.5 (fun () -> read_into rig 2 (file 0) (ref []));
+  at rig 2. (fun () -> Leases.Client.write rig.clients.(0) (file 0) ~k:(fun _ -> ()));
+  Engine.run rig.engine;
+  (* S messages: one multicast plus S-1 replies *)
+  Alcotest.(check int) "S approval messages" 3
+    (Leases.Server.messages_handled rig.server Leases.Messages.Approval)
+
+let test_wait_only_writes () =
+  let config = { Leases.Config.default with Leases.Config.callback_on_write = false } in
+  let rig = make_rig ~config () in
+  let w = ref None in
+  at rig 1. (fun () -> read_into rig 1 (file 0) (ref []));
+  at rig 2. (fun () -> Leases.Client.write rig.clients.(0) (file 0) ~k:(fun r -> w := Some r));
+  Engine.run rig.engine;
+  match !w with
+  | Some w ->
+    (* no callback: the full residual term (~9 s) must elapse *)
+    Alcotest.(check bool) "waited out the lease" true
+      (Time.Span.to_sec w.Leases.Client.w_latency > 8.);
+    Alcotest.(check int) "zero callbacks" 0 (Leases.Server.callbacks_sent rig.server)
+  | None -> Alcotest.fail "write never completed"
+
+let test_term_compensation_for_distant_client () =
+  (* Section 4: the server grants a distant client extra term.  Here the
+     compensation is deliberately large (5 s) so the effect is plainly
+     observable: the compensated client still hits at t=14 s where an
+     uncompensated one has expired. *)
+  let distant = Host.Host_id.of_int 2 in
+  let config =
+    {
+      Leases.Config.default with
+      Leases.Config.term_compensation =
+        Some (fun host -> if Host.Host_id.equal host distant then span 5. else Time.Span.zero);
+    }
+  in
+  let rig = make_rig ~n:2 ~config () in
+  at rig 1. (fun () -> read_into rig 0 (file 0) (ref []));
+  at rig 1. (fun () -> read_into rig 1 (file 1) (ref []));
+  Engine.run ~until:(sec 14.) rig.engine;
+  (* default term 10 s: the near client's lease (host 1) is gone, the
+     distant client's (host 2) compensated lease still stands *)
+  Alcotest.(check bool) "near client expired" false
+    (Leases.Client.holds_valid_lease rig.clients.(0) (file 0));
+  Alcotest.(check bool) "distant client still covered" true
+    (Leases.Client.holds_valid_lease rig.clients.(1) (file 1))
+
+let test_client_crash_clears_cache () =
+  let rig = make_rig () in
+  at rig 1. (fun () -> read_into rig 0 (file 0) (ref []));
+  at rig 2. (fun () -> Host.Liveness.crash rig.liveness (Host.Host_id.of_int 1));
+  at rig 3. (fun () -> Host.Liveness.recover rig.liveness (Host.Host_id.of_int 1));
+  let after = ref None in
+  at rig 4. (fun () -> Leases.Client.read rig.clients.(0) (file 0) ~k:(fun r -> after := Some r));
+  Engine.run rig.engine;
+  match !after with
+  | Some r ->
+    Alcotest.(check bool) "cold after crash" false r.Leases.Client.r_from_cache;
+    Alcotest.(check int) "cache emptied" 1 (Leases.Client.cache_size rig.clients.(0))
+  | None -> Alcotest.fail "read never completed"
+
+let test_server_crash_recovery_wait () =
+  let rig = make_rig () in
+  let w = ref None in
+  at rig 1. (fun () -> read_into rig 0 (file 0) (ref []));
+  at rig 2. (fun () -> Host.Liveness.crash rig.liveness (Host.Host_id.of_int 0));
+  at rig 4. (fun () -> Host.Liveness.recover rig.liveness (Host.Host_id.of_int 0));
+  at rig 5. (fun () -> Leases.Client.write rig.clients.(0) (file 0) ~k:(fun r -> w := Some r));
+  Engine.run ~until:(sec 60.) rig.engine;
+  (match !w with
+  | Some w ->
+    (* recovery at 4 + max term 10 = 14; write at 5 waits ~9 s *)
+    let wait = Time.Span.to_sec w.Leases.Client.w_latency in
+    Alcotest.(check bool) "waits out the max granted term" true (wait > 8. && wait < 10.)
+  | None -> Alcotest.fail "write never completed");
+  Alcotest.(check bool) "server reports recovering during the window" false
+    (Leases.Server.recovering rig.server)
+
+let test_consistency_message_accounting () =
+  let rig = make_rig () in
+  at rig 1. (fun () -> read_into rig 0 (file 0) (ref []));
+  at rig 2. (fun () -> read_into rig 1 (file 0) (ref []));
+  at rig 3. (fun () -> Leases.Client.write rig.clients.(0) (file 0) ~k:(fun _ -> ()));
+  Engine.run rig.engine;
+  (* 2 reads -> 4 extension msgs; 1 approval multicast + 1 reply -> 2;
+     write req + rep -> 2 *)
+  Alcotest.(check int) "extension msgs" 4
+    (Leases.Server.messages_handled rig.server Leases.Messages.Extension);
+  Alcotest.(check int) "approval msgs" 2
+    (Leases.Server.messages_handled rig.server Leases.Messages.Approval);
+  Alcotest.(check int) "write transfer msgs" 2
+    (Leases.Server.messages_handled rig.server Leases.Messages.Write_transfer);
+  Alcotest.(check int) "consistency = ext + approval" 6
+    (Leases.Server.consistency_messages rig.server)
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "grant+read",
+        [
+          Alcotest.test_case "read grants lease" `Quick test_read_grants_lease;
+          Alcotest.test_case "cache hit within term" `Quick test_cache_hit_within_term;
+          Alcotest.test_case "lease expires" `Quick test_lease_expires;
+          Alcotest.test_case "zero term always checks" `Quick test_zero_term_always_checks;
+        ] );
+      ( "write",
+        [
+          Alcotest.test_case "approval round" `Quick test_write_approval_round;
+          Alcotest.test_case "writer implicit approval" `Quick test_writer_implicit_approval;
+          Alcotest.test_case "reader sees new version" `Quick test_reader_sees_new_version_after_write;
+          Alcotest.test_case "anti-starvation" `Quick test_no_grants_while_write_pending;
+          Alcotest.test_case "queued writes fifo" `Quick test_queued_writes_fifo;
+          Alcotest.test_case "unicast approvals" `Quick test_unicast_approvals;
+          Alcotest.test_case "multicast approvals cheaper" `Quick test_multicast_approvals_cheaper;
+          Alcotest.test_case "wait-only writes" `Quick test_wait_only_writes;
+        ] );
+      ( "options",
+        [
+          Alcotest.test_case "batched extension" `Quick test_batched_extension;
+          Alcotest.test_case "unbatched extension" `Quick test_unbatched_extension;
+          Alcotest.test_case "anticipatory renewal" `Quick test_anticipatory_renewal;
+          Alcotest.test_case "installed refresh" `Quick test_installed_refresh;
+          Alcotest.test_case "installed delayed update" `Quick test_installed_write_delayed_update;
+          Alcotest.test_case "term compensation" `Quick test_term_compensation_for_distant_client;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "retransmission under loss" `Quick test_retransmission_under_loss;
+          Alcotest.test_case "client crash clears cache" `Quick test_client_crash_clears_cache;
+          Alcotest.test_case "server crash recovery wait" `Quick test_server_crash_recovery_wait;
+        ] );
+      ( "accounting",
+        [ Alcotest.test_case "message classes" `Quick test_consistency_message_accounting ] );
+    ]

@@ -1,0 +1,194 @@
+(* Integration tests: full simulation runs over generated workloads,
+   checked against the analytic model and the consistency oracle. *)
+
+open Simtime
+
+let span = Time.Span.of_sec
+
+let v_trace ?(seed = 3L) ?(clients = 1) duration =
+  (Experiments.V_trace.poisson ~seed ~clients ~duration:(span duration) ()).Experiments.V_trace.trace
+
+let run_term ?n_clients trace term =
+  Experiments.Runner.run_lease (Experiments.Runner.lease_setup ?n_clients ~term ()) trace
+
+let test_no_violations_any_term () =
+  let trace = v_trace 2_000. in
+  List.iter
+    (fun term ->
+      let m = run_term trace term in
+      Alcotest.(check int)
+        (Printf.sprintf "violations at term %s"
+           (match term with Analytic.Model.Finite s -> string_of_float s | Analytic.Model.Infinite -> "inf"))
+        0 m.Leases.Metrics.oracle_violations)
+    [ Analytic.Model.Finite 0.; Analytic.Model.Finite 1.; Analytic.Model.Finite 10.;
+      Analytic.Model.Infinite ]
+
+let test_all_ops_complete () =
+  let trace = v_trace 1_000. in
+  let m = run_term trace (Analytic.Model.Finite 10.) in
+  Alcotest.(check int) "no drops in a healthy run" 0 m.Leases.Metrics.dropped_ops;
+  Alcotest.(check int) "reads checked = reads completed" m.Leases.Metrics.reads_completed
+    m.Leases.Metrics.oracle_reads;
+  Alcotest.(check int) "commits = writes" m.Leases.Metrics.writes_completed
+    m.Leases.Metrics.commits
+
+let test_determinism () =
+  let trace = v_trace 500. in
+  let a = run_term trace (Analytic.Model.Finite 10.) in
+  let b = run_term trace (Analytic.Model.Finite 10.) in
+  Alcotest.(check int) "msgs identical" a.Leases.Metrics.consistency_msgs
+    b.Leases.Metrics.consistency_msgs;
+  Alcotest.(check int) "hits identical" a.Leases.Metrics.cache_hits b.Leases.Metrics.cache_hits;
+  Alcotest.(check (float 1e-12)) "delay identical" a.Leases.Metrics.mean_op_delay
+    b.Leases.Metrics.mean_op_delay
+
+let test_matches_analytic_model () =
+  (* the Figure-1 validation: simulated consistency load within ~10 % of
+     formula 1 across the term sweep on a Poisson trace *)
+  let trace = v_trace ~seed:41L 10_000. in
+  let params = Analytic.Params.v_lan in
+  List.iter
+    (fun term_s ->
+      let m = run_term trace (Analytic.Model.Finite term_s) in
+      let model = Analytic.Model.consistency_load params (Analytic.Model.Finite term_s) in
+      let sim = m.Leases.Metrics.consistency_msg_rate in
+      (* The simulator pays one extra revalidation round per write (the
+         writer invalidates its own copy — write-through semantics the
+         closed-form model ignores), worth at most 2W msg/s; allow that on
+         top of a 12 % sampling tolerance. *)
+      let allowance = (0.12 *. model) +. (2. *. params.Analytic.Params.write_rate) in
+      if Float.abs (sim -. model) > allowance then
+        Alcotest.failf "term %g: sim %.4f vs model %.4f (beyond %.4f allowance)" term_s sim model
+          allowance)
+    [ 0.; 2.; 5.; 10.; 30. ]
+
+let test_zero_term_exact () =
+  (* at a zero term the load is exactly two messages per read *)
+  let trace = v_trace 1_000. in
+  let m = run_term trace (Analytic.Model.Finite 0.) in
+  Alcotest.(check int) "2 msgs per read" (2 * m.Leases.Metrics.reads_completed)
+    m.Leases.Metrics.msgs_extension;
+  Alcotest.(check (float 0.001)) "no cache hits" 0. m.Leases.Metrics.hit_ratio
+
+let test_longer_term_fewer_messages () =
+  let trace = v_trace 2_000. in
+  let loads =
+    List.map
+      (fun t -> (run_term trace (Analytic.Model.Finite t)).Leases.Metrics.consistency_msgs)
+      [ 0.; 2.; 10.; 30. ]
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      if b > a then Alcotest.fail "consistency messages increased with the term";
+      monotone rest
+    | [ _ ] | [] -> ()
+  in
+  monotone loads
+
+let test_hit_ratio_grows_with_term () =
+  let trace = v_trace 2_000. in
+  let hit t = (run_term trace (Analytic.Model.Finite t)).Leases.Metrics.hit_ratio in
+  Alcotest.(check bool) "10 s beats 2 s" true (hit 10. > hit 2.);
+  Alcotest.(check bool) "2 s beats zero" true (hit 2. > hit 0.)
+
+let test_bursty_sharper_knee () =
+  (* the paper's observation: burstiness makes short terms look better *)
+  let duration = span 5_000. in
+  let poisson = (Experiments.V_trace.poisson ~seed:5L ~duration ()).Experiments.V_trace.trace in
+  let bursty = (Experiments.V_trace.bursty ~seed:5L ~duration ()).Experiments.V_trace.trace in
+  let rel trace =
+    let zero = (run_term trace (Analytic.Model.Finite 0.)).Leases.Metrics.consistency_msg_rate in
+    let at2 = (run_term trace (Analytic.Model.Finite 2.)).Leases.Metrics.consistency_msg_rate in
+    at2 /. zero
+  in
+  Alcotest.(check bool) "bursty relative load at 2 s below Poisson's" true
+    (rel bursty < rel poisson)
+
+let test_multi_client_sharing () =
+  (* several clients over shared files: approvals happen, consistency holds *)
+  let trace =
+    (Experiments.V_trace.shared_heavy ~seed:31L ~clients:4 ~duration:(span 2_000.) ())
+      .Experiments.V_trace.trace
+  in
+  let m = run_term ~n_clients:4 trace (Analytic.Model.Finite 10.) in
+  Alcotest.(check int) "no violations with sharing" 0 m.Leases.Metrics.oracle_violations;
+  Alcotest.(check bool) "approval traffic present" true (m.Leases.Metrics.msgs_approval > 0);
+  Alcotest.(check bool) "callbacks sent" true (m.Leases.Metrics.callbacks_sent > 0);
+  Alcotest.(check int) "all writes commit" m.Leases.Metrics.writes_completed
+    m.Leases.Metrics.commits
+
+let test_consistency_under_loss () =
+  let trace = v_trace ~seed:9L 500. in
+  let setup =
+    { (Experiments.Runner.lease_setup ~term:(Analytic.Model.Finite 10.) ()) with
+      Leases.Sim.loss = 0.3; seed = 123L }
+  in
+  let m = Experiments.Runner.run_lease setup trace in
+  Alcotest.(check int) "loss costs time, not correctness" 0 m.Leases.Metrics.oracle_violations;
+  Alcotest.(check bool) "drops happened" true (m.Leases.Metrics.net_dropped_loss > 0);
+  Alcotest.(check bool) "retransmissions happened" true (m.Leases.Metrics.retransmissions > 0);
+  Alcotest.(check int) "ops all done despite loss" 0 m.Leases.Metrics.dropped_ops
+
+let test_temporary_ops_bypass_server () =
+  let m =
+    run_term
+      (v_trace ~seed:15L 1_000.)
+      (Analytic.Model.Finite 10.)
+  in
+  Alcotest.(check bool) "temporary ops present in the V workload" true
+    (m.Leases.Metrics.temp_ops > 0)
+
+let test_adaptive_policy_runs () =
+  let trace = v_trace ~seed:21L 2_000. in
+  let config =
+    { Leases.Config.default with
+      Leases.Config.term_policy = Leases.Term_policy.Adaptive Leases.Term_policy.default_adaptive }
+  in
+  let setup = { Leases.Sim.default_setup with Leases.Sim.config } in
+  let outcome = Leases.Sim.run setup ~trace in
+  let m = outcome.Leases.Sim.metrics in
+  Alcotest.(check int) "adaptive stays consistent" 0 m.Leases.Metrics.oracle_violations;
+  (* adaptive terms grow on read-mostly files, beating the zero-term load *)
+  let zero = run_term trace (Analytic.Model.Finite 0.) in
+  Alcotest.(check bool) "adaptive beats zero term" true
+    (m.Leases.Metrics.consistency_msgs < zero.Leases.Metrics.consistency_msgs)
+
+let test_metrics_printing () =
+  let m = run_term (v_trace 100.) (Analytic.Model.Finite 10.) in
+  let full = Format.asprintf "%a" Leases.Metrics.pp m in
+  let brief = Format.asprintf "%a" Leases.Metrics.pp_brief m in
+  Alcotest.(check bool) "full summary mentions ops" true
+    (String.length full > 100
+    &&
+    let rec contains i =
+      i + 10 <= String.length full && (String.sub full i 10 = "ops issued" || contains (i + 1))
+    in
+    contains 0);
+  Alcotest.(check bool) "brief is one line" true (not (String.contains brief '\n'))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "consistency",
+        [
+          Alcotest.test_case "no violations, any term" `Quick test_no_violations_any_term;
+          Alcotest.test_case "multi-client sharing" `Quick test_multi_client_sharing;
+          Alcotest.test_case "consistency under loss" `Quick test_consistency_under_loss;
+        ] );
+      ( "model validation",
+        [
+          Alcotest.test_case "matches formula 1" `Slow test_matches_analytic_model;
+          Alcotest.test_case "zero term exact" `Quick test_zero_term_exact;
+          Alcotest.test_case "load monotone in term" `Quick test_longer_term_fewer_messages;
+          Alcotest.test_case "hit ratio grows" `Quick test_hit_ratio_grows_with_term;
+          Alcotest.test_case "bursty sharper knee" `Slow test_bursty_sharper_knee;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "all ops complete" `Quick test_all_ops_complete;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "temporary ops bypass" `Quick test_temporary_ops_bypass_server;
+          Alcotest.test_case "adaptive policy" `Quick test_adaptive_policy_runs;
+          Alcotest.test_case "metrics printing" `Quick test_metrics_printing;
+        ] );
+    ]

@@ -1,0 +1,215 @@
+(* Unit tests for the simtime substrate: time arithmetic, the event queue
+   and the discrete-event engine. *)
+
+open Simtime
+
+let sec = Time.of_sec
+let span = Time.Span.of_sec
+
+(* --- Time ----------------------------------------------------------- *)
+
+let test_time_roundtrip () =
+  Alcotest.(check int) "us roundtrip" 123_456 (Time.to_us (Time.of_us 123_456));
+  Alcotest.(check (float 1e-9)) "sec roundtrip" 1.5 (Time.to_sec (sec 1.5));
+  Alcotest.(check (float 1e-9)) "sub-microsecond rounds" 1e-6 (Time.to_sec (Time.of_sec 0.6e-6))
+
+let test_time_ordering () =
+  Alcotest.(check bool) "lt" true Time.(sec 1. < sec 2.);
+  Alcotest.(check bool) "le refl" true Time.(sec 1. <= sec 1.);
+  Alcotest.(check bool) "gt" true Time.(sec 3. > sec 2.);
+  Alcotest.(check bool) "not lt self" false Time.(sec 1. < sec 1.);
+  Alcotest.(check bool) "min" true (Time.equal (Time.min (sec 1.) (sec 2.)) (sec 1.));
+  Alcotest.(check bool) "max" true (Time.equal (Time.max (sec 1.) (sec 2.)) (sec 2.))
+
+let test_time_arith () =
+  let t = Time.add (sec 1.) (span 2.) in
+  Alcotest.(check (float 1e-9)) "add" 3. (Time.to_sec t);
+  Alcotest.(check (float 1e-9)) "diff" 2. (Time.Span.to_sec (Time.diff t (sec 1.)));
+  Alcotest.(check (float 1e-9)) "negative diff" (-2.) (Time.Span.to_sec (Time.diff (sec 1.) t))
+
+let test_span_ops () =
+  Alcotest.(check (float 1e-9)) "scale" 2.5 (Time.Span.to_sec (Time.Span.scale 2.5 (span 1.)));
+  Alcotest.(check (float 1e-9)) "neg" (-1.) (Time.Span.to_sec (Time.Span.neg (span 1.)));
+  Alcotest.(check bool) "is_negative" true (Time.Span.is_negative (Time.Span.neg (span 1.)));
+  Alcotest.(check (float 1e-9)) "clamp negative" 0.
+    (Time.Span.to_sec (Time.Span.clamp_non_negative (Time.Span.neg (span 5.))));
+  Alcotest.(check (float 1e-9)) "clamp positive" 5.
+    (Time.Span.to_sec (Time.Span.clamp_non_negative (span 5.)));
+  Alcotest.(check (float 1e-9)) "ms" 1.5 (Time.Span.to_ms (Time.Span.of_ms 1.5))
+
+(* --- Event queue ------------------------------------------------------ *)
+
+let test_queue_ordering () =
+  let q = Event_queue.create () in
+  ignore (Event_queue.push q ~at:(sec 3.) "c");
+  ignore (Event_queue.push q ~at:(sec 1.) "a");
+  ignore (Event_queue.push q ~at:(sec 2.) "b");
+  let pop () = Option.map snd (Event_queue.pop q) in
+  Alcotest.(check (option string)) "first" (Some "a") (pop ());
+  Alcotest.(check (option string)) "second" (Some "b") (pop ());
+  Alcotest.(check (option string)) "third" (Some "c") (pop ());
+  Alcotest.(check (option string)) "empty" None (pop ())
+
+let test_queue_fifo_ties () =
+  let q = Event_queue.create () in
+  List.iter (fun v -> ignore (Event_queue.push q ~at:(sec 1.) v)) [ "x"; "y"; "z" ];
+  let order = List.init 3 (fun _ -> Option.get (Option.map snd (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "insertion order preserved on ties" [ "x"; "y"; "z" ] order
+
+let test_queue_cancel () =
+  let q = Event_queue.create () in
+  let _a = Event_queue.push q ~at:(sec 1.) "a" in
+  let b = Event_queue.push q ~at:(sec 2.) "b" in
+  let _c = Event_queue.push q ~at:(sec 3.) "c" in
+  Event_queue.cancel b;
+  Alcotest.(check bool) "cancelled flag" true (Event_queue.cancelled b);
+  Alcotest.(check int) "live count excludes cancelled" 2 (Event_queue.length q);
+  let order = List.init 2 (fun _ -> Option.get (Option.map snd (Event_queue.pop q))) in
+  Alcotest.(check (list string)) "cancelled skipped" [ "a"; "c" ] order;
+  (* double cancel is a no-op *)
+  Event_queue.cancel b;
+  Alcotest.(check int) "still empty" 0 (Event_queue.length q)
+
+let test_queue_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option reject)) "peek empty"
+    None
+    (Option.map (fun _ -> ()) (Event_queue.peek_time q));
+  let a = Event_queue.push q ~at:(sec 1.) "a" in
+  ignore (Event_queue.push q ~at:(sec 2.) "b");
+  Alcotest.(check (float 1e-9)) "peek earliest" 1. (Time.to_sec (Option.get (Event_queue.peek_time q)));
+  Event_queue.cancel a;
+  Alcotest.(check (float 1e-9)) "peek skips cancelled" 2.
+    (Time.to_sec (Option.get (Event_queue.peek_time q)))
+
+let test_queue_interleaved () =
+  (* push/pop interleaving never violates ordering *)
+  let q = Event_queue.create () in
+  let popped = ref [] in
+  ignore (Event_queue.push q ~at:(sec 5.) 5);
+  ignore (Event_queue.push q ~at:(sec 1.) 1);
+  (match Event_queue.pop q with
+  | Some (_, v) -> popped := v :: !popped
+  | None -> Alcotest.fail "expected an event");
+  ignore (Event_queue.push q ~at:(sec 2.) 2);
+  ignore (Event_queue.push q ~at:(sec 0.5) 0);
+  let rec drain () =
+    match Event_queue.pop q with
+    | Some (_, v) ->
+      popped := v :: !popped;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "order across interleaving" [ 1; 0; 2; 5 ] (List.rev !popped)
+
+(* --- Engine ----------------------------------------------------------- *)
+
+let test_engine_runs_in_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  ignore (Engine.schedule_at engine (sec 2.) (fun () -> log := "b" :: !log));
+  ignore (Engine.schedule_at engine (sec 1.) (fun () -> log := "a" :: !log));
+  ignore (Engine.schedule_at engine (sec 3.) (fun () -> log := "c" :: !log));
+  Engine.run engine;
+  Alcotest.(check (list string)) "in order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock lands on last event" 3. (Time.to_sec (Engine.now engine))
+
+let test_engine_now_inside_callback () =
+  let engine = Engine.create () in
+  let seen = ref Time.zero in
+  ignore (Engine.schedule_at engine (sec 1.5) (fun () -> seen := Engine.now engine));
+  Engine.run engine;
+  Alcotest.(check (float 1e-9)) "now = scheduled instant" 1.5 (Time.to_sec !seen)
+
+let test_engine_schedule_from_callback () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  ignore
+    (Engine.schedule_at engine (sec 1.) (fun () ->
+         log := "outer" :: !log;
+         ignore (Engine.schedule_after engine (span 1.) (fun () -> log := "inner" :: !log))));
+  Engine.run engine;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "final time" 2. (Time.to_sec (Engine.now engine))
+
+let test_engine_until () =
+  let engine = Engine.create () in
+  let ran = ref [] in
+  ignore (Engine.schedule_at engine (sec 1.) (fun () -> ran := 1 :: !ran));
+  ignore (Engine.schedule_at engine (sec 5.) (fun () -> ran := 5 :: !ran));
+  Engine.run ~until:(sec 3.) engine;
+  Alcotest.(check (list int)) "only events up to the bound" [ 1 ] (List.rev !ran);
+  Alcotest.(check (float 1e-9)) "time parked at the bound" 3. (Time.to_sec (Engine.now engine));
+  Alcotest.(check int) "later event still queued" 1 (Engine.pending engine);
+  Engine.run engine;
+  Alcotest.(check (list int)) "resumes" [ 1; 5 ] (List.rev !ran)
+
+let test_engine_cancel () =
+  let engine = Engine.create () in
+  let ran = ref false in
+  let handle = Engine.schedule_at engine (sec 1.) (fun () -> ran := true) in
+  Engine.cancel handle;
+  Engine.run engine;
+  Alcotest.(check bool) "cancelled callback never runs" false !ran
+
+let test_engine_rejects_past () =
+  let engine = Engine.create () in
+  ignore (Engine.schedule_at engine (sec 2.) (fun () -> ()));
+  Engine.run engine;
+  Alcotest.check_raises "scheduling in the past"
+    (Invalid_argument "Engine.schedule_at: 1.000000s is in the past (now 2.000000s)")
+    (fun () -> ignore (Engine.schedule_at engine (sec 1.) (fun () -> ())));
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule_after: negative delay -1.000000s")
+    (fun () -> ignore (Engine.schedule_after engine (Time.Span.neg (span 1.)) (fun () -> ())))
+
+let test_engine_same_instant_fifo () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun i -> ignore (Engine.schedule_at engine (sec 1.) (fun () -> log := i :: !log)))
+    [ 1; 2; 3; 4 ];
+  Engine.run engine;
+  Alcotest.(check (list int)) "same-instant callbacks run FIFO" [ 1; 2; 3; 4 ] (List.rev !log)
+
+let test_engine_step () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  ignore (Engine.schedule_at engine (sec 1.) (fun () -> incr count));
+  ignore (Engine.schedule_at engine (sec 2.) (fun () -> incr count));
+  Alcotest.(check bool) "step runs one" true (Engine.step engine);
+  Alcotest.(check int) "one ran" 1 !count;
+  Alcotest.(check bool) "second step" true (Engine.step engine);
+  Alcotest.(check bool) "exhausted" false (Engine.step engine)
+
+let () =
+  Alcotest.run "simtime"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_time_roundtrip;
+          Alcotest.test_case "ordering" `Quick test_time_ordering;
+          Alcotest.test_case "arithmetic" `Quick test_time_arith;
+          Alcotest.test_case "span ops" `Quick test_span_ops;
+        ] );
+      ( "event-queue",
+        [
+          Alcotest.test_case "ordering" `Quick test_queue_ordering;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "cancel" `Quick test_queue_cancel;
+          Alcotest.test_case "peek" `Quick test_queue_peek;
+          Alcotest.test_case "interleaved" `Quick test_queue_interleaved;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "now inside callback" `Quick test_engine_now_inside_callback;
+          Alcotest.test_case "schedule from callback" `Quick test_engine_schedule_from_callback;
+          Alcotest.test_case "bounded run" `Quick test_engine_until;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+          Alcotest.test_case "same-instant fifo" `Quick test_engine_same_instant_fifo;
+          Alcotest.test_case "step" `Quick test_engine_step;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+(* Unit tests for the stats substrate: counters, Welford accumulators,
+   histograms, series and table rendering. *)
+
+let test_counter_basics () =
+  let registry = Stats.Counter.Registry.create () in
+  let c = Stats.Counter.Registry.counter registry "reads" in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 4;
+  Alcotest.(check int) "value" 5 (Stats.Counter.value c);
+  Alcotest.(check string) "name" "reads" (Stats.Counter.name c);
+  Alcotest.(check int) "find" 5 (Stats.Counter.Registry.find registry "reads");
+  Alcotest.(check int) "find missing = 0" 0 (Stats.Counter.Registry.find registry "absent");
+  Alcotest.check_raises "monotonic" (Invalid_argument "Counter.add: counters are monotonic")
+    (fun () -> Stats.Counter.add c (-1))
+
+let test_counter_identity () =
+  let registry = Stats.Counter.Registry.create () in
+  let a = Stats.Counter.Registry.counter registry "x" in
+  let b = Stats.Counter.Registry.counter registry "x" in
+  Stats.Counter.incr a;
+  Alcotest.(check int) "same counter under one name" 1 (Stats.Counter.value b)
+
+let test_counter_listing () =
+  let registry = Stats.Counter.Registry.create () in
+  Stats.Counter.add (Stats.Counter.Registry.counter registry "b") 2;
+  Stats.Counter.add (Stats.Counter.Registry.counter registry "a") 1;
+  Alcotest.(check (list (pair string int))) "sorted by name" [ ("a", 1); ("b", 2) ]
+    (Stats.Counter.Registry.to_list registry);
+  Stats.Counter.Registry.reset registry;
+  Alcotest.(check (list (pair string int))) "reset" [ ("a", 0); ("b", 0) ]
+    (Stats.Counter.Registry.to_list registry)
+
+let test_welford () =
+  let w = Stats.Welford.create () in
+  Alcotest.(check int) "empty count" 0 (Stats.Welford.count w);
+  Alcotest.(check (float 0.)) "empty mean" 0. (Stats.Welford.mean w);
+  List.iter (Stats.Welford.add w) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Stats.Welford.count w);
+  Alcotest.(check (float 1e-9)) "mean" 5. (Stats.Welford.mean w);
+  Alcotest.(check (float 1e-9)) "variance (unbiased)" (32. /. 7.) (Stats.Welford.variance w);
+  Alcotest.(check (float 1e-9)) "min" 2. (Stats.Welford.min w);
+  Alcotest.(check (float 1e-9)) "max" 9. (Stats.Welford.max w);
+  Alcotest.(check (float 1e-9)) "total" 40. (Stats.Welford.total w)
+
+let test_welford_merge () =
+  let all = Stats.Welford.create () in
+  let left = Stats.Welford.create () in
+  let right = Stats.Welford.create () in
+  let xs = [ 1.; 2.; 3.; 10.; 20.; 30.; 4.; 5. ] in
+  List.iteri
+    (fun i x ->
+      Stats.Welford.add all x;
+      Stats.Welford.add (if i mod 2 = 0 then left else right) x)
+    xs;
+  let merged = Stats.Welford.merge left right in
+  Alcotest.(check int) "count" (Stats.Welford.count all) (Stats.Welford.count merged);
+  Alcotest.(check (float 1e-9)) "mean" (Stats.Welford.mean all) (Stats.Welford.mean merged);
+  Alcotest.(check (float 1e-6)) "variance" (Stats.Welford.variance all)
+    (Stats.Welford.variance merged);
+  (* merging with empty is the identity *)
+  let with_empty = Stats.Welford.merge all (Stats.Welford.create ()) in
+  Alcotest.(check (float 1e-9)) "merge with empty" (Stats.Welford.mean all)
+    (Stats.Welford.mean with_empty)
+
+let test_histogram_quantiles () =
+  let h = Stats.Histogram.create () in
+  for i = 1 to 1000 do
+    Stats.Histogram.add h (float_of_int i /. 1000.)
+  done;
+  Alcotest.(check int) "count" 1000 (Stats.Histogram.count h);
+  let p50 = Stats.Histogram.quantile h 0.5 in
+  (* log-bucketed: allow the bucket-width relative error *)
+  if p50 < 0.4 || p50 > 0.62 then Alcotest.failf "p50 out of tolerance: %g" p50;
+  let p99 = Stats.Histogram.quantile h 0.99 in
+  if p99 < 0.85 || p99 > 1.25 then Alcotest.failf "p99 out of tolerance: %g" p99;
+  Alcotest.(check (float 0.002)) "mean exact (tracked separately)" 0.5005 (Stats.Histogram.mean h)
+
+let test_histogram_edges () =
+  let h = Stats.Histogram.create () in
+  Alcotest.(check (float 0.)) "quantile of empty" 0. (Stats.Histogram.quantile h 0.5);
+  Stats.Histogram.add h 0.;
+  Stats.Histogram.add h 1e-9;
+  Alcotest.(check int) "zeros counted" 2 (Stats.Histogram.count h);
+  Alcotest.(check bool) "underflow quantile small" true (Stats.Histogram.quantile h 0.9 <= 1e-6);
+  Stats.Histogram.add h 1e12;
+  Alcotest.(check bool) "overflow finite estimate" true (Stats.Histogram.quantile h 1.0 < infinity);
+  Alcotest.check_raises "bad quantile" (Invalid_argument "Histogram.quantile: q must be in [0, 1]")
+    (fun () -> ignore (Stats.Histogram.quantile h 1.5))
+
+let test_series () =
+  let s = Stats.Series.create ~label:"load" in
+  Stats.Series.add s ~x:0. ~y:1.;
+  Stats.Series.add s ~x:10. ~y:0.1;
+  Alcotest.(check int) "length" 2 (Stats.Series.length s);
+  Alcotest.(check (option (float 1e-9))) "y_at hit" (Some 0.1) (Stats.Series.y_at s ~x:10.);
+  Alcotest.(check (option (float 1e-9))) "y_at miss" None (Stats.Series.y_at s ~x:5.);
+  let doubled = Stats.Series.map_y s ~f:(fun y -> 2. *. y) in
+  Alcotest.(check (option (float 1e-9))) "map_y" (Some 0.2) (Stats.Series.y_at doubled ~x:10.);
+  Alcotest.(check string) "label preserved" "load" (Stats.Series.label doubled)
+
+let test_table_render () =
+  let table =
+    Stats.Table.render ~header:[ "a"; "bbb" ] ~rows:[ [ "1"; "2" ]; [ "10"; "20" ]; [ "x" ] ]
+  in
+  let lines = String.split_on_char '\n' table in
+  Alcotest.(check int) "header + rule + 3 rows" 5 (List.length lines);
+  (match lines with
+  | header :: rule :: _ ->
+    Alcotest.(check bool) "rule dashes" true (String.for_all (fun c -> c = '-' || c = ' ') rule);
+    Alcotest.(check bool) "header contains both columns" true
+      (String.length header >= String.length "a   bbb")
+  | _ -> Alcotest.fail "too few lines");
+  (* ragged row padded, no trailing spaces *)
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[String.length line - 1] = ' ' then
+        Alcotest.failf "trailing space in %S" line)
+    lines
+
+let test_table_of_series () =
+  let a = Stats.Series.create ~label:"a" in
+  let b = Stats.Series.create ~label:"b" in
+  Stats.Series.add a ~x:1. ~y:10.;
+  Stats.Series.add a ~x:2. ~y:20.;
+  Stats.Series.add b ~x:2. ~y:200.;
+  let table =
+    Stats.Table.of_series ~x_label:"x" ~x_format:(Printf.sprintf "%g")
+      ~y_format:(Printf.sprintf "%g") [ a; b ]
+  in
+  let lines = String.split_on_char '\n' table in
+  Alcotest.(check int) "x union rows" 4 (List.length lines);
+  Alcotest.(check bool) "missing cell left empty" true
+    (String.length (List.nth lines 2) < String.length (List.nth lines 3) + 5)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "identity" `Quick test_counter_identity;
+          Alcotest.test_case "listing" `Quick test_counter_listing;
+        ] );
+      ( "welford",
+        [
+          Alcotest.test_case "moments" `Quick test_welford;
+          Alcotest.test_case "merge" `Quick test_welford_merge;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "edges" `Quick test_histogram_edges;
+        ] );
+      ( "series+table",
+        [
+          Alcotest.test_case "series" `Quick test_series;
+          Alcotest.test_case "table render" `Quick test_table_render;
+          Alcotest.test_case "table of series" `Quick test_table_of_series;
+        ] );
+    ]
