@@ -29,6 +29,17 @@ let test_event_queue =
          let rec drain () = match Simtime.Event_queue.pop q with Some _ -> drain () | None -> () in
          drain ()))
 
+let test_event_queue_cancel_heavy =
+  Test.make ~name:"event-queue cancel+push x1000"
+    (Staged.stage (fun () ->
+         ignore
+           (Experiments.Corebench.event_queue_cancel_heavy ~timer:Unix.gettimeofday ~ops:1000)))
+
+let test_lease_table =
+  Test.make ~name:"lease-table churn x1000"
+    (Staged.stage (fun () ->
+         ignore (Experiments.Corebench.lease_table_churn ~timer:Unix.gettimeofday ~ops:1000)))
+
 let test_prng =
   Test.make ~name:"splitmix64 x1000"
     (Staged.stage
@@ -109,6 +120,8 @@ let suite =
   Test.make_grouped ~name:"leases"
     [
       test_event_queue;
+      test_event_queue_cancel_heavy;
+      test_lease_table;
       test_prng;
       test_zero_sim;
       test_lease_sim;
@@ -141,9 +154,27 @@ let run_bechamel () =
          | Some (t :: _) -> Printf.printf "%-44s  %12.0f\n" name t
          | Some [] | None -> Printf.printf "%-44s  (no estimate)\n" name)
 
+let run_throughput () =
+  print_endline "clients  sim-s    wall-s   sim-s/wall-s";
+  print_endline "-------  -------  -------  ------------";
+  List.iter
+    (fun n_clients ->
+      let r =
+        Experiments.Corebench.lease_throughput ~timer:Unix.gettimeofday ~n_clients
+          ~duration:(span_sec 200.)
+      in
+      Printf.printf "%-7d  %7.0f  %7.2f  %12.0f\n" r.Experiments.Corebench.n_clients
+        r.Experiments.Corebench.sim_seconds r.Experiments.Corebench.wall_seconds
+        r.Experiments.Corebench.sim_sec_per_wall_sec)
+    Experiments.Corebench.client_counts
+
 let () =
   print_endline "=== Bechamel benchmarks ===";
   run_bechamel ();
+  print_newline ();
+  print_endline
+    "=== Simulation-core throughput (bin/bench_core.exe records this as BENCH_core.json) ===";
+  run_throughput ();
   print_newline ();
   print_endline "=== Paper tables and figures (quick mode; bin/figures.exe runs full-length) ===";
   let section title = Printf.printf "\n== %s ==\n\n" title in

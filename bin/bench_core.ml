@@ -1,0 +1,102 @@
+(* Emit BENCH_core.json: the simulation-core performance trajectory.
+
+   Records the event-queue and lease-table microbenches and end-to-end
+   simulated-seconds-per-wallclock-second at N = 1, 10, 100 clients, so
+   future PRs touching the hot paths are held to these numbers.  The JSON
+   format is documented in DESIGN.md section 4. *)
+
+let timer = Unix.gettimeofday
+
+let span_sec = Simtime.Time.Span.of_sec
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let fnum v =
+  (* JSON has no infinities; benchmarks never legitimately produce them. *)
+  if Float.is_finite v then Printf.sprintf "%.6g" v else "0"
+
+let micro_fields (m : Experiments.Corebench.micro) =
+  Printf.sprintf "\"ops\": %d, \"elapsed_s\": %s, \"ops_per_sec\": %s" m.ops (fnum m.elapsed_s)
+    (fnum m.ops_per_sec)
+
+let main quick out =
+  let micro_ops = if quick then 100_000 else 1_000_000 in
+  let duration = span_sec (if quick then 200. else 1_000.) in
+  let push_pop = Experiments.Corebench.event_queue_push_pop ~timer ~ops:micro_ops in
+  let cancel_heavy = Experiments.Corebench.event_queue_cancel_heavy ~timer ~ops:micro_ops in
+  let lease_table = Experiments.Corebench.lease_table_churn ~timer ~ops:micro_ops in
+  let end_to_end =
+    List.map
+      (fun n_clients -> Experiments.Corebench.lease_throughput ~timer ~n_clients ~duration)
+      Experiments.Corebench.client_counts
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"leases-bench-core/1\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" quick);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"event_queue\": {\n    \"push_pop\": { %s },\n"
+       (micro_fields push_pop));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    \"cancel_heavy\": { %s, \"live_target\": %d, \"max_occupied_slots\": %d }\n  },\n"
+       (micro_fields cancel_heavy.Experiments.Corebench.g_micro)
+       cancel_heavy.Experiments.Corebench.live_target
+       cancel_heavy.Experiments.Corebench.max_slots);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"lease_table\": { \"churn\": { %s } },\n" (micro_fields lease_table));
+  Buffer.add_string buf "  \"end_to_end\": [\n";
+  List.iteri
+    (fun i (r : Experiments.Corebench.throughput) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"n_clients\": %d, \"sim_seconds\": %s, \"wall_seconds\": %s, \
+            \"sim_sec_per_wall_sec\": %s }%s\n"
+           r.n_clients (fnum r.sim_seconds) (fnum r.wall_seconds) (fnum r.sim_sec_per_wall_sec)
+           (if i = List.length end_to_end - 1 then "" else ",")))
+    end_to_end;
+  Buffer.add_string buf "  ]\n}\n";
+  (match open_out out with
+  | oc ->
+    output_string oc (Buffer.contents buf);
+    close_out oc
+  | exception Sys_error reason ->
+    Printf.eprintf "leases-bench-core: cannot write %s: %s\n" out reason;
+    exit 1);
+  Printf.printf "wrote %s\n" (json_escape out);
+  Printf.printf "event queue : push+pop %.2f Mops/s; cancel-heavy %.2f Mops/s, peak %d slots for %d live\n"
+    (push_pop.Experiments.Corebench.ops_per_sec /. 1e6)
+    (cancel_heavy.Experiments.Corebench.g_micro.Experiments.Corebench.ops_per_sec /. 1e6)
+    cancel_heavy.Experiments.Corebench.max_slots cancel_heavy.Experiments.Corebench.live_target;
+  Printf.printf "lease table : churn %.2f Mops/s\n"
+    (lease_table.Experiments.Corebench.ops_per_sec /. 1e6);
+  List.iter
+    (fun (r : Experiments.Corebench.throughput) ->
+      Printf.printf "end-to-end  : N=%-3d  %.0f sim-s in %.2f s  =  %.0f sim-s/s\n" r.n_clients
+        r.sim_seconds r.wall_seconds r.sim_sec_per_wall_sec)
+    end_to_end
+
+open Cmdliner
+
+let quick_arg =
+  let doc = "Smaller op counts and shorter traces: noisier numbers, much faster." in
+  Arg.(value & flag & info [ "q"; "quick" ] ~doc)
+
+let out_arg =
+  let doc = "Output path for the JSON record." in
+  Arg.(value & opt string "BENCH_core.json" & info [ "o"; "output" ] ~docv:"PATH" ~doc)
+
+let cmd =
+  let doc = "Benchmark the simulation-core hot paths and emit BENCH_core.json." in
+  Cmd.v (Cmd.info "leases-bench-core" ~doc) Term.(const main $ quick_arg $ out_arg)
+
+let () = exit (Cmd.eval cmd)

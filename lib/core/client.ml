@@ -44,6 +44,8 @@ type t = {
   counters : Stats.Counter.Registry.t;
   (* --- volatile state, reset by the crash hook --- *)
   cache : (File_id.t, entry) Hashtbl.t;
+  mutable files_sorted : File_id.t list option;
+      (** memoized [cached_files]; invalidated on cache membership change *)
   rpcs : (Messages.req_id, rpc) Hashtbl.t;
   busy : (File_id.t, unit) Hashtbl.t;  (** files with a primary RPC in flight *)
   op_queue : (File_id.t, queued_op Queue.t) Hashtbl.t;
@@ -115,6 +117,7 @@ let entry_for t file =
   | None ->
     let entry = { version = Vstore.Version.initial; expiry = Lease.At Time.zero; renewal_timer = None } in
     Hashtbl.replace t.cache file entry;
+    t.files_sorted <- None;
     entry
 
 let cancel_renewal entry =
@@ -128,15 +131,24 @@ let invalidate t file =
   match Hashtbl.find_opt t.cache file with
   | Some entry ->
     cancel_renewal entry;
-    Hashtbl.remove t.cache file
+    Hashtbl.remove t.cache file;
+    t.files_sorted <- None
   | None -> ()
 
 (* Everything in the cache, lease live or lapsed: an extension request may
    renew a lapsed lease (the server refreshes the version if the datum
    changed), and the paper's batching advice is to extend "all leases over
-   all files that it still holds". *)
+   all files that it still holds".  Memoized: batched reads and renewals
+   consult this on every operation, while membership changes rarely. *)
 let cached_files t =
-  Hashtbl.fold (fun file _ acc -> file :: acc) t.cache [] |> List.sort File_id.compare
+  match t.files_sorted with
+  | Some files -> files
+  | None ->
+    let files =
+      Hashtbl.fold (fun file _ acc -> file :: acc) t.cache [] |> List.sort File_id.compare
+    in
+    t.files_sorted <- Some files;
+    files
 
 (* Renew every held lease in one batched extension with no waiting read —
    the anticipatory option of Section 4.  One renewal covers every cached
@@ -360,6 +372,7 @@ let on_crash t =
   t.up <- false;
   Hashtbl.iter (fun _ entry -> cancel_renewal entry) t.cache;
   Hashtbl.reset t.cache;
+  t.files_sorted <- None;
   Hashtbl.iter (fun _ rpc -> match rpc.timer with Some h -> Engine.cancel h | None -> ()) t.rpcs;
   Hashtbl.reset t.rpcs;
   Hashtbl.reset t.busy;
@@ -380,6 +393,7 @@ let create ~engine ~clock ~net ~liveness ~host ~server ~config () =
       config;
       counters = Stats.Counter.Registry.create ();
       cache = Hashtbl.create 128;
+      files_sorted = None;
       rpcs = Hashtbl.create 32;
       busy = Hashtbl.create 16;
       op_queue = Hashtbl.create 16;

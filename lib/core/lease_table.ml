@@ -1,0 +1,53 @@
+module Host_id = Host.Host_id
+module File_id = Vstore.File_id
+
+type holders = (Host_id.t, Lease.expiry) Hashtbl.t
+
+type t = { files : (File_id.t, holders) Hashtbl.t }
+
+let create () = { files = Hashtbl.create 64 }
+
+let holders_tbl t file = Hashtbl.find_opt t.files file
+
+let record t file holder expiry =
+  match holders_tbl t file with
+  | Some holders -> Hashtbl.replace holders holder expiry
+  | None ->
+    let holders = Hashtbl.create 8 in
+    Hashtbl.replace holders holder expiry;
+    Hashtbl.replace t.files file holders
+
+let remove_holder t file holder =
+  match holders_tbl t file with
+  | Some holders ->
+    Hashtbl.remove holders holder;
+    if Hashtbl.length holders = 0 then Hashtbl.remove t.files file
+  | None -> ()
+
+let drop_file t file = Hashtbl.remove t.files file
+
+(* Iteration order over a Hashtbl is unspecified, so every aggregate below is
+   either order-independent (count, max, set union) or explicitly sorted —
+   simulation determinism must not depend on hash layout. *)
+
+let fold_live t file ~now ~init ~f =
+  match holders_tbl t file with
+  | None -> init
+  | Some holders ->
+    Hashtbl.fold
+      (fun holder expiry acc -> if Lease.expired expiry ~now then acc else f holder expiry acc)
+      holders init
+
+let live_count t file ~now = fold_live t file ~now ~init:0 ~f:(fun _ _ acc -> acc + 1)
+
+let live_holders t file ~now =
+  fold_live t file ~now ~init:[] ~f:(fun holder _ acc -> holder :: acc)
+  |> List.sort Host_id.compare
+
+let live_holder_set t file ~now =
+  fold_live t file ~now ~init:Host_id.Set.empty ~f:(fun holder _ acc -> Host_id.Set.add holder acc)
+
+let live_deadline t file ~now ~init =
+  fold_live t file ~now ~init ~f:(fun _ expiry acc -> Lease.expiry_max expiry acc)
+
+let clear t = Hashtbl.reset t.files

@@ -1,0 +1,48 @@
+(** The server's volatile per-file lease-holder table.
+
+    A mutable two-level hash table: file -> (holder -> server-local expiry).
+    The per-message hot path ([record]/[remove_holder]/[drop_file]) is O(1)
+    amortized, replacing the immutable-map rebuilds that used to dominate
+    lease bookkeeping.  All aggregates are deterministic: order-independent
+    folds, or results sorted by holder id.
+
+    The table is volatile server state — [clear] restores the just-crashed
+    empty state (leases survive only in the WAL, as recovery deadlines). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> Vstore.File_id.t -> Host.Host_id.t -> Lease.expiry -> unit
+(** Upsert one holder's lease on a file. *)
+
+val remove_holder : t -> Vstore.File_id.t -> Host.Host_id.t -> unit
+(** Drop one holder's record (approval received, or implicit writer
+    self-approval).  No-op if absent. *)
+
+val drop_file : t -> Vstore.File_id.t -> unit
+(** Forget every record on the file (commit: remaining records are stale). *)
+
+val fold_live :
+  t ->
+  Vstore.File_id.t ->
+  now:Simtime.Time.t ->
+  init:'a ->
+  f:(Host.Host_id.t -> Lease.expiry -> 'a -> 'a) ->
+  'a
+(** Fold over holders whose lease is unexpired at [now] (server clock).
+    Visit order is unspecified; [f] must be order-independent. *)
+
+val live_count : t -> Vstore.File_id.t -> now:Simtime.Time.t -> int
+
+val live_holders : t -> Vstore.File_id.t -> now:Simtime.Time.t -> Host.Host_id.t list
+(** Sorted by holder id. *)
+
+val live_holder_set : t -> Vstore.File_id.t -> now:Simtime.Time.t -> Host.Host_id.Set.t
+
+val live_deadline :
+  t -> Vstore.File_id.t -> now:Simtime.Time.t -> init:Lease.expiry -> Lease.expiry
+(** Latest live expiry on the file, at least [init]. *)
+
+val clear : t -> unit
+(** Crash reset: empty the table in place. *)

@@ -30,7 +30,7 @@ type t = {
   tracker : Term_policy.Tracker.t option;
   on_commit : Vstore.File_id.t -> Vstore.Version.t -> unit;
   (* --- volatile state, reset by the crash hook --- *)
-  mutable leases : Lease.expiry Host_id.Map.t File_id.Map.t;
+  leases : Lease_table.t;
   pending : (File_id.t, pending) Hashtbl.t;
   pending_by_id : (int, pending) Hashtbl.t;
   queued : (File_id.t, queued_write Queue.t) Hashtbl.t;
@@ -62,16 +62,7 @@ let local_now t = Clock.now t.clock
 
 let is_installed t file = File_id.Set.mem file t.installed_set
 
-let holders_of t file =
-  match File_id.Map.find_opt file t.leases with
-  | Some holders -> holders
-  | None -> Host_id.Map.empty
-
-let live_holders t file =
-  let now = local_now t in
-  Host_id.Map.filter (fun _ expiry -> not (Lease.expired expiry ~now)) (holders_of t file)
-
-let leaseholders t file = List.map fst (Host_id.Map.bindings (live_holders t file))
+let leaseholders t file = Lease_table.live_holders t.leases file ~now:(local_now t)
 
 let has_pending_write t file =
   Hashtbl.mem t.pending file
@@ -101,9 +92,7 @@ let note_installed_cover t file ~until =
 (* ------------------------------------------------------------------ *)
 (* Granting                                                            *)
 
-let record_lease t file holder expiry =
-  let holders = Host_id.Map.add holder expiry (holders_of t file) in
-  t.leases <- File_id.Map.add file holders t.leases
+let record_lease t file holder expiry = Lease_table.record t.leases file holder expiry
 
 let grant_for t ~holder file : Messages.grant_line =
   let version = Vstore.Store.current t.store file in
@@ -123,7 +112,7 @@ let grant_for t ~holder file : Messages.grant_line =
   end
   else begin
     let now = local_now t in
-    let holders = Host_id.Map.cardinal (live_holders t file) in
+    let holders = Lease_table.live_count t.leases file ~now in
     let term =
       Term_policy.term_for t.config.term_policy ~tracker:t.tracker ~file ~now
         ~holders:(holders + 1)
@@ -167,18 +156,12 @@ let rec start_write t ~writer ~req file =
       (Lease.At (Time.max coverage recovery), Host_id.Set.empty)
     end
     else begin
-      let holders = Host_id.Map.remove writer (live_holders t file) in
       (* The writer's own lease is invalidated by the implicit approval
          carried on its write request. *)
-      t.leases <- File_id.Map.add file (Host_id.Map.remove writer (holders_of t file)) t.leases;
-      let deadline =
-        Host_id.Map.fold
-          (fun _ expiry acc -> Lease.expiry_max expiry acc)
-          holders (Lease.At recovery)
-      in
+      Lease_table.remove_holder t.leases file writer;
+      let deadline = Lease_table.live_deadline t.leases file ~now ~init:(Lease.At recovery) in
       let waiting =
-        if t.config.callback_on_write then
-          Host_id.Map.fold (fun host _ acc -> Host_id.Set.add host acc) holders Host_id.Set.empty
+        if t.config.callback_on_write then Lease_table.live_holder_set t.leases file ~now
         else Host_id.Set.empty
       in
       (deadline, waiting)
@@ -268,7 +251,7 @@ and commit_write t ~writer ~req file ~arrived =
   Stats.Counter.incr (Stats.Counter.Registry.counter t.counters "commits");
   (* Any remaining lease records on the file are stale (approved holders
      were removed as they replied; the rest expired). *)
-  t.leases <- File_id.Map.remove file t.leases;
+  Lease_table.drop_file t.leases file;
   if is_installed t file then begin
     t.installed_suspended <- File_id.Set.remove file t.installed_suspended;
     t.installed_cover <- File_id.Map.remove file t.installed_cover
@@ -318,7 +301,7 @@ let handle_approval t ~holder ~write_id file =
       p.waiting <- Host_id.Set.remove holder p.waiting;
       (* The approval invalidates the holder's copy, so its lease record
          goes too. *)
-      t.leases <- File_id.Map.add file (Host_id.Map.remove holder (holders_of t file)) t.leases;
+      Lease_table.remove_holder t.leases file holder;
       finish_pending t p
     end
   | Some _ | None -> ()
@@ -395,7 +378,7 @@ let handle_message t (envelope : Messages.payload Netsim.Net.envelope) =
 
 let on_crash t =
   t.up <- false;
-  t.leases <- File_id.Map.empty;
+  Lease_table.clear t.leases;
   Hashtbl.iter
     (fun _ p ->
       (match p.expiry_timer with Some h -> Engine.cancel h | None -> ());
@@ -444,7 +427,7 @@ let create ~engine ~clock ~net ~liveness ~host ~clients ~store ~config
       write_wait = Stats.Histogram.create ();
       tracker;
       on_commit;
-      leases = File_id.Map.empty;
+      leases = Lease_table.create ();
       pending = Hashtbl.create 32;
       pending_by_id = Hashtbl.create 32;
       queued = Hashtbl.create 32;

@@ -1,0 +1,92 @@
+(* Simulation-core benchmarks: the event-queue and lease-table hot paths,
+   and end-to-end simulated-seconds-per-wallclock-second throughput.  Shared
+   by bench/main.ml (human-readable) and bin/bench_core.ml (BENCH_core.json)
+   so both report the same measurement. *)
+
+open Simtime
+
+type micro = { ops : int; elapsed_s : float; ops_per_sec : float }
+
+type queue_growth = {
+  g_micro : micro;
+  max_slots : int;  (** peak occupied heap slots (live + tombstones) *)
+  live_target : int;  (** live events maintained throughout *)
+}
+
+type throughput = {
+  n_clients : int;
+  sim_seconds : float;
+  wall_seconds : float;
+  sim_sec_per_wall_sec : float;
+}
+
+let finish ~timer ~started ~ops =
+  let elapsed_s = Float.max 1e-9 (timer () -. started) in
+  { ops; elapsed_s; ops_per_sec = float_of_int ops /. elapsed_s }
+
+(* One op = one push plus its eventual pop, over a churning 1k-event window. *)
+let event_queue_push_pop ~timer ~ops =
+  let q = Event_queue.create () in
+  let window = 1_000 in
+  for i = 0 to window - 1 do
+    ignore (Event_queue.push q ~at:(Time.of_us ((i * 7919) mod 1_000_000)) i)
+  done;
+  let started = timer () in
+  for i = 0 to ops - 1 do
+    ignore (Event_queue.pop q);
+    ignore (Event_queue.push q ~at:(Time.of_us (1_000_000 + (i * 7919 mod 1_000_000))) i)
+  done;
+  let rec drain () = match Event_queue.pop q with Some _ -> drain () | None -> () in
+  drain ();
+  finish ~timer ~started ~ops
+
+(* The renewal/retry pattern: almost every scheduled event is cancelled and
+   replaced before it fires.  One op = cancel + push (+ occasional pop).
+   Peak slot occupancy demonstrates that tombstone compaction keeps the heap
+   bounded by a small multiple of the live count. *)
+let event_queue_cancel_heavy ~timer ~ops =
+  let q = Event_queue.create () in
+  let live_target = 1_024 in
+  let handles = Array.init live_target (fun i -> Event_queue.push q ~at:(Time.of_us i) i) in
+  let max_slots = ref (Event_queue.occupied_slots q) in
+  let started = timer () in
+  for i = 0 to ops - 1 do
+    let slot = i mod live_target in
+    Event_queue.cancel handles.(slot);
+    handles.(slot) <- Event_queue.push q ~at:(Time.of_us (live_target + i)) i;
+    if i mod 64 = 0 then begin
+      let slots = Event_queue.occupied_slots q in
+      if slots > !max_slots then max_slots := slots
+    end
+  done;
+  let g_micro = finish ~timer ~started ~ops in
+  { g_micro; max_slots = !max_slots; live_target }
+
+(* One op = record + live-deadline scan (+ periodic holder removal and file
+   drop), over 1k files x 32 holders — the server's per-message pattern. *)
+let lease_table_churn ~timer ~ops =
+  let table = Leases.Lease_table.create () in
+  let files = Array.init 1_000 Vstore.File_id.of_int in
+  let holders = Array.init 32 (fun i -> Host.Host_id.of_int (i + 1)) in
+  let started = timer () in
+  for i = 0 to ops - 1 do
+    let file = files.((i * 7919) mod Array.length files) in
+    let holder = holders.(i mod Array.length holders) in
+    let now = Time.of_us i in
+    Leases.Lease_table.record table file holder (Leases.Lease.At (Time.add now (Time.Span.of_sec 10.)));
+    ignore (Leases.Lease_table.live_deadline table file ~now ~init:(Leases.Lease.At now));
+    if i mod 4 = 3 then Leases.Lease_table.remove_holder table file holder;
+    if i mod 64 = 63 then Leases.Lease_table.drop_file table file
+  done;
+  finish ~timer ~started ~ops
+
+let lease_throughput ~timer ~n_clients ~duration =
+  let trace = (V_trace.poisson ~clients:n_clients ~duration ()).V_trace.trace in
+  let setup = Runner.lease_setup ~n_clients ~term:(Analytic.Model.Finite 10.) () in
+  let started = timer () in
+  let m = Runner.run_lease setup trace in
+  let wall_seconds = Float.max 1e-9 (timer () -. started) in
+  let sim_seconds = m.Leases.Metrics.sim_duration in
+  { n_clients; sim_seconds; wall_seconds; sim_sec_per_wall_sec = sim_seconds /. wall_seconds }
+
+let client_counts = [ 1; 10; 100 ]

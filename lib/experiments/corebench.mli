@@ -1,0 +1,38 @@
+(** Simulation-core benchmarks shared by [bench/main.ml] and
+    [bin/bench_core.ml]: event-queue and lease-table microbenches, plus
+    end-to-end simulated-seconds-per-wallclock-second throughput.
+
+    Every function takes [timer], a monotonic wallclock in seconds
+    (e.g. [Unix.gettimeofday]) — this library stays clock-agnostic. *)
+
+type micro = { ops : int; elapsed_s : float; ops_per_sec : float }
+
+type queue_growth = {
+  g_micro : micro;
+  max_slots : int;  (** peak occupied heap slots (live + tombstones) *)
+  live_target : int;  (** live events maintained throughout *)
+}
+
+type throughput = {
+  n_clients : int;
+  sim_seconds : float;
+  wall_seconds : float;
+  sim_sec_per_wall_sec : float;
+}
+
+val event_queue_push_pop : timer:(unit -> float) -> ops:int -> micro
+
+val event_queue_cancel_heavy : timer:(unit -> float) -> ops:int -> queue_growth
+(** Cancel-and-replace churn at a fixed live population; [max_slots] staying
+    within a small multiple of [live_target] shows tombstone compaction
+    bounds the heap. *)
+
+val lease_table_churn : timer:(unit -> float) -> ops:int -> micro
+
+val lease_throughput :
+  timer:(unit -> float) -> n_clients:int -> duration:Simtime.Time.Span.t -> throughput
+(** Run the standard Poisson V workload end to end and report simulated
+    seconds advanced per wallclock second. *)
+
+val client_counts : int list
+(** The standard N axis: 1, 10, 100. *)

@@ -145,6 +145,42 @@ let partition_drill () =
     ok;
   }
 
+(* Total blackout: at 100 % message loss no operation can complete, but the
+   lease invariant cannot be violated either — the failure mode is pure
+   unavailability, never staleness. *)
+let blackout_drill () =
+  let ops =
+    [ read_op ~at:2. ~client:0; write_op ~at:4. ~client:1; read_op ~at:8. ~client:0 ]
+  in
+  let trace = Workload.Trace.of_ops ops in
+  let setup =
+    {
+      (Runner.lease_setup ~n_clients:2 ~term:term_10 ()) with
+      Leases.Sim.loss = 1.0;
+      drain = Time.Span.of_sec 30.;
+    }
+  in
+  let m = Runner.run_lease setup trace in
+  let ok =
+    m.Leases.Metrics.oracle_violations = 0
+    && m.Leases.Metrics.commits = 0
+    && m.Leases.Metrics.dropped_ops = m.Leases.Metrics.ops_issued
+    && m.Leases.Metrics.net_dropped_loss > 0
+  in
+  {
+    name = "total blackout";
+    lines =
+      [
+        Printf.sprintf
+          "100%% loss: all %d issued ops stalled (%d messages dropped as loss), nothing \
+           committed, and the oracle saw %d stale reads — blackout costs availability, not \
+           consistency"
+          m.Leases.Metrics.ops_issued m.Leases.Metrics.net_dropped_loss
+          m.Leases.Metrics.oracle_violations;
+      ];
+    ok;
+  }
+
 (* Clock faults: a fast server clock is the unsafe direction; a slow one
    only costs time. *)
 let clock_drill () =
@@ -191,7 +227,15 @@ let clock_drill () =
   }
 
 let run () =
-  let scenarios = [ client_crash (); server_crash_drill (); partition_drill (); clock_drill () ] in
+  let scenarios =
+    [
+      client_crash ();
+      server_crash_drill ();
+      partition_drill ();
+      blackout_drill ();
+      clock_drill ();
+    ]
+  in
   let rows =
     List.map (fun s -> [ s.name; (if s.ok then "as predicted" else "UNEXPECTED") ]) scenarios
   in

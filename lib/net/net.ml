@@ -13,6 +13,7 @@ type 'a t = {
   proc_delay : Time.Span.t;
   handlers : (Host.Host_id.t, 'a envelope -> unit) Hashtbl.t;
   mutable sent : int;
+  mutable attempts : int;
   mutable deliveries : int;
   mutable dropped_loss : int;
   mutable dropped_partition : int;
@@ -20,7 +21,7 @@ type 'a t = {
 }
 
 let create engine ?liveness ?partition ?rng ?(loss = 0.) ?link_delay ~prop_delay ~proc_delay () =
-  if loss < 0. || loss >= 1. then invalid_arg "Net.create: loss must be in [0, 1)";
+  if loss < 0. || loss > 1. then invalid_arg "Net.create: loss must be in [0, 1]";
   if loss > 0. && rng = None then invalid_arg "Net.create: positive loss requires an rng";
   {
     engine;
@@ -33,6 +34,7 @@ let create engine ?liveness ?partition ?rng ?(loss = 0.) ?link_delay ~prop_delay
     proc_delay;
     handlers = Hashtbl.create 32;
     sent = 0;
+    attempts = 0;
     deliveries = 0;
     dropped_loss = 0;
     dropped_partition = 0;
@@ -54,6 +56,7 @@ let lost t =
 (* One delivery attempt toward [dst]; transit time is sender processing +
    propagation + receiver processing. *)
 let deliver_one t ~src ~dst payload =
+  t.attempts <- t.attempts + 1;
   let transit =
     Time.Span.add t.proc_delay (Time.Span.add (delay_between t ~src ~dst) t.proc_delay)
   in
@@ -72,29 +75,27 @@ let deliver_one t ~src ~dst payload =
   if lost t then t.dropped_loss <- t.dropped_loss + 1
   else ignore (Engine.schedule_after t.engine transit attempt)
 
-let sender_can_send t ~src ~dst =
-  if not (Host.Liveness.is_up t.liveness src) then begin
-    t.dropped_down <- t.dropped_down + 1;
-    false
-  end
-  else if not (Partition.connected t.partition src dst) then begin
-    (* The sender's packet leaves the interface but dies at the partition;
-       counted once per destination at delivery below, so allow it on. *)
-    true
-  end
-  else true
+(* A crashed sender's packets die on its own interface: one [dropped_down]
+   per destination, the same unit as every delivery-time drop, so
+   [attempts = deliveries + dropped_loss + dropped_partition + dropped_down]
+   reconciles once the queue drains. *)
+let drop_at_sender t ~dsts =
+  t.attempts <- t.attempts + dsts;
+  t.dropped_down <- t.dropped_down + dsts
 
 let send t ~src ~dst payload =
   t.sent <- t.sent + 1;
-  if sender_can_send t ~src ~dst then deliver_one t ~src ~dst payload
+  if Host.Liveness.is_up t.liveness src then deliver_one t ~src ~dst payload
+  else drop_at_sender t ~dsts:1
 
 let multicast t ~src ~dsts payload =
   t.sent <- t.sent + 1;
   if Host.Liveness.is_up t.liveness src then
     List.iter (fun dst -> deliver_one t ~src ~dst payload) dsts
-  else t.dropped_down <- t.dropped_down + 1
+  else drop_at_sender t ~dsts:(List.length dsts)
 
 let sent t = t.sent
+let attempts t = t.attempts
 let deliveries t = t.deliveries
 let dropped_loss t = t.dropped_loss
 let dropped_partition t = t.dropped_partition

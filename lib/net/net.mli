@@ -33,9 +33,10 @@ val create :
   proc_delay:Simtime.Time.Span.t ->
   unit ->
   'a t
-(** [loss] is the independent per-delivery drop probability (default 0;
-    requires [rng] when positive).  [link_delay] overrides the propagation
-    delay per (src, dst) pair, for mixed LAN/WAN topologies. *)
+(** [loss] is the independent per-delivery drop probability in [0, 1]
+    (default 0; requires [rng] when positive; 1.0 models a total blackout
+    for fault drills).  [link_delay] overrides the propagation delay per
+    (src, dst) pair, for mixed LAN/WAN topologies. *)
 
 val register : 'a t -> Host.Host_id.t -> ('a envelope -> unit) -> unit
 (** Install the message handler for a host.  Re-registering replaces it. *)
@@ -49,12 +50,19 @@ val multicast : 'a t -> src:Host.Host_id.t -> dsts:Host.Host_id.t list -> 'a -> 
 val sent : 'a t -> int
 (** Send operations: a multicast counts once. *)
 
+val attempts : 'a t -> int
+(** Per-destination delivery attempts: a unicast adds one, a multicast one
+    per destination.  Every attempt resolves as exactly one delivery or one
+    drop, so once the event queue drains,
+    [attempts = deliveries + dropped_loss + dropped_partition + dropped_down]. *)
+
 val deliveries : 'a t -> int
 
 val dropped_loss : 'a t -> int
 val dropped_partition : 'a t -> int
 val dropped_down : 'a t -> int
-(** Deliveries suppressed because an endpoint was crashed. *)
+(** Deliveries suppressed because an endpoint was crashed, counted per
+    destination (a crashed multicast sender counts once per destination). *)
 
 val unicast_rtt : 'a t -> Simtime.Time.Span.t
 (** The request/response round trip [2*m_prop + 4*m_proc] under the default

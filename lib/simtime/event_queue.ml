@@ -1,4 +1,13 @@
-type handle = { mutable live : bool }
+(* Shared between the queue and its handles so that [cancel], which only
+   receives a handle, can keep the queue's counters exact. *)
+type counts = {
+  mutable live : int;  (** scheduled, not cancelled, not popped *)
+  mutable dead : int;  (** cancelled entries still occupying heap slots *)
+}
+
+type state = Scheduled | Cancelled | Popped
+
+type handle = { mutable state : state; counts : counts }
 
 type 'a entry = { at : Time.t; seq : int; handle : handle; payload : 'a }
 
@@ -6,16 +15,18 @@ type 'a t = {
   mutable heap : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
-  mutable live_count : int;
+  counts : counts;
 }
 
-(* Min-heap ordered by (at, seq); seq breaks ties in insertion order. *)
+(* Min-heap ordered by (at, seq); seq breaks ties in insertion order.  The
+   order is total, so pop order is independent of heap layout and rebuilding
+   the heap (compaction) cannot perturb determinism. *)
 let entry_before a b =
   match Time.compare a.at b.at with
   | 0 -> a.seq < b.seq
   | c -> c < 0
 
-let create () = { heap = [||]; size = 0; next_seq = 0; live_count = 0 }
+let create () = { heap = [||]; size = 0; next_seq = 0; counts = { live = 0; dead = 0 } }
 
 let grow q dummy =
   let capacity = Array.length q.heap in
@@ -50,20 +61,57 @@ let rec sift_down q i =
     sift_down q smallest
   end
 
+(* Threshold-triggered compaction: when over half the occupied slots are
+   tombstones, rebuild the heap from the live entries alone.  Each dead slot
+   is removed at most once here (or once by a lazy pop), so cancel-heavy
+   workloads stay O(log n) amortized and the heap never holds more than
+   2x the live entries for long. *)
+let compact q =
+  let live = ref 0 in
+  for i = 0 to q.size - 1 do
+    let entry = q.heap.(i) in
+    if entry.handle.state = Scheduled then begin
+      q.heap.(!live) <- entry;
+      incr live
+    end
+  done;
+  (* Release tombstoned payloads so cancelled events don't pin memory. *)
+  if !live > 0 then
+    for i = !live to q.size - 1 do
+      q.heap.(i) <- q.heap.(0)
+    done;
+  q.size <- !live;
+  q.counts.dead <- 0;
+  (* Floyd heapify: O(n). *)
+  for i = (q.size / 2) - 1 downto 0 do
+    sift_down q i
+  done
+
+let maybe_compact q = if q.counts.dead > 16 && 2 * q.counts.dead > q.size then compact q
+
 let push q ~at payload =
-  let handle = { live = true } in
+  maybe_compact q;
+  let handle = { state = Scheduled; counts = q.counts } in
   let entry = { at; seq = q.next_seq; handle; payload } in
   q.next_seq <- q.next_seq + 1;
   grow q entry;
   q.heap.(q.size) <- entry;
   q.size <- q.size + 1;
-  q.live_count <- q.live_count + 1;
+  q.counts.live <- q.counts.live + 1;
   sift_up q (q.size - 1);
   handle
 
-let cancel handle = handle.live <- false
+(* Idempotent: only a Scheduled handle moves the counters, so cancelling
+   twice (or cancelling an already-popped event) never double-counts. *)
+let cancel handle =
+  match handle.state with
+  | Scheduled ->
+    handle.state <- Cancelled;
+    handle.counts.live <- handle.counts.live - 1;
+    handle.counts.dead <- handle.counts.dead + 1
+  | Cancelled | Popped -> ()
 
-let cancelled handle = not handle.live
+let cancelled handle = handle.state = Cancelled
 
 let pop_entry q =
   if q.size = 0 then None
@@ -80,35 +128,33 @@ let pop_entry q =
 let rec pop q =
   match pop_entry q with
   | None -> None
-  | Some entry ->
-    if entry.handle.live then begin
-      q.live_count <- q.live_count - 1;
+  | Some entry -> (
+    match entry.handle.state with
+    | Scheduled ->
+      entry.handle.state <- Popped;
+      q.counts.live <- q.counts.live - 1;
       Some (entry.at, entry.payload)
-    end
-    else pop q
+    | Cancelled ->
+      (* The tombstone has left the heap. *)
+      q.counts.dead <- q.counts.dead - 1;
+      pop q
+    | Popped -> assert false)
 
 let rec peek_time q =
   if q.size = 0 then None
   else begin
     let top = q.heap.(0) in
-    if top.handle.live then Some top.at
+    if top.handle.state = Scheduled then Some top.at
     else begin
       (* Discard the cancelled top so repeated peeks stay cheap. *)
       ignore (pop_entry q);
+      q.counts.dead <- q.counts.dead - 1;
       peek_time q
     end
   end
 
-let length q =
-  (* Cancelled-but-unpopped entries are excluded via the live counter.  The
-     counter can only drift if [cancel] is called twice on one handle, which
-     [cancel]'s idempotence below prevents from double-counting: we recount
-     lazily here instead of trusting it blindly. *)
-  let live = ref 0 in
-  for i = 0 to q.size - 1 do
-    if q.heap.(i).handle.live then incr live
-  done;
-  q.live_count <- !live;
-  !live
+let length q = q.counts.live
 
-let is_empty q = length q = 0
+let is_empty q = q.counts.live = 0
+
+let occupied_slots q = q.size

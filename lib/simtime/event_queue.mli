@@ -2,7 +2,11 @@
 
     Events with equal timestamps are dequeued in insertion order, which makes
     simulation runs fully deterministic.  Cancellation is O(1) (a tombstone
-    flag); cancelled events are dropped lazily on [pop]. *)
+    flag plus exact counter maintenance); cancelled events are dropped lazily
+    on [pop], and when tombstones exceed half the occupied heap slots the
+    heap is compacted in one O(n) pass, so cancel-heavy workloads
+    (anticipatory renewals, retry timers) stay O(log n) amortized with no
+    unbounded growth. *)
 
 type 'a t
 
@@ -27,6 +31,12 @@ val peek_time : 'a t -> Time.t option
 (** Timestamp of the earliest live event, without removing it. *)
 
 val length : 'a t -> int
-(** Number of live (non-cancelled) events. *)
+(** Number of live (non-cancelled) events.  O(1). *)
 
 val is_empty : 'a t -> bool
+(** O(1). *)
+
+val occupied_slots : 'a t -> int
+(** Heap slots currently occupied, live entries plus not-yet-collected
+    tombstones — for diagnostics and the cancel-heavy growth benchmark.
+    Compaction keeps this below [2 * length + O(1)]. *)

@@ -14,21 +14,31 @@ let create ?(least = 1e-6) ?(growth = 1.2) ?(buckets = 128) () =
   let bounds = Array.init buckets (fun i -> least *. Float.pow growth (float_of_int (i + 1))) in
   { least; growth; bounds; counts = Array.make (buckets + 2) 0; total_count = 0; sum = 0. }
 
-(* Bucket index layout: 0 = underflow (< least), 1..buckets = geometric
-   buckets, buckets+1 = overflow. *)
-let bucket_index t x =
-  if x < t.least then 0
-  else begin
-    let raw = log (x /. t.least) /. log t.growth in
-    let i = int_of_float (Float.floor raw) + 1 in
-    if i > Array.length t.bounds then Array.length t.bounds + 1 else i
-  end
-
 let bucket_lo t i = if i <= 1 then 0. else t.least *. Float.pow t.growth (float_of_int (i - 1))
 let bucket_hi t i =
   if i = 0 then t.least
   else if i > Array.length t.bounds then infinity
   else t.bounds.(i - 1)
+
+(* Bucket index layout: 0 = underflow (< least), 1..buckets = geometric
+   buckets, buckets+1 = overflow.  Bucket i covers [bucket_lo i, bucket_hi i).
+   The log ratio can round either way when x sits exactly on a bucket edge
+   (x = least, x = least * growth^k), so the initial estimate is nudged until
+   x actually falls inside the bucket's half-open interval. *)
+let bucket_index t x =
+  if x < t.least then 0
+  else begin
+    let n = Array.length t.bounds in
+    let raw = log (x /. t.least) /. log t.growth in
+    let i = Stdlib.max 1 (int_of_float (Float.floor raw) + 1) in
+    if i > n then n + 1
+    else begin
+      let i = if x >= bucket_hi t i then i + 1 else i in
+      if i > n then n + 1
+      else if i > 1 && x < t.least *. Float.pow t.growth (float_of_int (i - 1)) then i - 1
+      else i
+    end
+  end
 
 let add t x =
   let i = bucket_index t x in
@@ -43,21 +53,27 @@ let quantile t q =
   if t.total_count = 0 then 0.
   else begin
     let target = q *. float_of_int t.total_count in
-    let rec walk i seen =
-      if i >= Array.length t.counts then bucket_lo t (Array.length t.counts - 1)
+    let interpolate i ~seen =
+      let lo = bucket_lo t i in
+      let hi = bucket_hi t i in
+      let hi = if hi = infinity then lo *. t.growth else hi in
+      let within = (target -. seen) /. float_of_int t.counts.(i) in
+      lo +. ((hi -. lo) *. Float.max 0. (Float.min 1. within))
+    in
+    (* [last] tracks the highest non-empty bucket visited so far: if float
+       accumulation lets the walk run off the end (seen never quite reaches
+       target), the answer is the top of that bucket, interpolated like any
+       other — not a synthetic bound past the data. *)
+    let rec walk i seen last =
+      if i >= Array.length t.counts then
+        match last with Some (j, seen_j) -> interpolate j ~seen:seen_j | None -> 0.
       else begin
         let seen' = seen +. float_of_int t.counts.(i) in
-        if seen' >= target && t.counts.(i) > 0 then begin
-          let lo = bucket_lo t i in
-          let hi = bucket_hi t i in
-          let hi = if hi = infinity then lo *. t.growth else hi in
-          let within = (target -. seen) /. float_of_int t.counts.(i) in
-          lo +. ((hi -. lo) *. Float.max 0. (Float.min 1. within))
-        end
-        else walk (i + 1) seen'
+        if seen' >= target && t.counts.(i) > 0 then interpolate i ~seen
+        else walk (i + 1) seen' (if t.counts.(i) > 0 then Some (i, seen) else last)
       end
     in
-    walk 0 0.
+    walk 0 0. None
   end
 
 let mean t = if t.total_count = 0 then 0. else t.sum /. float_of_int t.total_count

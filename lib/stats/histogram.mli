@@ -13,6 +13,14 @@ val create : ?least:float -> ?growth:float -> ?buckets:int -> unit -> t
 
 val add : t -> float -> unit
 val count : t -> int
+
+val bucket_index : t -> float -> int
+(** Index of the bucket [add] would place a sample in: 0 = underflow,
+    1..[buckets] = geometric buckets (bucket [i] covers the half-open range
+    from [least * growth^(i-1)] to [least * growth^i]), [buckets + 1] =
+    overflow.  Exposed so boundary behaviour at exact bucket edges is
+    testable. *)
+
 val quantile : t -> float -> float
 (** [quantile t q] for q in [0, 1].  0.0 when empty. *)
 

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repo gate: build, full test suite, then a quick perf-harness run so the
+# bench entry point cannot rot.  Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench_core --quick =="
+dune exec bin/bench_core.exe -- --quick -o /tmp/BENCH_core.quick.json
+
+echo "== all checks passed =="

@@ -145,6 +145,62 @@ let test_multicast () =
   Alcotest.(check int) "multicast counted once as a send" 1 (Netsim.Net.sent net);
   Alcotest.(check int) "three deliveries" 3 (Netsim.Net.deliveries net)
 
+let test_multicast_down_sender_per_destination () =
+  let liveness = Host.Liveness.create () in
+  let engine, net = rig ~liveness () in
+  List.iter (fun i -> Netsim.Net.register net (host i) (fun _ -> ())) [ 1; 2; 3 ];
+  Host.Liveness.crash liveness (host 0);
+  Netsim.Net.multicast net ~src:(host 0) ~dsts:[ host 1; host 2; host 3 ] ();
+  Engine.run engine;
+  Alcotest.(check int) "one send op" 1 (Netsim.Net.sent net);
+  Alcotest.(check int) "three attempts" 3 (Netsim.Net.attempts net);
+  Alcotest.(check int) "down drops counted per destination" 3 (Netsim.Net.dropped_down net);
+  Alcotest.(check int) "no deliveries" 0 (Netsim.Net.deliveries net)
+
+let test_accounting_reconciles () =
+  (* every per-destination attempt resolves as exactly one delivery or one
+     categorized drop, whatever the failure mix *)
+  let liveness = Host.Liveness.create () in
+  let partition = Netsim.Partition.create () in
+  let rng = Prng.Splitmix.create ~seed:42L in
+  let engine, net = rig ~liveness ~partition ~rng ~loss:0.3 () in
+  List.iter (fun i -> Netsim.Net.register net (host i) (fun _ -> ())) [ 1; 2; 3 ];
+  Host.Liveness.crash liveness (host 3);
+  Netsim.Partition.isolate partition [ host 2 ];
+  for _ = 1 to 50 do
+    Netsim.Net.multicast net ~src:(host 0) ~dsts:[ host 1; host 2; host 3 ] ();
+    Netsim.Net.send net ~src:(host 1) ~dst:(host 0) ()
+  done;
+  (* an unregistered destination and a crashed sender too *)
+  Netsim.Net.send net ~src:(host 0) ~dst:(host 9) ();
+  Host.Liveness.crash liveness (host 1);
+  Netsim.Net.multicast net ~src:(host 1) ~dsts:[ host 0; host 2 ] ();
+  Engine.run engine;
+  Alcotest.(check int) "attempts = 50*3 + 50 + 1 + 2" 203 (Netsim.Net.attempts net);
+  Alcotest.(check int) "attempts reconcile with deliveries + drops"
+    (Netsim.Net.attempts net)
+    (Netsim.Net.deliveries net + Netsim.Net.dropped_loss net + Netsim.Net.dropped_partition net
+   + Netsim.Net.dropped_down net)
+
+let test_total_loss () =
+  (* loss = 1.0 (total blackout) is a legal fault-drill setting *)
+  let rng = Prng.Splitmix.create ~seed:7L in
+  let engine, net = rig ~rng ~loss:1.0 () in
+  let received = ref 0 in
+  Netsim.Net.register net (host 1) (fun _ -> incr received);
+  for _ = 1 to 100 do
+    Netsim.Net.send net ~src:(host 0) ~dst:(host 1) ()
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 !received;
+  Alcotest.(check int) "every attempt dropped as loss" 100 (Netsim.Net.dropped_loss net);
+  let engine2 = Engine.create () in
+  Alcotest.check_raises "loss beyond 1 still rejected"
+    (Invalid_argument "Net.create: loss must be in [0, 1]") (fun () ->
+      ignore
+        (Netsim.Net.create engine2 ~rng ~loss:1.5 ~prop_delay:(ms 0.5) ~proc_delay:(ms 1.) ()
+          : unit Netsim.Net.t))
+
 let test_link_delay_override () =
   let wan = host 9 in
   let link_delay ~src:_ ~dst = if Host.Host_id.equal dst wan then ms 50. else ms 0.5 in
@@ -169,6 +225,9 @@ let () =
           Alcotest.test_case "loss" `Quick test_loss;
           Alcotest.test_case "loss requires rng" `Quick test_loss_requires_rng;
           Alcotest.test_case "multicast" `Quick test_multicast;
+          Alcotest.test_case "multicast down sender" `Quick test_multicast_down_sender_per_destination;
+          Alcotest.test_case "accounting reconciles" `Quick test_accounting_reconciles;
+          Alcotest.test_case "total loss" `Quick test_total_loss;
           Alcotest.test_case "link delay override" `Quick test_link_delay_override;
         ] );
       ( "partition+liveness",

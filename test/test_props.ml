@@ -43,6 +43,70 @@ let prop_event_queue_cancel =
       let rec drain n = match Event_queue.pop q with Some _ -> drain (n + 1) | None -> n in
       drain 0 = expected_live)
 
+(* Interleave push/pop/cancel against a naive model and assert, at every
+   step, that (a) length tracks the model's live population exactly and
+   (b) pops come out in stable (time, insertion) order of the live model. *)
+let prop_event_queue_interleaved =
+  QCheck.Test.make ~name:"interleaved push/pop/cancel: order and counts" ~count:300
+    QCheck.(list (pair (int_bound 5) (int_bound 1_000)))
+    (fun script ->
+      let q = Event_queue.create () in
+      (* model: (key = (at_us, seq)) for every live event; [pushed] keeps
+         every handle ever created so cancels can target popped ones too *)
+      let pushed = ref [] in
+      let n_pushed = ref 0 in
+      let live = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      let key_le (t1, s1) (t2, s2) = t1 < t2 || (t1 = t2 && s1 < s2) in
+      let model_min () =
+        match !live with
+        | [] -> None
+        | k :: rest -> Some (List.fold_left (fun acc k -> if key_le k acc then k else acc) k rest)
+      in
+      let step (op, x) =
+        (match op with
+        | 0 | 1 | 2 ->
+          (* push (weighted: the common operation) *)
+          let key = (x, !seq) in
+          let h = Event_queue.push q ~at:(Time.of_us x) key in
+          incr seq;
+          pushed := h :: !pushed;
+          incr n_pushed;
+          live := key :: !live
+        | 3 | 4 ->
+          (* cancel an arbitrary handle, possibly already popped/cancelled *)
+          if !n_pushed > 0 then begin
+            let h = List.nth !pushed (x mod !n_pushed) in
+            Event_queue.cancel h;
+            (* find the handle's key lazily: cancelling marks at most one
+               live model entry dead; popped/cancelled handles match none *)
+            match Event_queue.cancelled h with
+            | false -> () (* was already popped: model unchanged *)
+            | true ->
+              let idx = !n_pushed - 1 - (x mod !n_pushed) in
+              live := List.filter (fun (_, s) -> s <> idx) !live
+          end
+        | _ -> (
+          match Event_queue.pop q, model_min () with
+          | None, None -> ()
+          | Some (_, got), Some expected ->
+            if got <> expected then ok := false
+            else live := List.filter (fun k -> k <> expected) !live
+          | Some _, None | None, Some _ -> ok := false));
+        if Event_queue.length q <> List.length !live then ok := false
+      in
+      List.iter step script;
+      (* drain: the survivors come out as a stable sort of the live model *)
+      let rec drain acc =
+        match Event_queue.pop q with Some (_, k) -> drain (k :: acc) | None -> List.rev acc
+      in
+      let drained = drain [] in
+      let expected =
+        List.sort (fun (t1, s1) (t2, s2) -> match compare t1 t2 with 0 -> compare s1 s2 | c -> c) !live
+      in
+      !ok && drained = expected && Event_queue.is_empty q)
+
 (* --- the lease safety inequality --------------------------------------- *)
 
 let prop_client_never_outlives_server =
@@ -374,7 +438,8 @@ let () =
   Alcotest.run "properties"
     [
       ( "event-queue",
-        List.map to_alcotest [ prop_event_queue_sorted; prop_event_queue_cancel ] );
+        List.map to_alcotest
+          [ prop_event_queue_sorted; prop_event_queue_cancel; prop_event_queue_interleaved ] );
       ("lease", List.map to_alcotest [ prop_client_never_outlives_server ]);
       ( "store",
         List.map to_alcotest

@@ -406,6 +406,30 @@ let test_consistency_message_accounting () =
   Alcotest.(check int) "consistency = ext + approval" 6
     (Leases.Server.consistency_messages rig.server)
 
+let test_messages_counted_at_server_both_directions () =
+  (* The per-class counters sit at the server and count both directions:
+     a request handled and a reply sent each cost one message, and the
+     reply counts at send time even if it is never delivered. *)
+  let rig = make_rig () in
+  at rig 1. (fun () -> read_into rig 0 (file 0) (ref []));
+  (* crash the reader after its request is handled (~t=1.0015) but before
+     the reply can land (~t=1.003) *)
+  at rig 1.002 (fun () -> Host.Liveness.crash rig.liveness (Host.Host_id.of_int 1));
+  Engine.run rig.engine;
+  Alcotest.(check int) "request in + reply out = 2 extension msgs" 2
+    (Leases.Server.messages_handled rig.server Leases.Messages.Extension);
+  Alcotest.(check int) "the reply really was dropped" 1 (Netsim.Net.dropped_down rig.net);
+  let by_class =
+    List.fold_left
+      (fun acc c -> acc + Leases.Server.messages_handled rig.server c)
+      0
+      [ Leases.Messages.Extension; Approval; Installed; Write_transfer ]
+  in
+  Alcotest.(check int) "total = sum over classes" by_class
+    (Leases.Server.messages_handled_total rig.server);
+  Alcotest.(check int) "consistency counts extension + approval only" 2
+    (Leases.Server.consistency_messages rig.server)
+
 let () =
   Alcotest.run "protocol"
     [
@@ -443,5 +467,9 @@ let () =
           Alcotest.test_case "server crash recovery wait" `Quick test_server_crash_recovery_wait;
         ] );
       ( "accounting",
-        [ Alcotest.test_case "message classes" `Quick test_consistency_message_accounting ] );
+        [
+          Alcotest.test_case "message classes" `Quick test_consistency_message_accounting;
+          Alcotest.test_case "counted at server, both directions" `Quick
+            test_messages_counted_at_server_both_directions;
+        ] );
     ]

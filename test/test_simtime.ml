@@ -82,6 +82,49 @@ let test_queue_peek () =
   Alcotest.(check (float 1e-9)) "peek skips cancelled" 2.
     (Time.to_sec (Option.get (Event_queue.peek_time q)))
 
+let test_queue_length_accounting () =
+  (* length is a maintained counter now, not a recount: pin its value
+     across every cancel/cancel-again/pop transition *)
+  let q = Event_queue.create () in
+  let a = Event_queue.push q ~at:(sec 1.) "a" in
+  let b = Event_queue.push q ~at:(sec 2.) "b" in
+  let c = Event_queue.push q ~at:(sec 3.) "c" in
+  Alcotest.(check int) "three live" 3 (Event_queue.length q);
+  Event_queue.cancel b;
+  Alcotest.(check int) "cancel decrements" 2 (Event_queue.length q);
+  Event_queue.cancel b;
+  Alcotest.(check int) "cancel again is a no-op" 2 (Event_queue.length q);
+  ignore (Event_queue.pop q);
+  Alcotest.(check int) "pop decrements" 1 (Event_queue.length q);
+  Event_queue.cancel a;
+  Alcotest.(check int) "cancelling a popped handle is a no-op" 1 (Event_queue.length q);
+  Alcotest.(check bool) "popped is not cancelled" false (Event_queue.cancelled a);
+  ignore (Event_queue.pop q);
+  Alcotest.(check int) "empty" 0 (Event_queue.length q);
+  Alcotest.(check bool) "is_empty" true (Event_queue.is_empty q);
+  Event_queue.cancel c;
+  Alcotest.(check int) "still empty after late cancel" 0 (Event_queue.length q)
+
+let test_queue_compaction_bounded () =
+  (* the anticipatory-renewal pattern: every timer is cancelled and
+     replaced before it fires.  Tombstone compaction must keep heap
+     occupancy within a small multiple of the live population. *)
+  let q = Event_queue.create () in
+  let live = 256 in
+  let handles = Array.init live (fun i -> Event_queue.push q ~at:(Time.of_us i) i) in
+  let max_slots = ref 0 in
+  for i = 0 to 20_000 - 1 do
+    let slot = i mod live in
+    Event_queue.cancel handles.(slot);
+    handles.(slot) <- Event_queue.push q ~at:(Time.of_us (live + i)) i;
+    if Event_queue.occupied_slots q > !max_slots then max_slots := Event_queue.occupied_slots q
+  done;
+  Alcotest.(check int) "live count exact under churn" live (Event_queue.length q);
+  if !max_slots > (2 * live) + 64 then
+    Alcotest.failf "heap grew unboundedly: %d slots for %d live events" !max_slots live;
+  let rec drain n = match Event_queue.pop q with Some _ -> drain (n + 1) | None -> n in
+  Alcotest.(check int) "exactly the live events pop" live (drain 0)
+
 let test_queue_interleaved () =
   (* push/pop interleaving never violates ordering *)
   let q = Event_queue.create () in
@@ -199,6 +242,8 @@ let () =
           Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
           Alcotest.test_case "cancel" `Quick test_queue_cancel;
           Alcotest.test_case "peek" `Quick test_queue_peek;
+          Alcotest.test_case "length accounting" `Quick test_queue_length_accounting;
+          Alcotest.test_case "compaction bounded" `Quick test_queue_compaction_bounded;
           Alcotest.test_case "interleaved" `Quick test_queue_interleaved;
         ] );
       ( "engine",

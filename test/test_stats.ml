@@ -87,6 +87,45 @@ let test_histogram_edges () =
   Alcotest.check_raises "bad quantile" (Invalid_argument "Histogram.quantile: q must be in [0, 1]")
     (fun () -> ignore (Stats.Histogram.quantile h 1.5))
 
+let test_histogram_bucket_edges () =
+  (* exact bucket edges x = least and x = least * growth^k are where the
+     log-ratio rounding can misplace samples; pin the half-open layout *)
+  let least = 1e-6 and growth = 1.2 and buckets = 128 in
+  let h = Stats.Histogram.create ~least ~growth ~buckets () in
+  Alcotest.(check int) "just below least -> underflow" 0
+    (Stats.Histogram.bucket_index h (least *. (1. -. 1e-12)));
+  Alcotest.(check int) "x = least -> first bucket" 1 (Stats.Histogram.bucket_index h least);
+  List.iter
+    (fun k ->
+      let x = least *. Float.pow growth (float_of_int k) in
+      Alcotest.(check int)
+        (Printf.sprintf "x = least*growth^%d opens bucket %d" k (k + 1))
+        (k + 1) (Stats.Histogram.bucket_index h x);
+      Alcotest.(check int)
+        (Printf.sprintf "just below the growth^%d edge stays in bucket %d" k k)
+        k
+        (Stats.Histogram.bucket_index h (x *. (1. -. 1e-12))))
+    [ 1; 2; 5; 17; 64; 127 ];
+  Alcotest.(check int) "top edge -> overflow" (buckets + 1)
+    (Stats.Histogram.bucket_index h (least *. Float.pow growth (float_of_int buckets)))
+
+let test_histogram_overflow_quantile () =
+  (* all mass in the overflow bucket: the quantile is interpolated inside
+     it, never a synthetic bound past the data *)
+  let least = 1e-6 and growth = 1.2 and buckets = 128 in
+  let h = Stats.Histogram.create ~least ~growth ~buckets () in
+  let overflow_lo = least *. Float.pow growth (float_of_int buckets) in
+  for _ = 1 to 5 do
+    Stats.Histogram.add h 1e12
+  done;
+  List.iter
+    (fun q ->
+      let v = Stats.Histogram.quantile h q in
+      if v < overflow_lo -. 1e-12 || v > overflow_lo *. growth +. 1e-12 then
+        Alcotest.failf "q=%g estimate %g outside the overflow bucket [%g, %g]" q v overflow_lo
+          (overflow_lo *. growth))
+    [ 0.5; 0.99; 1.0 ]
+
 let test_series () =
   let s = Stats.Series.create ~label:"load" in
   Stats.Series.add s ~x:0. ~y:1.;
@@ -150,6 +189,8 @@ let () =
         [
           Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "edges" `Quick test_histogram_edges;
+          Alcotest.test_case "bucket edges" `Quick test_histogram_bucket_edges;
+          Alcotest.test_case "overflow quantile" `Quick test_histogram_overflow_quantile;
         ] );
       ( "series+table",
         [
