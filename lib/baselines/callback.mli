@@ -27,6 +27,10 @@ type setup = {
   (** how long the server retries an unanswered break before proceeding *)
   poll_period : Simtime.Time.Span.t;
   (** client revalidation interval (Andrew: 10 minutes) *)
+  tracer : Trace.Sink.t;
+  (** protocol event sink; callback promises are traced as infinite-term
+      leases, and a break abandoned by the give-up timer deliberately emits
+      no release — the invariant checker then exhibits the stale window *)
 }
 
 val default_setup : setup

@@ -6,6 +6,7 @@ type setup = {
   loss : float;
   faults : Leases.Sim.fault list;
   drain : Simtime.Time.Span.t;
+  tracer : Trace.Sink.t;
 }
 
 let default_setup =
@@ -18,6 +19,7 @@ let default_setup =
     loss = d.Leases.Sim.loss;
     faults = d.Leases.Sim.faults;
     drain = d.Leases.Sim.drain;
+    tracer = d.Leases.Sim.tracer;
   }
 
 let run setup ~trace =
@@ -32,5 +34,6 @@ let run setup ~trace =
       loss = setup.loss;
       faults = setup.faults;
       drain = setup.drain;
+      tracer = setup.tracer;
     }
     ~trace

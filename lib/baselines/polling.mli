@@ -15,6 +15,7 @@ type setup = {
   loss : float;
   faults : Leases.Sim.fault list;
   drain : Simtime.Time.Span.t;
+  tracer : Trace.Sink.t;
 }
 
 val default_setup : setup

@@ -11,6 +11,7 @@ type setup = {
   faults : Leases.Sim.fault list;
   drain : Time.Span.t;
   ttl : Time.Span.t;
+  tracer : Trace.Sink.t;
 }
 
 let default_setup =
@@ -23,6 +24,7 @@ let default_setup =
     faults = [];
     drain = Time.Span.of_sec 120.;
     ttl = Time.Span.of_sec 10.;
+    tracer = Trace.Sink.null;
   }
 
 type payload =
@@ -30,6 +32,12 @@ type payload =
   | Fetch_reply of { req : int; file : File_id.t; version : Vstore.Version.t; ttl : Time.Span.t }
   | Write_request of { req : int; file : File_id.t }
   | Write_reply of { req : int; file : File_id.t; version : Vstore.Version.t }
+
+let payload_name = function
+  | Fetch_request _ -> "fetch-req"
+  | Fetch_reply _ -> "fetch-rep"
+  | Write_request _ -> "write-req"
+  | Write_reply _ -> "write-rep"
 
 type server = {
   s_net : payload Netsim.Net.t;
@@ -39,8 +47,11 @@ type server = {
   s_ttl : Time.Span.t;
   s_counters : Stats.Counter.Registry.t;
   s_applied : (Host_id.t * int, Vstore.Version.t) Hashtbl.t;
+  s_tracer : Trace.Sink.t;
   mutable s_up : bool;
 }
+
+let now_sec engine = Time.to_sec (Engine.now engine)
 
 let s_count srv name = Stats.Counter.incr (Stats.Counter.Registry.counter srv.s_counters name)
 
@@ -64,10 +75,24 @@ let s_handle srv (envelope : payload Netsim.Net.envelope) =
         match Hashtbl.find_opt srv.s_applied (envelope.src, req) with
         | Some version -> version
         | None ->
-          (* No leaseholders to consult: the write commits immediately. *)
+          (* No leaseholders to consult: the write commits immediately.
+             The server holds no promises, so no lease or cover record
+             precedes the commit in the trace — outstanding client hints
+             are simply left stale until their TTLs run out. *)
           let version = Vstore.Store.commit srv.s_store file ~at:(Engine.now srv.s_engine) in
           Hashtbl.replace srv.s_applied (envelope.src, req) version;
           s_count srv "commits";
+          if Trace.Sink.enabled srv.s_tracer then
+            Trace.Sink.emit srv.s_tracer (now_sec srv.s_engine)
+              (Trace.Event.Commit
+                 {
+                   write = None;
+                   file = File_id.to_int file;
+                   writer = Host_id.to_int envelope.src;
+                   version = Vstore.Version.to_int version;
+                   server_now = now_sec srv.s_engine;
+                   waited_s = 0.;
+                 });
           version
       in
       s_send srv ~dst:envelope.src (Write_reply { req; file; version })
@@ -102,9 +127,11 @@ type client = {
   mutable c_up : bool;
   read_latency : Stats.Histogram.t;
   write_latency : Stats.Histogram.t;
+  c_tracer : Trace.Sink.t;
 }
 
 let c_count c name = Stats.Counter.incr (Stats.Counter.Registry.counter c.c_counters name)
+let c_emit c ev = Trace.Sink.emit c.c_tracer (Time.to_sec (Clock.now c.c_clock)) ev
 let c_send c payload = Netsim.Net.send c.c_net ~src:c.c_host ~dst:c.c_server payload
 
 let rec c_arm_retry c rpc =
@@ -141,10 +168,22 @@ let client_read c file ~k =
     match Hashtbl.find_opt c.c_cache file with
     | Some entry when Time.(now < entry.expires) ->
       c_count c "hits";
+      if Trace.Sink.enabled c.c_tracer then
+        c_emit c
+          (Trace.Event.Cache_hit
+             {
+               host = Host_id.to_int c.c_host;
+               file = File_id.to_int file;
+               version = Vstore.Version.to_int entry.version;
+               local_now = Time.to_sec now;
+             });
       Stats.Histogram.add c.read_latency 0.;
       k entry.version
     | Some _ | None ->
       c_count c "misses";
+      if Trace.Sink.enabled c.c_tracer then
+        c_emit c
+          (Trace.Event.Cache_miss { host = Host_id.to_int c.c_host; file = File_id.to_int file });
       let req = c_fresh c in
       let started = Engine.now c.c_engine in
       let k version =
@@ -157,6 +196,10 @@ let client_read c file ~k =
 
 let client_write c file ~k =
   if c.c_up then begin
+    if Trace.Sink.enabled c.c_tracer && Hashtbl.mem c.c_cache file then
+      c_emit c
+        (Trace.Event.Cache_invalidate
+           { host = Host_id.to_int c.c_host; file = File_id.to_int file });
     Hashtbl.remove c.c_cache file;
     let req = c_fresh c in
     let started = Engine.now c.c_engine in
@@ -174,6 +217,19 @@ let c_handle c (envelope : payload Netsim.Net.envelope) =
     | Fetch_reply { req; file; version; ttl } -> (
       let expires = Time.add (Clock.now c.c_clock) ttl in
       Hashtbl.replace c.c_cache file { version; expires };
+      (* A hint is traced as a client-side lease with the TTL horizon but
+         no matching server-side grant: the checker will then blame only
+         genuinely stale hits, not the server's (nonexistent) promise. *)
+      if Trace.Sink.enabled c.c_tracer then
+        c_emit c
+          (Trace.Event.Client_lease
+             {
+               host = Host_id.to_int c.c_host;
+               file = File_id.to_int file;
+               version = Vstore.Version.to_int version;
+               expiry = Some (Time.to_sec expires);
+               local_now = Time.to_sec (Clock.now c.c_clock);
+             });
       match Hashtbl.find_opt c.c_rpcs req with
       | Some ({ c_kind = C_read { file = rfile; k }; _ } as rpc) when File_id.equal file rfile ->
         c_finish c rpc;
@@ -196,12 +252,17 @@ let client_host i = Host_id.of_int (i + 1)
 let run setup ~trace =
   if setup.n_clients < 1 then invalid_arg "Ttl_hints.run: need at least one client";
   let engine = Engine.create () in
+  Engine.set_tracer engine setup.tracer;
   let liveness = Host.Liveness.create () in
   let partition = Netsim.Partition.create () in
   let rng = Prng.Splitmix.create ~seed:setup.seed in
   let net =
     Netsim.Net.create engine ~liveness ~partition ~rng:(Prng.Splitmix.split rng) ~loss:setup.loss
-      ~prop_delay:setup.m_prop ~proc_delay:setup.m_proc ()
+      ~tracer:setup.tracer ~describe:payload_name ~prop_delay:setup.m_prop ~proc_delay:setup.m_proc
+      ()
+  in
+  let note ev =
+    if Trace.Sink.enabled setup.tracer then Trace.Sink.emit setup.tracer (now_sec engine) (ev ())
   in
   let store = Vstore.Store.create () in
   let server =
@@ -213,6 +274,7 @@ let run setup ~trace =
       s_ttl = setup.ttl;
       s_counters = Stats.Counter.Registry.create ();
       s_applied = Hashtbl.create 256;
+      s_tracer = setup.tracer;
       s_up = true;
     }
   in
@@ -242,6 +304,7 @@ let run setup ~trace =
             c_up = true;
             read_latency;
             write_latency;
+            c_tracer = setup.tracer;
           }
         in
         Netsim.Net.register net c.c_host (c_handle c);
@@ -265,15 +328,20 @@ let run setup ~trace =
       | Leases.Sim.Crash_client { client; at; duration } ->
         at_time at (fun () ->
             Host.Liveness.crash liveness (client_host client);
+            note (fun () -> Trace.Event.Crash { host = Host_id.to_int (client_host client) });
             ignore
               (Engine.schedule_after engine duration (fun () ->
-                   Host.Liveness.recover liveness (client_host client))))
+                   Host.Liveness.recover liveness (client_host client);
+                   note (fun () ->
+                       Trace.Event.Recover { host = Host_id.to_int (client_host client) }))))
       | Leases.Sim.Crash_server { at; duration } ->
         at_time at (fun () ->
             Host.Liveness.crash liveness server_host;
+            note (fun () -> Trace.Event.Crash { host = Host_id.to_int server_host });
             ignore
               (Engine.schedule_after engine duration (fun () ->
-                   Host.Liveness.recover liveness server_host)))
+                   Host.Liveness.recover liveness server_host;
+                   note (fun () -> Trace.Event.Recover { host = Host_id.to_int server_host }))))
       | Leases.Sim.Partition_clients { clients = cs; at; duration } ->
         at_time at (fun () ->
             Netsim.Partition.isolate partition (List.map client_host cs);
@@ -315,6 +383,7 @@ let run setup ~trace =
 
   let horizon = Time.add Time.zero (Time.Span.add (Workload.Trace.duration trace) setup.drain) in
   Engine.run ~until:horizon engine;
+  Trace.Sink.flush setup.tracer;
 
   let find registry name = Stats.Counter.Registry.find registry name in
   let sum name = Array.fold_left (fun acc c -> acc + find c.c_counters name) 0 clients in

@@ -21,6 +21,10 @@ type setup = {
   faults : Leases.Sim.fault list;
   drain : Simtime.Time.Span.t;
   ttl : Simtime.Time.Span.t;
+  tracer : Trace.Sink.t;
+  (** protocol event sink; hints appear as client-side leases with a TTL
+      horizon but no server-side grant, so the checker's stale-hit
+      invariant exposes reads served inside the TTL window after a write *)
 }
 
 val default_setup : setup

@@ -42,6 +42,7 @@ type t = {
   server : Host_id.t;
   config : Config.t;
   counters : Stats.Counter.Registry.t;
+  tracer : Trace.Sink.t;
   (* --- volatile state, reset by the crash hook --- *)
   cache : (File_id.t, entry) Hashtbl.t;
   mutable files_sorted : File_id.t list option;
@@ -60,6 +61,23 @@ let bump t name = Stats.Counter.incr (c t name)
 let host t = t.host
 let clock t = t.clock
 let local_now t = Clock.now t.clock
+
+(* Tracing helpers; every [emit] site is guarded on [tracing t] so the
+   disabled path never allocates the event payload. *)
+let tracing t = Trace.Sink.enabled t.tracer
+let emit t ev = Trace.Sink.emit t.tracer (Time.to_sec (Engine.now t.engine)) ev
+let expiry_sec = function Lease.At at -> Some (Time.to_sec at) | Lease.Never -> None
+
+let emit_client_lease t file (entry : entry) =
+  emit t
+    (Trace.Event.Client_lease
+       {
+         host = Host_id.to_int t.host;
+         file = File_id.to_int file;
+         version = Vstore.Version.to_int entry.version;
+         expiry = expiry_sec entry.expiry;
+         local_now = Time.to_sec (local_now t);
+       })
 
 let holds_valid_lease t file =
   match Hashtbl.find_opt t.cache file with
@@ -132,7 +150,11 @@ let invalidate t file =
   | Some entry ->
     cancel_renewal entry;
     Hashtbl.remove t.cache file;
-    t.files_sorted <- None
+    t.files_sorted <- None;
+    if tracing t then
+      emit t
+        (Trace.Event.Cache_invalidate
+           { host = Host_id.to_int t.host; file = File_id.to_int file })
   | None -> ()
 
 (* Everything in the cache, lease live or lapsed: an extension request may
@@ -196,6 +218,7 @@ let apply_grant t (line : Messages.grant_line) =
     (* No lease came back (zero term or a write is pending): make sure we
        do not keep trusting an older one. *)
     entry.expiry <- Lease.At now);
+  if tracing t then emit_client_lease t line.g_file entry;
   arm_renewal t line.g_file entry
   end
 
@@ -231,9 +254,21 @@ let rec read t file ~k =
     match Hashtbl.find_opt t.cache file with
     | Some entry when not (Lease.expired entry.expiry ~now:(local_now t)) ->
       bump t "hits";
+      if tracing t then
+        emit t
+          (Trace.Event.Cache_hit
+             {
+               host = Host_id.to_int t.host;
+               file = File_id.to_int file;
+               version = Vstore.Version.to_int entry.version;
+               local_now = Time.to_sec (local_now t);
+             });
       k { r_version = entry.version; r_latency = Time.Span.zero; r_from_cache = true }
     | Some _ | None ->
       bump t "misses";
+      if tracing t then
+        emit t
+          (Trace.Event.Cache_miss { host = Host_id.to_int t.host; file = File_id.to_int file });
       Hashtbl.replace t.busy file ();
       let req = fresh_req t in
       let message =
@@ -333,6 +368,7 @@ let handle_message t (envelope : Messages.payload Netsim.Net.envelope) =
           entry.version <- version;
           entry.expiry <- Lease.At (local_now t)
         end;
+        if tracing t then emit_client_lease t file entry;
         k { w_version = version; w_latency = Time.diff (Engine.now t.engine) rpc.started };
         release t file
       | Some _ | None -> ())
@@ -352,6 +388,7 @@ let handle_message t (envelope : Messages.payload Netsim.Net.envelope) =
                 ~skew_allowance:t.config.skew_allowance
             in
             entry.expiry <- Lease.expiry_max entry.expiry refreshed;
+            if tracing t then emit_client_lease t file entry;
             arm_renewal t file entry
           | Some _ ->
             (* our copy missed a delayed update while the file was out of
@@ -381,7 +418,7 @@ let on_crash t =
 
 let on_recover t = t.up <- true
 
-let create ~engine ~clock ~net ~liveness ~host ~server ~config () =
+let create ~engine ~clock ~net ~liveness ~host ~server ~config ?(tracer = Trace.Sink.null) () =
   Config.validate config;
   let t =
     {
@@ -392,6 +429,7 @@ let create ~engine ~clock ~net ~liveness ~host ~server ~config () =
       server;
       config;
       counters = Stats.Counter.Registry.create ();
+      tracer;
       cache = Hashtbl.create 128;
       files_sorted = None;
       rpcs = Hashtbl.create 32;

@@ -21,8 +21,11 @@ val create :
   host:Host.Host_id.t ->
   server:Host.Host_id.t ->
   config:Config.t ->
+  ?tracer:Trace.Sink.t ->
   unit ->
   t
+(** [tracer] receives the client-side protocol events (cache hits, misses
+    and invalidations, local lease records); disabled by default. *)
 
 val host : t -> Host.Host_id.t
 val clock : t -> Clock.t

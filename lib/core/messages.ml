@@ -35,6 +35,17 @@ let category_name = function
   | Installed -> "installed"
   | Write_transfer -> "write-transfer"
 
+let kind_name = function
+  | Read_request _ -> "read-req"
+  | Read_reply _ -> "read-rep"
+  | Extend_request _ -> "extend-req"
+  | Extend_reply _ -> "extend-rep"
+  | Write_request _ -> "write-req"
+  | Write_reply _ -> "write-rep"
+  | Approval_request _ -> "approve-req"
+  | Approval_reply _ -> "approve-rep"
+  | Installed_refresh _ -> "installed-refresh"
+
 let pp ppf = function
   | Read_request { req; file } -> Format.fprintf ppf "read-req #%d %a" req Vstore.File_id.pp file
   | Read_reply { req; granted } ->

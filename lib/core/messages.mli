@@ -53,4 +53,9 @@ type category =
 
 val category : payload -> category
 val category_name : category -> string
+
+val kind_name : payload -> string
+(** Short stable tag per constructor ("read-req", "approve-rep", ...),
+    used to label network events in traces. *)
+
 val pp : Format.formatter -> payload -> unit

@@ -64,6 +64,62 @@ let pp ppf m =
     m.net_dropped_loss m.net_dropped_partition m.net_dropped_down m.oracle_reads
     m.oracle_violations
 
+let histogram_json h =
+  let q p = Stats.Histogram.quantile h p in
+  Trace.Json.Obj
+    [
+      ("count", Trace.Json.Num (float_of_int (Stats.Histogram.count h)));
+      ("mean", Trace.Json.Num (Stats.Histogram.mean h));
+      ("p50", Trace.Json.Num (q 0.5));
+      ("p90", Trace.Json.Num (q 0.9));
+      ("p99", Trace.Json.Num (q 0.99));
+      ("max", Trace.Json.Num (q 1.0));
+    ]
+
+let to_json m =
+  let i name v = (name, Trace.Json.Num (float_of_int v)) in
+  let f name v = (name, Trace.Json.Num v) in
+  Trace.Json.to_string
+    (Trace.Json.Obj
+       [
+         ("schema", Trace.Json.Str "leases-metrics/1");
+         f "sim_duration" m.sim_duration;
+         i "ops_issued" m.ops_issued;
+         i "reads_completed" m.reads_completed;
+         i "writes_completed" m.writes_completed;
+         i "temp_ops" m.temp_ops;
+         i "dropped_ops" m.dropped_ops;
+         i "cache_hits" m.cache_hits;
+         i "cache_misses" m.cache_misses;
+         f "hit_ratio" m.hit_ratio;
+         i "msgs_extension" m.msgs_extension;
+         i "msgs_approval" m.msgs_approval;
+         i "msgs_installed" m.msgs_installed;
+         i "msgs_write_transfer" m.msgs_write_transfer;
+         i "consistency_msgs" m.consistency_msgs;
+         i "server_total_msgs" m.server_total_msgs;
+         f "consistency_msg_rate" m.consistency_msg_rate;
+         i "callbacks_sent" m.callbacks_sent;
+         i "commits" m.commits;
+         i "wal_io" m.wal_io;
+         ("read_latency", histogram_json m.read_latency);
+         ("write_latency", histogram_json m.write_latency);
+         ("write_wait", histogram_json m.write_wait);
+         f "mean_read_delay" m.mean_read_delay;
+         f "mean_write_delay_added" m.mean_write_delay_added;
+         f "mean_op_delay" m.mean_op_delay;
+         i "retransmissions" m.retransmissions;
+         i "renewals_sent" m.renewals_sent;
+         i "approvals_answered" m.approvals_answered;
+         i "net_sent" m.net_sent;
+         i "net_dropped_loss" m.net_dropped_loss;
+         i "net_dropped_partition" m.net_dropped_partition;
+         i "net_dropped_down" m.net_dropped_down;
+         i "oracle_reads" m.oracle_reads;
+         i "oracle_violations" m.oracle_violations;
+         ("staleness", histogram_json m.staleness);
+       ])
+
 let pp_brief ppf m =
   Format.fprintf ppf
     "ops=%d hit=%.3f cons=%.3f/s read_delay=%.2fms write_delay=%.2fms violations=%d"

@@ -51,3 +51,7 @@ val pp : Format.formatter -> t -> unit
 
 val pp_brief : Format.formatter -> t -> unit
 (** One line: ops, hit ratio, consistency rate, delays, violations. *)
+
+val to_json : t -> string
+(** Machine-readable dump (schema ["leases-metrics/1"]): every scalar field
+    verbatim; histograms summarised as count/mean/p50/p90/p99/max. *)

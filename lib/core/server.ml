@@ -28,6 +28,7 @@ type t = {
   counters : Stats.Counter.Registry.t;
   write_wait : Stats.Histogram.t;
   tracker : Term_policy.Tracker.t option;
+  tracer : Trace.Sink.t;
   on_commit : Vstore.File_id.t -> Vstore.Version.t -> unit;
   (* --- volatile state, reset by the crash hook --- *)
   leases : Lease_table.t;
@@ -59,6 +60,17 @@ let multicast t ~dsts payload =
   Netsim.Net.multicast t.net ~src:t.host ~dsts payload
 
 let local_now t = Clock.now t.clock
+
+(* Tracing helpers.  Every [emit] call site is guarded on [tracing t] so
+   the disabled path never allocates the event payload. *)
+let tracing t = Trace.Sink.enabled t.tracer
+let emit t ev = Trace.Sink.emit t.tracer (Time.to_sec (Engine.now t.engine)) ev
+let local_sec t = Time.to_sec (local_now t)
+let expiry_sec = function Lease.At at -> Some (Time.to_sec at) | Lease.Never -> None
+
+let term_sec = function
+  | Lease.Finite span -> Some (Time.Span.to_sec span)
+  | Lease.Infinite -> None
 
 let is_installed t file = File_id.Set.mem file t.installed_set
 
@@ -94,7 +106,7 @@ let note_installed_cover t file ~until =
 
 let record_lease t file holder expiry = Lease_table.record t.leases file holder expiry
 
-let grant_for t ~holder file : Messages.grant_line =
+let grant_for t ~holder ~renewal file : Messages.grant_line =
   let version = Vstore.Store.current t.store file in
   let no_lease = { Messages.g_file = file; g_version = version; g_lease = None } in
   if has_pending_write t file then no_lease
@@ -106,6 +118,10 @@ let grant_for t ~holder file : Messages.grant_line =
       let now = local_now t in
       let until = Time.add now term in
       note_installed_cover t file ~until;
+      if tracing t then
+        emit t
+          (Trace.Event.Installed_cover
+             { file = File_id.to_int file; until = Time.to_sec until });
       Vstore.Wal.record_grant t.wal file ~term ~expiry:until;
       { no_lease with g_lease = Some { Lease.term = Lease.Finite term } }
     | Some _ | None -> no_lease
@@ -129,6 +145,17 @@ let grant_for t ~holder file : Messages.grant_line =
       let grant = { Lease.term } in
       let expiry = Lease.server_expiry grant ~granted_at:now in
       record_lease t file holder expiry;
+      if tracing t then
+        emit t
+          (Trace.Event.Lease_grant
+             {
+               file = File_id.to_int file;
+               holder = Host_id.to_int holder;
+               term_s = term_sec term;
+               server_expiry = expiry_sec expiry;
+               server_now = Time.to_sec now;
+               renewal;
+             });
       (match term with
       | Lease.Finite span -> (
         match expiry with
@@ -148,28 +175,34 @@ let rec start_write t ~writer ~req file =
   | Some tracker -> Term_policy.Tracker.note_write tracker file ~now
   | None -> ());
   let recovery = recovery_deadline t file in
-  let lease_deadline, waiting =
+  let lease_deadline, waiting, holders =
     if is_installed t file then begin
       (* Drop the file from future refreshes and wait out the coverage. *)
       t.installed_suspended <- File_id.Set.add file t.installed_suspended;
       let coverage = installed_coverage_end t file in
-      (Lease.At (Time.max coverage recovery), Host_id.Set.empty)
+      (Lease.At (Time.max coverage recovery), Host_id.Set.empty, Host_id.Set.empty)
     end
     else begin
       (* The writer's own lease is invalidated by the implicit approval
          carried on its write request. *)
       Lease_table.remove_holder t.leases file writer;
+      if tracing t then
+        emit t
+          (Trace.Event.Lease_release
+             {
+               file = File_id.to_int file;
+               holder = Host_id.to_int writer;
+               cause = Trace.Event.Writer_self;
+             });
       let deadline = Lease_table.live_deadline t.leases file ~now ~init:(Lease.At recovery) in
-      let waiting =
-        if t.config.callback_on_write then Lease_table.live_holder_set t.leases file ~now
-        else Host_id.Set.empty
-      in
-      (deadline, waiting)
+      let holders = Lease_table.live_holder_set t.leases file ~now in
+      let waiting = if t.config.callback_on_write then holders else Host_id.Set.empty in
+      (deadline, waiting, holders)
     end
   in
   let ready_by_time = Lease.expired lease_deadline ~now in
   if ready_by_time && Host_id.Set.is_empty waiting then
-    commit_write t ~writer ~req file ~arrived:(Engine.now t.engine)
+    commit_write t ~writer ~req ~write_id:None file ~arrived:(Engine.now t.engine)
   else begin
     let p =
       {
@@ -187,6 +220,17 @@ let rec start_write t ~writer ~req file =
     t.next_write_id <- t.next_write_id + 1;
     Hashtbl.replace t.pending file p;
     Hashtbl.replace t.pending_by_id p.write_id p;
+    if tracing t then
+      emit t
+        (Trace.Event.Wait_begin
+           {
+             write = p.write_id;
+             file = File_id.to_int file;
+             writer = Host_id.to_int writer;
+             waiting = List.map Host_id.to_int (Host_id.Set.elements holders);
+             deadline = expiry_sec lease_deadline;
+             server_now = Time.to_sec now;
+           });
     arm_expiry_timer t p;
     if not (Host_id.Set.is_empty waiting) then send_approval_requests t p
   end
@@ -201,6 +245,8 @@ and arm_expiry_timer t p =
       then begin
         (* Every covering lease has expired on the server clock: outstanding
            approvals are moot. *)
+        if tracing t then
+          emit t (Trace.Event.Wait_expire { write = p.write_id; file = File_id.to_int p.p_file });
         p.waiting <- Host_id.Set.empty;
         finish_pending t p
       end
@@ -211,6 +257,14 @@ and send_approval_requests t p =
   let remaining = Host_id.Set.elements p.waiting in
   if remaining <> [] then begin
     Stats.Counter.incr (Stats.Counter.Registry.counter t.counters "callbacks-sent");
+    if tracing t then
+      emit t
+        (Trace.Event.Approval_request
+           {
+             write = p.write_id;
+             file = File_id.to_int p.p_file;
+             dsts = List.map Host_id.to_int remaining;
+           });
     let request = Messages.Approval_request { write = p.write_id; file = p.p_file } in
     if t.config.Config.approval_multicast then multicast t ~dsts:remaining request
     else List.iter (fun dst -> send t ~dst request) remaining;
@@ -239,16 +293,29 @@ and finish_pending t p =
       (match p.retry_timer with Some h -> Engine.cancel h | None -> ());
       Hashtbl.remove t.pending p.p_file;
       Hashtbl.remove t.pending_by_id p.write_id;
-      commit_write t ~writer:p.writer ~req:p.writer_req p.p_file ~arrived:p.arrived
+      commit_write t ~writer:p.writer ~req:p.writer_req ~write_id:(Some p.write_id) p.p_file
+        ~arrived:p.arrived
     end
   end
 
-and commit_write t ~writer ~req file ~arrived =
+and commit_write t ~writer ~req ~write_id file ~arrived =
   let version = Vstore.Store.commit t.store file ~at:(Engine.now t.engine) in
   t.on_commit file version;
   Hashtbl.replace t.applied (writer, req) version;
-  Stats.Histogram.add t.write_wait (Time.Span.to_sec (Time.diff (Engine.now t.engine) arrived));
+  let waited = Time.Span.to_sec (Time.diff (Engine.now t.engine) arrived) in
+  Stats.Histogram.add t.write_wait waited;
   Stats.Counter.incr (Stats.Counter.Registry.counter t.counters "commits");
+  if tracing t then
+    emit t
+      (Trace.Event.Commit
+         {
+           write = write_id;
+           file = File_id.to_int file;
+           writer = Host_id.to_int writer;
+           version = Vstore.Version.to_int version;
+           server_now = local_sec t;
+           waited_s = waited;
+         });
   (* Any remaining lease records on the file are stale (approved holders
      were removed as they replied; the rest expired). *)
   Lease_table.drop_file t.leases file;
@@ -302,6 +369,18 @@ let handle_approval t ~holder ~write_id file =
       (* The approval invalidates the holder's copy, so its lease record
          goes too. *)
       Lease_table.remove_holder t.leases file holder;
+      if tracing t then begin
+        emit t
+          (Trace.Event.Approval_reply
+             { write = write_id; file = File_id.to_int file; holder = Host_id.to_int holder });
+        emit t
+          (Trace.Event.Lease_release
+             {
+               file = File_id.to_int file;
+               holder = Host_id.to_int holder;
+               cause = Trace.Event.Approved;
+             })
+      end;
       finish_pending t p
     end
   | Some _ | None -> ()
@@ -316,14 +395,15 @@ let note_read t file =
 
 let handle_read t ~src ~req file =
   note_read t file;
-  send t ~dst:src (Messages.Read_reply { req; granted = grant_for t ~holder:src file })
+  send t ~dst:src
+    (Messages.Read_reply { req; granted = grant_for t ~holder:src ~renewal:false file })
 
 let handle_extend t ~src ~req files =
   let granted =
     List.map
       (fun file ->
         note_read t file;
-        grant_for t ~holder:src file)
+        grant_for t ~holder:src ~renewal:true file)
       files
   in
   send t ~dst:src (Messages.Extend_reply { req; granted })
@@ -349,6 +429,10 @@ let rec run_refresh t =
           List.map
             (fun file ->
               note_installed_cover t file ~until;
+              if tracing t then
+                emit t
+                  (Trace.Event.Installed_cover
+                     { file = File_id.to_int file; until = Time.to_sec until });
               Vstore.Wal.record_grant t.wal file ~term ~expiry:until;
               (file, Vstore.Store.current t.store file))
             covered
@@ -401,7 +485,7 @@ let on_recover t =
   run_refresh t
 
 let create ~engine ~clock ~net ~liveness ~host ~clients ~store ~config
-    ?(on_commit = fun _ _ -> ()) () =
+    ?(on_commit = fun _ _ -> ()) ?(tracer = Trace.Sink.null) () =
   Config.validate config;
   let tracker =
     match config.Config.term_policy with
@@ -426,6 +510,7 @@ let create ~engine ~clock ~net ~liveness ~host ~clients ~store ~config
       counters = Stats.Counter.Registry.create ();
       write_wait = Stats.Histogram.create ();
       tracker;
+      tracer;
       on_commit;
       leases = Lease_table.create ();
       pending = Hashtbl.create 32;

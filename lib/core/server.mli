@@ -34,13 +34,16 @@ val create :
   store:Vstore.Store.t ->
   config:Config.t ->
   ?on_commit:(Vstore.File_id.t -> Vstore.Version.t -> unit) ->
+  ?tracer:Trace.Sink.t ->
   unit ->
   t
 (** Registers the message handler and liveness hooks for [host].
     [clients] is the multicast population for installed-file refreshes.
     [on_commit] fires at the instant each write commits — the hook the
     name service uses to apply directory mutations exactly when their
-    covering version bump becomes visible. *)
+    covering version bump becomes visible.  [tracer] receives the
+    server-side protocol events (grants, releases, write waits, approvals,
+    commits, installed coverage); disabled by default. *)
 
 val host : t -> Host.Host_id.t
 val store : t -> Vstore.Store.t

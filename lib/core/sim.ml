@@ -19,6 +19,7 @@ type setup = {
   loss : float;
   faults : fault list;
   drain : Time.Span.t;
+  tracer : Trace.Sink.t;
 }
 
 let default_setup =
@@ -31,6 +32,7 @@ let default_setup =
     loss = 0.;
     faults = [];
     drain = Time.Span.of_sec 120.;
+    tracer = Trace.Sink.null;
   }
 
 let v_lan_setup = default_setup
@@ -44,22 +46,28 @@ type outcome = {
 let server_host = Host_id.of_int 0
 let client_host i = Host_id.of_int (i + 1)
 
-let schedule_faults engine liveness partition server_clock client_clocks faults =
+let schedule_faults engine liveness partition server_clock client_clocks tracer faults =
   let at_time at f = ignore (Engine.schedule_at engine at f) in
+  let note ev = if Trace.Sink.enabled tracer then Trace.Sink.emit tracer (Time.to_sec (Engine.now engine)) (ev ()) in
   List.iter
     (fun fault ->
       match fault with
       | Crash_client { client; at; duration } ->
         at_time at (fun () ->
+            note (fun () -> Trace.Event.Crash { host = Host_id.to_int (client_host client) });
             Host.Liveness.crash liveness (client_host client);
             ignore
               (Engine.schedule_after engine duration (fun () ->
+                   note (fun () ->
+                       Trace.Event.Recover { host = Host_id.to_int (client_host client) });
                    Host.Liveness.recover liveness (client_host client))))
       | Crash_server { at; duration } ->
         at_time at (fun () ->
+            note (fun () -> Trace.Event.Crash { host = Host_id.to_int server_host });
             Host.Liveness.crash liveness server_host;
             ignore
               (Engine.schedule_after engine duration (fun () ->
+                   note (fun () -> Trace.Event.Recover { host = Host_id.to_int server_host });
                    Host.Liveness.recover liveness server_host)))
       | Partition_clients { clients; at; duration } ->
         at_time at (fun () ->
@@ -67,22 +75,42 @@ let schedule_faults engine liveness partition server_clock client_clocks faults 
             ignore
               (Engine.schedule_after engine duration (fun () -> Netsim.Partition.heal partition)))
       | Client_drift { client; at; drift } ->
-        at_time at (fun () -> Clock.set_drift client_clocks.(client) drift)
-      | Server_drift { at; drift } -> at_time at (fun () -> Clock.set_drift server_clock drift)
+        at_time at (fun () ->
+            note (fun () ->
+                Trace.Event.Clock_drift { host = Host_id.to_int (client_host client); drift });
+            Clock.set_drift client_clocks.(client) drift)
+      | Server_drift { at; drift } ->
+        at_time at (fun () ->
+            note (fun () -> Trace.Event.Clock_drift { host = Host_id.to_int server_host; drift });
+            Clock.set_drift server_clock drift)
       | Client_step { client; at; step } ->
-        at_time at (fun () -> Clock.step client_clocks.(client) step)
-      | Server_step { at; step } -> at_time at (fun () -> Clock.step server_clock step))
+        at_time at (fun () ->
+            note (fun () ->
+                Trace.Event.Clock_step
+                  {
+                    host = Host_id.to_int (client_host client);
+                    step_s = Time.Span.to_sec step;
+                  });
+            Clock.step client_clocks.(client) step)
+      | Server_step { at; step } ->
+        at_time at (fun () ->
+            note (fun () ->
+                Trace.Event.Clock_step
+                  { host = Host_id.to_int server_host; step_s = Time.Span.to_sec step });
+            Clock.step server_clock step))
     faults
 
 let run setup ~trace =
   if setup.n_clients < 1 then invalid_arg "Sim.run: need at least one client";
   let engine = Engine.create () in
+  Engine.set_tracer engine setup.tracer;
   let liveness = Host.Liveness.create () in
   let partition = Netsim.Partition.create () in
   let rng = Prng.Splitmix.create ~seed:setup.seed in
   let net =
     Netsim.Net.create engine ~liveness ~partition ~rng:(Prng.Splitmix.split rng) ~loss:setup.loss
-      ~prop_delay:setup.m_prop ~proc_delay:setup.m_proc ()
+      ~tracer:setup.tracer ~describe:Messages.kind_name ~prop_delay:setup.m_prop
+      ~proc_delay:setup.m_proc ()
   in
   let server_clock = Clock.create engine () in
   let client_clocks = Array.init setup.n_clients (fun _ -> Clock.create engine ()) in
@@ -90,15 +118,15 @@ let run setup ~trace =
   let clients_hosts = List.init setup.n_clients client_host in
   let server =
     Server.create ~engine ~clock:server_clock ~net ~liveness ~host:server_host
-      ~clients:clients_hosts ~store ~config:setup.config ()
+      ~clients:clients_hosts ~store ~config:setup.config ~tracer:setup.tracer ()
   in
   let clients =
     Array.init setup.n_clients (fun i ->
         Client.create ~engine ~clock:client_clocks.(i) ~net ~liveness ~host:(client_host i)
-          ~server:server_host ~config:setup.config ())
+          ~server:server_host ~config:setup.config ~tracer:setup.tracer ())
   in
   let oracle = Oracle.Register_oracle.create ~store in
-  schedule_faults engine liveness partition server_clock client_clocks setup.faults;
+  schedule_faults engine liveness partition server_clock client_clocks setup.tracer setup.faults;
 
   (* Drive the trace. *)
   let read_latency = Stats.Histogram.create () in
@@ -138,6 +166,7 @@ let run setup ~trace =
 
   let horizon = Time.add Time.zero (Time.Span.add (Workload.Trace.duration trace) setup.drain) in
   Engine.run ~until:horizon engine;
+  Trace.Sink.flush setup.tracer;
 
   (* Aggregate. *)
   let sum f = Array.fold_left (fun acc c -> acc + f c) 0 clients in

@@ -28,11 +28,16 @@ type setup = {
   drain : Simtime.Time.Span.t;
   (** how long past the last trace operation to keep the cluster running so
       in-flight work settles *)
+  tracer : Trace.Sink.t;
+  (** receives the protocol event stream from every layer (engine, net,
+      server, clients, fault injector); {!Trace.Sink.null} — the default —
+      compiles the instrumentation down to a guarded no-op *)
 }
 
 val default_setup : setup
 (** Seed 1, one client, {!Config.default}, the V LAN message times
-    (m_prop 0.5 ms, m_proc 1 ms), no loss, no faults, 120 s drain. *)
+    (m_prop 0.5 ms, m_proc 1 ms), no loss, no faults, 120 s drain, no
+    tracing. *)
 
 val v_lan_setup : setup
 (** Alias of {!default_setup}, named for readability in experiments. *)

@@ -80,6 +80,29 @@ let lease_table_churn ~timer ~ops =
   done;
   finish ~timer ~started ~ops
 
+type trace_emit = { null_sink : micro; ring_sink : micro; ring_dropped : int }
+
+(* One op = one guarded emit attempt at a representative hot-path call
+   site (a cache-hit event).  The null sink measures the cost left on the
+   untraced fast path — one load and one branch, no allocation; the ring
+   sink measures tracing at full bore with a bounded buffer. *)
+let trace_emit ~timer ~ops =
+  let measure sink =
+    let started = timer () in
+    for i = 0 to ops - 1 do
+      if Trace.Sink.enabled sink then
+        Trace.Sink.emit sink
+          (float_of_int i *. 1e-6)
+          (Trace.Event.Cache_hit
+             { host = 1 + (i mod 7); file = i mod 1_000; version = i; local_now = float_of_int i *. 1e-6 })
+    done;
+    finish ~timer ~started ~ops
+  in
+  let null_sink = measure Trace.Sink.null in
+  let ring = Trace.Sink.ring ~capacity:65_536 in
+  let ring_sink = measure (Trace.Sink.ring_sink ring) in
+  { null_sink; ring_sink; ring_dropped = Trace.Sink.ring_dropped ring }
+
 let lease_throughput ~timer ~n_clients ~duration =
   let trace = (V_trace.poisson ~clients:n_clients ~duration ()).V_trace.trace in
   let setup = Runner.lease_setup ~n_clients ~term:(Analytic.Model.Finite 10.) () in

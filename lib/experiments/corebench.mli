@@ -29,6 +29,14 @@ val event_queue_cancel_heavy : timer:(unit -> float) -> ops:int -> queue_growth
 
 val lease_table_churn : timer:(unit -> float) -> ops:int -> micro
 
+type trace_emit = { null_sink : micro; ring_sink : micro; ring_dropped : int }
+
+val trace_emit : timer:(unit -> float) -> ops:int -> trace_emit
+(** Guarded trace-emit attempts at a representative hot-path call site:
+    [null_sink] is the residual cost on an untraced run (one load, one
+    branch, no allocation), [ring_sink] the cost of tracing into a
+    bounded 64 Ki ring. *)
+
 val lease_throughput :
   timer:(unit -> float) -> n_clients:int -> duration:Simtime.Time.Span.t -> throughput
 (** Run the standard Poisson V workload end to end and report simulated

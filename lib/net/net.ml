@@ -12,6 +12,8 @@ type 'a t = {
   prop_delay : Time.Span.t;
   proc_delay : Time.Span.t;
   handlers : (Host.Host_id.t, 'a envelope -> unit) Hashtbl.t;
+  tracer : Trace.Sink.t;
+  describe : 'a -> string;
   mutable sent : int;
   mutable attempts : int;
   mutable deliveries : int;
@@ -20,7 +22,8 @@ type 'a t = {
   mutable dropped_down : int;
 }
 
-let create engine ?liveness ?partition ?rng ?(loss = 0.) ?link_delay ~prop_delay ~proc_delay () =
+let create engine ?liveness ?partition ?rng ?(loss = 0.) ?link_delay ?(tracer = Trace.Sink.null)
+    ?(describe = fun _ -> "msg") ~prop_delay ~proc_delay () =
   if loss < 0. || loss > 1. then invalid_arg "Net.create: loss must be in [0, 1]";
   if loss > 0. && rng = None then invalid_arg "Net.create: positive loss requires an rng";
   {
@@ -33,6 +36,8 @@ let create engine ?liveness ?partition ?rng ?(loss = 0.) ?link_delay ~prop_delay
     prop_delay;
     proc_delay;
     handlers = Hashtbl.create 32;
+    tracer;
+    describe;
     sent = 0;
     attempts = 0;
     deliveries = 0;
@@ -53,26 +58,50 @@ let lost t =
   | Some rng when t.loss > 0. -> Prng.Splitmix.bool rng ~p:t.loss
   | Some _ | None -> false
 
+let trace_point t ~src ~dst payload make =
+  if Trace.Sink.enabled t.tracer then
+    Trace.Sink.emit t.tracer
+      (Time.to_sec (Engine.now t.engine))
+      (make ~src:(Host.Host_id.to_int src) ~dst:(Host.Host_id.to_int dst)
+         ~msg:(t.describe payload))
+
 (* One delivery attempt toward [dst]; transit time is sender processing +
    propagation + receiver processing. *)
 let deliver_one t ~src ~dst payload =
   t.attempts <- t.attempts + 1;
+  trace_point t ~src ~dst payload (fun ~src ~dst ~msg -> Trace.Event.Net_send { src; dst; msg });
   let transit =
     Time.Span.add t.proc_delay (Time.Span.add (delay_between t ~src ~dst) t.proc_delay)
   in
   let attempt () =
-    if not (Host.Liveness.is_up t.liveness dst) then t.dropped_down <- t.dropped_down + 1
-    else if not (Partition.connected t.partition src dst) then
-      t.dropped_partition <- t.dropped_partition + 1
+    if not (Host.Liveness.is_up t.liveness dst) then begin
+      t.dropped_down <- t.dropped_down + 1;
+      trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
+          Trace.Event.Net_drop { src; dst; msg; cause = Trace.Event.Down })
+    end
+    else if not (Partition.connected t.partition src dst) then begin
+      t.dropped_partition <- t.dropped_partition + 1;
+      trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
+          Trace.Event.Net_drop { src; dst; msg; cause = Trace.Event.Partition })
+    end
     else begin
       match Hashtbl.find_opt t.handlers dst with
-      | None -> t.dropped_down <- t.dropped_down + 1
+      | None ->
+        t.dropped_down <- t.dropped_down + 1;
+        trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
+            Trace.Event.Net_drop { src; dst; msg; cause = Trace.Event.Down })
       | Some handler ->
         t.deliveries <- t.deliveries + 1;
+        trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
+            Trace.Event.Net_deliver { src; dst; msg });
         handler { src; dst; payload }
     end
   in
-  if lost t then t.dropped_loss <- t.dropped_loss + 1
+  if lost t then begin
+    t.dropped_loss <- t.dropped_loss + 1;
+    trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
+        Trace.Event.Net_drop { src; dst; msg; cause = Trace.Event.Loss })
+  end
   else ignore (Engine.schedule_after t.engine transit attempt)
 
 (* A crashed sender's packets die on its own interface: one [dropped_down]
@@ -80,19 +109,27 @@ let deliver_one t ~src ~dst payload =
    [attempts = deliveries + dropped_loss + dropped_partition + dropped_down]
    reconciles once the queue drains. *)
 let drop_at_sender t ~dsts =
-  t.attempts <- t.attempts + dsts;
-  t.dropped_down <- t.dropped_down + dsts
+  t.attempts <- t.attempts + List.length dsts;
+  t.dropped_down <- t.dropped_down + List.length dsts
+
+let dead_sender t ~src ~dsts payload =
+  drop_at_sender t ~dsts;
+  List.iter
+    (fun dst ->
+      trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
+          Trace.Event.Net_drop { src; dst; msg; cause = Trace.Event.Down }))
+    dsts
 
 let send t ~src ~dst payload =
   t.sent <- t.sent + 1;
   if Host.Liveness.is_up t.liveness src then deliver_one t ~src ~dst payload
-  else drop_at_sender t ~dsts:1
+  else dead_sender t ~src ~dsts:[ dst ] payload
 
 let multicast t ~src ~dsts payload =
   t.sent <- t.sent + 1;
   if Host.Liveness.is_up t.liveness src then
     List.iter (fun dst -> deliver_one t ~src ~dst payload) dsts
-  else drop_at_sender t ~dsts:(List.length dsts)
+  else dead_sender t ~src ~dsts payload
 
 let sent t = t.sent
 let attempts t = t.attempts

@@ -29,6 +29,8 @@ val create :
   ?rng:Prng.Splitmix.t ->
   ?loss:float ->
   ?link_delay:(src:Host.Host_id.t -> dst:Host.Host_id.t -> Simtime.Time.Span.t) ->
+  ?tracer:Trace.Sink.t ->
+  ?describe:('a -> string) ->
   prop_delay:Simtime.Time.Span.t ->
   proc_delay:Simtime.Time.Span.t ->
   unit ->
@@ -36,7 +38,10 @@ val create :
 (** [loss] is the independent per-delivery drop probability in [0, 1]
     (default 0; requires [rng] when positive; 1.0 models a total blackout
     for fault drills).  [link_delay] overrides the propagation delay per
-    (src, dst) pair, for mixed LAN/WAN topologies. *)
+    (src, dst) pair, for mixed LAN/WAN topologies.  [tracer] receives a
+    [Net_send] per delivery attempt, then exactly one [Net_deliver] or
+    [Net_drop] (with cause) for it; [describe] renders payloads for those
+    events (default ["msg"]). *)
 
 val register : 'a t -> Host.Host_id.t -> ('a envelope -> unit) -> unit
 (** Install the message handler for a host.  Re-registering replaces it. *)

@@ -1,8 +1,32 @@
-type t = { mutable now : Time.t; queue : (unit -> unit) Event_queue.t }
+type t = {
+  mutable now : Time.t;
+  queue : (unit -> unit) Event_queue.t;
+  mutable tracer : Trace.Sink.t;
+  mutable heartbeat : Time.span;
+  mutable next_beat : Time.t;
+}
 
 type handle = Event_queue.handle
 
-let create () = { now = Time.zero; queue = Event_queue.create () }
+let create () =
+  {
+    now = Time.zero;
+    queue = Event_queue.create ();
+    tracer = Trace.Sink.null;
+    heartbeat = Time.Span.of_sec 1.;
+    next_beat = Time.zero;
+  }
+
+let set_tracer ?heartbeat t sink =
+  t.tracer <- sink;
+  (match heartbeat with
+  | Some hb ->
+    if Time.Span.is_negative hb then invalid_arg "Engine.set_tracer: negative heartbeat";
+    t.heartbeat <- hb
+  | None -> ());
+  t.next_beat <- t.now
+
+let tracer t = t.tracer
 
 let now t = t.now
 
@@ -25,6 +49,13 @@ let step t =
   | None -> false
   | Some (at, callback) ->
     t.now <- at;
+    (* Bounded-rate engine sample: at most one heartbeat per [heartbeat]
+       interval of sim time, emitted piggyback on a real event so the
+       tracer never schedules work of its own. *)
+    if Trace.Sink.enabled t.tracer && Time.(at >= t.next_beat) then (
+      Trace.Sink.emit t.tracer (Time.to_sec at)
+        (Trace.Event.Heartbeat { pending = Event_queue.length t.queue });
+      t.next_beat <- Time.add at t.heartbeat);
     callback ();
     true
 

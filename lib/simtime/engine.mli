@@ -38,3 +38,13 @@ val step : t -> bool
 
 val pending : t -> int
 (** Number of live scheduled events. *)
+
+val set_tracer : ?heartbeat:Time.span -> t -> Trace.Sink.t -> unit
+(** Attach a trace sink.  While the sink is enabled the engine emits a
+    [Heartbeat] event (current queue depth) at most once per [heartbeat]
+    of simulated time (default 1 s), piggybacked on event execution — the
+    tracer never schedules events itself, so it cannot keep a run alive or
+    perturb the schedule.  Negative heartbeats raise [Invalid_argument]. *)
+
+val tracer : t -> Trace.Sink.t
+(** The attached sink ({!Trace.Sink.null} when none). *)

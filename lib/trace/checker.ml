@@ -1,0 +1,129 @@
+type violation = { at : float; invariant : string; detail : string }
+
+type report = {
+  events : int;
+  checked_hits : int;
+  checked_commits : int;
+  violations : violation list;
+}
+
+let epsilon_s = 1e-5
+
+type client_entry = { cl_version : int; cl_expiry : float option }
+
+let check ?(server = 0) events =
+  let violations = ref [] in
+  let n_events = ref 0 in
+  let hits = ref 0 in
+  let commits = ref 0 in
+  (* (host, file) -> the client's recorded local lease *)
+  let client_leases : (int * int, client_entry) Hashtbl.t = Hashtbl.create 64 in
+  (* (file, holder) -> server-local expiry ([None] = never) *)
+  let server_leases : (int * int, float option) Hashtbl.t = Hashtbl.create 64 in
+  (* file -> installed-coverage horizon, server-local *)
+  let cover : (int, float) Hashtbl.t = Hashtbl.create 8 in
+  (* file -> latest committed version *)
+  let committed : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let flag at invariant detail = violations := { at; invariant; detail } :: !violations in
+  let drop_host tbl host =
+    let stale = Hashtbl.fold (fun ((h, _) as k) _ acc -> if h = host then k :: acc else acc) tbl [] in
+    List.iter (Hashtbl.remove tbl) stale
+  in
+  List.iter
+    (fun ({ at; ev } : Event.t) ->
+      incr n_events;
+      match ev with
+      | Event.Client_lease { host; file; version; expiry; _ } ->
+        Hashtbl.replace client_leases (host, file) { cl_version = version; cl_expiry = expiry }
+      | Event.Cache_invalidate { host; file } -> Hashtbl.remove client_leases (host, file)
+      | Event.Cache_hit { host; file; version; local_now } -> (
+        incr hits;
+        (match Hashtbl.find_opt client_leases (host, file) with
+        | None ->
+          flag at "local-read-validity"
+            (Printf.sprintf "host %d hit file %d with no recorded lease" host file)
+        | Some { cl_version; _ } when cl_version <> version ->
+          flag at "local-read-validity"
+            (Printf.sprintf "host %d hit file %d at v%d but lease recorded v%d" host file
+               version cl_version)
+        | Some { cl_expiry = Some e; _ } when local_now >= e ->
+          flag at "local-read-validity"
+            (Printf.sprintf
+               "host %d hit file %d after local expiry (local clock %.6f >= expiry %.6f)" host
+               file local_now e)
+        | Some _ -> ());
+        match Hashtbl.find_opt committed file with
+        | Some v when version < v ->
+          flag at "stale-hit"
+            (Printf.sprintf "host %d read file %d at v%d but v%d is committed" host file version
+               v)
+        | _ -> ())
+      | Event.Lease_grant { file; holder; server_expiry; _ } ->
+        Hashtbl.replace server_leases (file, holder) server_expiry
+      | Event.Lease_release { file; holder; _ } -> Hashtbl.remove server_leases (file, holder)
+      | Event.Installed_cover { file; until } ->
+        let prev = Option.value (Hashtbl.find_opt cover file) ~default:neg_infinity in
+        Hashtbl.replace cover file (Float.max prev until)
+      | Event.Commit { file; writer; version; server_now; _ } ->
+        incr commits;
+        Hashtbl.iter
+          (fun (f, holder) expiry ->
+            if f = file && holder <> writer then
+              match expiry with
+              | None ->
+                flag at "commit-vs-lease"
+                  (Printf.sprintf "commit of file %d v%d with infinite lease held by %d" file
+                     version holder)
+              | Some e when e > server_now +. epsilon_s ->
+                flag at "commit-vs-lease"
+                  (Printf.sprintf
+                     "commit of file %d v%d while host %d's lease runs to %.6f (server clock \
+                      %.6f)"
+                     file version holder e server_now)
+              | Some _ -> ())
+          server_leases;
+        (match Hashtbl.find_opt cover file with
+        | Some until when until > server_now +. epsilon_s ->
+          flag at "commit-vs-lease"
+            (Printf.sprintf
+               "commit of file %d v%d inside installed coverage to %.6f (server clock %.6f)"
+               file version until server_now)
+        | _ -> ());
+        (* The commit drops every lease on the file and resets coverage. *)
+        let swept =
+          Hashtbl.fold
+            (fun ((f, _) as k) _ acc -> if f = file then k :: acc else acc)
+            server_leases []
+        in
+        List.iter (Hashtbl.remove server_leases) swept;
+        Hashtbl.remove cover file;
+        Hashtbl.replace committed file version
+      | Event.Crash { host } when host = server ->
+        Hashtbl.reset server_leases;
+        Hashtbl.reset cover;
+        drop_host client_leases host
+      | Event.Crash { host } -> drop_host client_leases host
+      | _ -> ())
+    events;
+  {
+    events = !n_events;
+    checked_hits = !hits;
+    checked_commits = !commits;
+    violations = List.rev !violations;
+  }
+
+let ok r = r.violations = []
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<h>[%12.6f] %-20s %s@]" v.at v.invariant v.detail
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>checked %d events (%d cache hits, %d commits): " r.events
+    r.checked_hits r.checked_commits;
+  (match r.violations with
+  | [] -> Format.fprintf ppf "OK, no violations"
+  | vs ->
+    Format.fprintf ppf "%d violation%s@,%a" (List.length vs)
+      (if List.length vs = 1 then "" else "s")
+      (Format.pp_print_list pp_violation) vs);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,41 @@
+(** Trace-driven invariant checker.
+
+    Replays an event stream and asserts the paper's two safety conditions,
+    independently of the in-simulator oracle:
+
+    - {b local-read-validity}: a cache hit must be backed by a lease the
+      client recorded, matching version, unexpired on the {e client's}
+      clock.  Checked exactly — the comparison mirrors the client's own
+      hit test, so any disagreement is a real instrumentation or logic bug.
+    - {b commit-vs-lease}: at a commit, every lease on the file held by a
+      non-writer must have expired at the {e server's} clock (or have been
+      released by approval), and any installed-file coverage horizon must
+      have passed.  Compared with a 10 µs epsilon: expiry timers are
+      scheduled by converting a server-local deadline to engine time, and
+      that conversion rounds to the microsecond grid, so a timer can fire
+      with the server clock a fraction of a microsecond shy of the
+      deadline.  Genuine clock-fault violations are orders of magnitude
+      larger.
+    - {b stale-hit}: a cache hit must return the latest committed version.
+      This is the observable consequence the first two conditions exist to
+      prevent, and the one that fires when a fast server clock lets a
+      commit overlap a client's still-trusted lease. *)
+
+type violation = { at : float;  (** engine time *) invariant : string; detail : string }
+
+type report = {
+  events : int;
+  checked_hits : int;
+  checked_commits : int;
+  violations : violation list;  (** in stream order *)
+}
+
+val check : ?server:int -> Event.t list -> report
+(** [server] is the server's host id (default 0). *)
+
+val ok : report -> bool
+val pp_violation : Format.formatter -> violation -> unit
+val pp_report : Format.formatter -> report -> unit
+
+val epsilon_s : float
+(** Slack used by the commit-vs-lease comparison (10 µs). *)

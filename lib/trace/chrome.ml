@@ -1,0 +1,99 @@
+let us s = Json.Num (s *. 1e6)
+let int i = Json.Num (float_of_int i)
+let str s = Json.Str s
+
+let span ~name ~pid ~tid ~ts ~dur ~args =
+  Json.Obj
+    [
+      ("name", str name);
+      ("ph", str "X");
+      ("pid", int pid);
+      ("tid", int tid);
+      ("ts", us ts);
+      ("dur", us (Float.max dur 0.));
+      ("args", Json.Obj args);
+    ]
+
+let instant ~name ~pid ~ts ~args =
+  Json.Obj
+    [
+      ("name", str name);
+      ("ph", str "i");
+      ("s", str "g");
+      ("pid", int pid);
+      ("tid", int 0);
+      ("ts", us ts);
+      ("args", Json.Obj args);
+    ]
+
+let counter ~name ~pid ~ts ~values =
+  Json.Obj
+    [ ("name", str name); ("ph", str "C"); ("pid", int pid); ("ts", us ts); ("args", Json.Obj values) ]
+
+let end_cause_name : Lifecycle.end_cause -> string = function
+  | Lifecycle.Active -> "active"
+  | Lifecycle.Released c -> "released-" ^ Event.release_cause_name c
+  | Lifecycle.Commit_sweep -> "commit-sweep"
+  | Lifecycle.Regrant -> "regrant"
+  | Lifecycle.Server_crash -> "server-crash"
+
+let write ?(server = 0) oc events =
+  let life = Lifecycle.build ~server events in
+  let acc = ref [] in
+  let push j = acc := j :: !acc in
+  List.iter
+    (fun (l : Lifecycle.lease) ->
+      push
+        (span
+           ~name:(Printf.sprintf "lease f%d" l.file)
+           ~pid:l.holder ~tid:l.file ~ts:l.granted_at
+           ~dur:(Lifecycle.lease_end life l -. l.granted_at)
+           ~args:
+             [
+               ("renewals", int l.renewals);
+               ("end", str (end_cause_name l.end_cause));
+               ( "server_expiry",
+                 match l.last_expiry with None -> Json.Null | Some e -> Json.Num e );
+             ]))
+    life.leases;
+  List.iter
+    (fun (w : Lifecycle.wait) ->
+      let finish =
+        match w.committed_at with Some at -> at | None -> life.last_at
+      in
+      push
+        (span
+           ~name:(Printf.sprintf "write-wait w%d f%d" w.write w.w_file)
+           ~pid:server ~tid:w.w_file ~ts:w.began_at ~dur:(finish -. w.began_at)
+           ~args:
+             [
+               ("writer", int w.writer);
+               ("blockers", int (List.length w.blockers));
+               ("by_expiry", Json.Bool w.by_expiry);
+               ( "waited_s",
+                 match w.waited_s with None -> Json.Null | Some s -> Json.Num s );
+             ]))
+    life.waits;
+  List.iter
+    (fun ({ at; ev } : Event.t) ->
+      match ev with
+      | Event.Crash { host } -> push (instant ~name:"crash" ~pid:host ~ts:at ~args:[])
+      | Event.Recover { host } -> push (instant ~name:"recover" ~pid:host ~ts:at ~args:[])
+      | Event.Clock_drift { host; drift } ->
+        push (instant ~name:"clock-drift" ~pid:host ~ts:at ~args:[ ("drift", Json.Num drift) ])
+      | Event.Clock_step { host; step_s } ->
+        push (instant ~name:"clock-step" ~pid:host ~ts:at ~args:[ ("step_s", Json.Num step_s) ])
+      | Event.Net_drop { src; dst; msg; cause } ->
+        push
+          (instant ~name:"net-drop" ~pid:src ~ts:at
+             ~args:
+               [ ("dst", int dst); ("msg", str msg); ("cause", str (Event.drop_cause_name cause)) ])
+      | Event.Heartbeat { pending } ->
+        push (counter ~name:"pending-events" ~pid:server ~ts:at ~values:[ ("pending", int pending) ])
+      | _ -> ())
+    events;
+  let doc = Json.Obj [ ("traceEvents", Json.Arr (List.rev !acc)) ] in
+  let b = Buffer.create 65536 in
+  Json.to_buffer b doc;
+  Buffer.add_char b '\n';
+  Buffer.output_buffer oc b

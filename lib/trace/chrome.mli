@@ -1,0 +1,8 @@
+(** Chrome trace-event export (Perfetto / chrome://tracing).
+
+    Renders lease lifetimes and write waits as complete ("X") spans —
+    leases grouped by holder (pid) and file (tid), waits under the server —
+    faults and drops as instants ("i"), and the engine heartbeat as a
+    counter ("C").  Timestamps are microseconds per the format. *)
+
+val write : ?server:int -> out_channel -> Event.t list -> unit

@@ -1,0 +1,230 @@
+open Event
+
+let num_opt = function None -> Json.Null | Some v -> Json.Num v
+let int i = Json.Num (float_of_int i)
+let int_opt = function None -> Json.Null | Some i -> int i
+let ints l = Json.Arr (List.map int l)
+
+let payload = function
+  | Lease_grant { file; holder; term_s; server_expiry; server_now; renewal } ->
+    [
+      ("file", int file);
+      ("holder", int holder);
+      ("term", num_opt term_s);
+      ("expiry", num_opt server_expiry);
+      ("now", Json.Num server_now);
+      ("renewal", Json.Bool renewal);
+    ]
+  | Lease_release { file; holder; cause } ->
+    [ ("file", int file); ("holder", int holder); ("cause", Json.Str (release_cause_name cause)) ]
+  | Wait_begin { write; file; writer; waiting; deadline; server_now } ->
+    [
+      ("write", int write);
+      ("file", int file);
+      ("writer", int writer);
+      ("waiting", ints waiting);
+      ("deadline", num_opt deadline);
+      ("now", Json.Num server_now);
+    ]
+  | Wait_expire { write; file } -> [ ("write", int write); ("file", int file) ]
+  | Approval_request { write; file; dsts } ->
+    [ ("write", int write); ("file", int file); ("dsts", ints dsts) ]
+  | Approval_reply { write; file; holder } ->
+    [ ("write", int write); ("file", int file); ("holder", int holder) ]
+  | Commit { write; file; writer; version; server_now; waited_s } ->
+    [
+      ("write", int_opt write);
+      ("file", int file);
+      ("writer", int writer);
+      ("version", int version);
+      ("now", Json.Num server_now);
+      ("waited", Json.Num waited_s);
+    ]
+  | Installed_cover { file; until } -> [ ("file", int file); ("until", Json.Num until) ]
+  | Client_lease { host; file; version; expiry; local_now } ->
+    [
+      ("host", int host);
+      ("file", int file);
+      ("version", int version);
+      ("expiry", num_opt expiry);
+      ("now", Json.Num local_now);
+    ]
+  | Cache_hit { host; file; version; local_now } ->
+    [ ("host", int host); ("file", int file); ("version", int version); ("now", Json.Num local_now) ]
+  | Cache_miss { host; file } -> [ ("host", int host); ("file", int file) ]
+  | Cache_invalidate { host; file } -> [ ("host", int host); ("file", int file) ]
+  | Net_send { src; dst; msg } -> [ ("src", int src); ("dst", int dst); ("msg", Json.Str msg) ]
+  | Net_deliver { src; dst; msg } -> [ ("src", int src); ("dst", int dst); ("msg", Json.Str msg) ]
+  | Net_drop { src; dst; msg; cause } ->
+    [
+      ("src", int src);
+      ("dst", int dst);
+      ("msg", Json.Str msg);
+      ("cause", Json.Str (drop_cause_name cause));
+    ]
+  | Crash { host } -> [ ("host", int host) ]
+  | Recover { host } -> [ ("host", int host) ]
+  | Clock_drift { host; drift } -> [ ("host", int host); ("drift", Json.Num drift) ]
+  | Clock_step { host; step_s } -> [ ("host", int host); ("step", Json.Num step_s) ]
+  | Heartbeat { pending } -> [ ("pending", int pending) ]
+
+let to_json { at; ev } =
+  Json.Obj (("at", Json.Num at) :: ("ev", Json.Str (kind_name ev)) :: payload ev)
+
+let encode e = Json.to_string (to_json e)
+
+(* Decoding: small field-accessor combinators over the parsed object,
+   raising [Bad] with the offending field name. *)
+
+exception Bad of string
+
+let num name obj =
+  match Json.member name obj with
+  | Some (Json.Num v) -> v
+  | _ -> raise (Bad name)
+
+let int_f name obj =
+  let v = num name obj in
+  let i = int_of_float v in
+  if float_of_int i <> v then raise (Bad name);
+  i
+
+let num_opt_f name obj =
+  match Json.member name obj with
+  | Some Json.Null -> None
+  | Some (Json.Num v) -> Some v
+  | _ -> raise (Bad name)
+
+let int_opt_f name obj =
+  match num_opt_f name obj with
+  | None -> None
+  | Some v ->
+    let i = int_of_float v in
+    if float_of_int i <> v then raise (Bad name);
+    Some i
+
+let str name obj =
+  match Json.member name obj with
+  | Some (Json.Str s) -> s
+  | _ -> raise (Bad name)
+
+let bool_f name obj =
+  match Json.member name obj with
+  | Some (Json.Bool b) -> b
+  | _ -> raise (Bad name)
+
+let int_list name obj =
+  match Json.member name obj with
+  | Some (Json.Arr items) ->
+    List.map
+      (function
+        | Json.Num v ->
+          let i = int_of_float v in
+          if float_of_int i <> v then raise (Bad name);
+          i
+        | _ -> raise (Bad name))
+      items
+  | _ -> raise (Bad name)
+
+let drop_cause_of_string = function
+  | "loss" -> Loss
+  | "partition" -> Partition
+  | "down" -> Down
+  | _ -> raise (Bad "cause")
+
+let release_cause_of_string = function
+  | "approved" -> Approved
+  | "writer-self" -> Writer_self
+  | _ -> raise (Bad "cause")
+
+let kind_of_json tag obj =
+  match tag with
+  | "lease-grant" ->
+    Lease_grant
+      {
+        file = int_f "file" obj;
+        holder = int_f "holder" obj;
+        term_s = num_opt_f "term" obj;
+        server_expiry = num_opt_f "expiry" obj;
+        server_now = num "now" obj;
+        renewal = bool_f "renewal" obj;
+      }
+  | "lease-release" ->
+    Lease_release
+      {
+        file = int_f "file" obj;
+        holder = int_f "holder" obj;
+        cause = release_cause_of_string (str "cause" obj);
+      }
+  | "wait-begin" ->
+    Wait_begin
+      {
+        write = int_f "write" obj;
+        file = int_f "file" obj;
+        writer = int_f "writer" obj;
+        waiting = int_list "waiting" obj;
+        deadline = num_opt_f "deadline" obj;
+        server_now = num "now" obj;
+      }
+  | "wait-expire" -> Wait_expire { write = int_f "write" obj; file = int_f "file" obj }
+  | "approval-request" ->
+    Approval_request
+      { write = int_f "write" obj; file = int_f "file" obj; dsts = int_list "dsts" obj }
+  | "approval-reply" ->
+    Approval_reply
+      { write = int_f "write" obj; file = int_f "file" obj; holder = int_f "holder" obj }
+  | "commit" ->
+    Commit
+      {
+        write = int_opt_f "write" obj;
+        file = int_f "file" obj;
+        writer = int_f "writer" obj;
+        version = int_f "version" obj;
+        server_now = num "now" obj;
+        waited_s = num "waited" obj;
+      }
+  | "installed-cover" -> Installed_cover { file = int_f "file" obj; until = num "until" obj }
+  | "client-lease" ->
+    Client_lease
+      {
+        host = int_f "host" obj;
+        file = int_f "file" obj;
+        version = int_f "version" obj;
+        expiry = num_opt_f "expiry" obj;
+        local_now = num "now" obj;
+      }
+  | "cache-hit" ->
+    Cache_hit
+      {
+        host = int_f "host" obj;
+        file = int_f "file" obj;
+        version = int_f "version" obj;
+        local_now = num "now" obj;
+      }
+  | "cache-miss" -> Cache_miss { host = int_f "host" obj; file = int_f "file" obj }
+  | "cache-invalidate" -> Cache_invalidate { host = int_f "host" obj; file = int_f "file" obj }
+  | "net-send" -> Net_send { src = int_f "src" obj; dst = int_f "dst" obj; msg = str "msg" obj }
+  | "net-deliver" ->
+    Net_deliver { src = int_f "src" obj; dst = int_f "dst" obj; msg = str "msg" obj }
+  | "net-drop" ->
+    Net_drop
+      {
+        src = int_f "src" obj;
+        dst = int_f "dst" obj;
+        msg = str "msg" obj;
+        cause = drop_cause_of_string (str "cause" obj);
+      }
+  | "crash" -> Crash { host = int_f "host" obj }
+  | "recover" -> Recover { host = int_f "host" obj }
+  | "clock-drift" -> Clock_drift { host = int_f "host" obj; drift = num "drift" obj }
+  | "clock-step" -> Clock_step { host = int_f "host" obj; step_s = num "step" obj }
+  | "heartbeat" -> Heartbeat { pending = int_f "pending" obj }
+  | tag -> raise (Bad (Printf.sprintf "unknown event tag %S" tag))
+
+let decode line =
+  match Json.parse line with
+  | Error msg -> Error msg
+  | Ok obj -> (
+    match { at = num "at" obj; ev = kind_of_json (str "ev" obj) obj } with
+    | e -> Ok e
+    | exception Bad what -> Error (Printf.sprintf "bad or missing field: %s" what))

@@ -1,0 +1,13 @@
+(** JSONL codec for {!Event.t}.
+
+    One event per line: a flat JSON object with an ["at"] timestamp, an
+    ["ev"] tag (the {!Event.kind_name}) and the payload fields.  Optional
+    instants ([None] = never/infinite) are encoded as [null].
+    [decode (encode e)] returns [Ok e] for every event. *)
+
+val encode : Event.t -> string
+(** One line, no trailing newline. *)
+
+val to_json : Event.t -> Json.t
+
+val decode : string -> (Event.t, string) result

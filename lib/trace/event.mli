@@ -1,0 +1,84 @@
+(** The typed protocol-event vocabulary.
+
+    One value per observable protocol step: lease grants and releases,
+    write waits and their resolution, client cache activity, network
+    deliveries and drops, host and clock faults.  Events are emitted by the
+    instrumented hot paths (server, client, network, engine, baselines)
+    into a {!Sink} and consumed by the {!Lifecycle} reconstructor, the
+    {!Checker} invariant replayer and the {!Chrome} exporter.
+
+    This module sits below every simulation library, so it speaks plain
+    data: host and file identifiers are their integer images, instants are
+    float seconds.  [at] is always {e engine} (true) time, giving the
+    stream a global order; host-local clock readings travel inside the
+    payloads ([server_now], [local_now], expiries), because the paper's
+    safety conditions are stated against per-host clocks. *)
+
+type drop_cause = Loss | Partition | Down
+
+type release_cause =
+  | Approved  (** the holder approved a write, invalidating its copy *)
+  | Writer_self  (** implicit self-approval carried on a write request *)
+
+type kind =
+  | Lease_grant of {
+      file : int;
+      holder : int;
+      term_s : float option;  (** [None] = infinite term *)
+      server_expiry : float option;  (** server-local; [None] = never *)
+      server_now : float;  (** server clock at the grant *)
+      renewal : bool;  (** granted on an extension rather than a read *)
+    }
+  | Lease_release of { file : int; holder : int; cause : release_cause }
+  | Wait_begin of {
+      write : int;
+      file : int;
+      writer : int;
+      waiting : int list;  (** leaseholders asked for approval *)
+      deadline : float option;  (** server-local expiry bound; [None] = never *)
+      server_now : float;
+    }
+  | Wait_expire of { write : int; file : int }
+      (** every covering lease expired on the server clock *)
+  | Approval_request of { write : int; file : int; dsts : int list }
+  | Approval_reply of { write : int; file : int; holder : int }
+  | Commit of {
+      write : int option;  (** [None]: committed without waiting *)
+      file : int;
+      writer : int;
+      version : int;
+      server_now : float;
+      waited_s : float;
+    }
+  | Installed_cover of { file : int; until : float }
+      (** installed-file multicast/grant coverage horizon (server-local) *)
+  | Client_lease of {
+      host : int;
+      file : int;
+      version : int;
+      expiry : float option;  (** client-local; [None] = never *)
+      local_now : float;
+    }  (** the client (re)computed its local lease on a file *)
+  | Cache_hit of { host : int; file : int; version : int; local_now : float }
+  | Cache_miss of { host : int; file : int }
+  | Cache_invalidate of { host : int; file : int }
+  | Net_send of { src : int; dst : int; msg : string }
+  | Net_deliver of { src : int; dst : int; msg : string }
+  | Net_drop of { src : int; dst : int; msg : string; cause : drop_cause }
+  | Crash of { host : int }
+  | Recover of { host : int }
+  | Clock_drift of { host : int; drift : float }
+  | Clock_step of { host : int; step_s : float }
+  | Heartbeat of { pending : int }
+      (** periodic engine sample: live event-queue depth *)
+
+type t = { at : float;  (** engine time, seconds *) ev : kind }
+
+val kind_name : kind -> string
+(** Stable kebab-case tag, also the JSONL discriminator. *)
+
+val drop_cause_name : drop_cause -> string
+val release_cause_name : release_cause -> string
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

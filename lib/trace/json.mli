@@ -1,0 +1,24 @@
+(** Minimal JSON value type, writer and parser.
+
+    Self-contained so the trace layer adds no external dependency.  The
+    writer prints integral numbers without a fractional part and all other
+    finite doubles with 17 significant digits, which round-trips exactly
+    through the parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val to_buffer : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parses a single JSON value; trailing whitespace is permitted, any other
+    trailing input is an error. *)
+
+val member : string -> t -> t option
+(** [member key (Obj _)] looks up [key]; [None] on missing key or non-object. *)

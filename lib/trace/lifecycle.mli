@@ -1,0 +1,55 @@
+(** Lease-lifecycle reconstruction from an event stream.
+
+    Pairs each {!Event.Lease_grant} with the extensions that renewed it and
+    the event that ended it, and attributes each server-side write wait to
+    the specific leaseholders that delayed it — surfacing starvation and
+    the anti-starvation rule firing directly from a trace, with no access
+    to simulator internals. *)
+
+type end_cause =
+  | Active  (** still live when the trace ended *)
+  | Released of Event.release_cause
+  | Commit_sweep  (** swept when a write to the file committed *)
+  | Regrant  (** replaced by a fresh non-renewal grant to the same holder *)
+  | Server_crash
+
+type lease = {
+  file : int;
+  holder : int;
+  granted_at : float;  (** engine time of the initial grant *)
+  mutable renewals : int;
+  mutable last_expiry : float option;  (** latest server-local expiry; [None] = never *)
+  mutable ended_at : float option;  (** engine time; [None] while {!Active} *)
+  mutable end_cause : end_cause;
+}
+
+type resolution =
+  | Res_approved of float  (** engine time the holder's approval arrived *)
+  | Res_expired of float  (** engine time the wait gave up on the holder *)
+
+type blocker = { b_holder : int; mutable resolution : resolution option }
+
+type wait = {
+  write : int;
+  w_file : int;
+  writer : int;
+  began_at : float;
+  blockers : blocker list;
+  mutable committed_at : float option;
+  mutable waited_s : float option;  (** from the authoritative [Commit] event *)
+  mutable by_expiry : bool;  (** resolved by lease expiry rather than full approval *)
+}
+
+type t = {
+  leases : lease list;  (** in grant order *)
+  waits : wait list;  (** in begin order *)
+  commits : int;
+  last_at : float;  (** timestamp of the final event *)
+}
+
+val build : ?server:int -> Event.t list -> t
+(** [server] is the server's host id (default 0), used to recognise
+    server crashes.  Events must be in stream (engine) order. *)
+
+val lease_end : t -> lease -> float
+(** [ended_at], or the trace end for still-active leases. *)

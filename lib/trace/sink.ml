@@ -1,0 +1,104 @@
+type t = { enabled : bool; push : Event.t -> unit; flush : unit -> unit }
+
+let null = { enabled = false; push = ignore; flush = ignore }
+let enabled t = t.enabled
+let emit t at ev = if t.enabled then t.push { Event.at; ev }
+let flush t = t.flush ()
+
+let tee sinks =
+  let live = List.filter (fun s -> s.enabled) sinks in
+  match live with
+  | [] -> null
+  | [ s ] -> s
+  | live ->
+    {
+      enabled = true;
+      push = (fun e -> List.iter (fun s -> s.push e) live);
+      flush = (fun () -> List.iter (fun s -> s.flush ()) live);
+    }
+
+(* Ring buffer *)
+
+type ring = {
+  cap : int;
+  buf : Event.t option array;
+  mutable next : int;  (* slot the next event lands in *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.Sink.ring: capacity must be positive";
+  { cap = capacity; buf = Array.make capacity None; next = 0; len = 0; dropped = 0 }
+
+let ring_push r e =
+  if r.len = r.cap then r.dropped <- r.dropped + 1 else r.len <- r.len + 1;
+  r.buf.(r.next) <- Some e;
+  r.next <- (r.next + 1) mod r.cap
+
+let ring_sink r = { enabled = true; push = ring_push r; flush = ignore }
+
+let ring_contents r =
+  (* Oldest slot: [next - len] modulo capacity. *)
+  let start = (r.next - r.len + r.cap) mod r.cap in
+  List.init r.len (fun i ->
+      match r.buf.((start + i) mod r.cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let ring_dropped r = r.dropped
+
+(* Unbounded buffer *)
+
+type buffer = { mutable events : Event.t list }
+
+let buffer () = { events = [] }
+
+let buffer_sink b =
+  { enabled = true; push = (fun e -> b.events <- e :: b.events); flush = ignore }
+
+let buffer_contents b = List.rev b.events
+
+(* JSONL writer *)
+
+let jsonl oc =
+  {
+    enabled = true;
+    push =
+      (fun e ->
+        output_string oc (Codec.encode e);
+        output_char oc '\n');
+    flush = (fun () -> Stdlib.flush oc);
+  }
+
+(* Time-series aggregation *)
+
+type bucket = { mutable start : float; mutable count : int; mutable closed : (float * int) list }
+type timeline = { interval : float; kinds : (string, bucket) Hashtbl.t }
+
+let timeline ?(interval_s = 1.0) () =
+  if interval_s <= 0. then invalid_arg "Trace.Sink.timeline: interval must be positive";
+  { interval = interval_s; kinds = Hashtbl.create 24 }
+
+let timeline_push tl (e : Event.t) =
+  let key = Event.kind_name e.ev in
+  let bucket_start = Float.of_int (int_of_float (e.at /. tl.interval)) *. tl.interval in
+  match Hashtbl.find_opt tl.kinds key with
+  | None -> Hashtbl.add tl.kinds key { start = bucket_start; count = 1; closed = [] }
+  | Some b when b.start = bucket_start -> b.count <- b.count + 1
+  | Some b ->
+    (* Events arrive in engine order, so a new bucket closes the old one. *)
+    b.closed <- (b.start, b.count) :: b.closed;
+    b.start <- bucket_start;
+    b.count <- 1
+
+let timeline_sink tl = { enabled = true; push = timeline_push tl; flush = ignore }
+
+let timeline_series tl =
+  Hashtbl.fold (fun key b acc -> (key, b) :: acc) tl.kinds []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.map (fun (key, b) ->
+         let s = Stats.Series.create ~label:key in
+         List.iter (fun (x, y) -> Stats.Series.add s ~x ~y:(float_of_int y))
+           (List.rev ((b.start, b.count) :: b.closed));
+         s)

@@ -1,0 +1,67 @@
+(** Pluggable event sinks.
+
+    A sink is a record of closures so emitters need no functor plumbing.
+    The [enabled] flag lets hot paths skip building the event value
+    entirely — call sites must guard:
+
+    {[ if Trace.Sink.enabled tracer then Trace.Sink.emit tracer at (Event.Cache_hit ...) ]}
+
+    because OCaml evaluates the payload argument eagerly; with the guard,
+    the {!null} sink costs one load and one branch per potential event. *)
+
+type t = { enabled : bool; push : Event.t -> unit; flush : unit -> unit }
+
+val null : t
+(** Discards everything; [enabled] is [false]. *)
+
+val enabled : t -> bool
+
+val emit : t -> float -> Event.kind -> unit
+(** [emit t at ev] pushes [{at; ev}] when [t] is enabled.  Callers on hot
+    paths should still guard with {!enabled} to avoid allocating [ev]. *)
+
+val flush : t -> unit
+
+val tee : t list -> t
+(** Broadcasts to every enabled sink; disabled when all are. *)
+
+(** {1 Ring buffer} — bounded, overwrites oldest. *)
+
+type ring
+
+val ring : capacity:int -> ring
+(** [capacity] must be positive; raises [Invalid_argument] otherwise. *)
+
+val ring_sink : ring -> t
+val ring_contents : ring -> Event.t list
+(** Oldest to newest, at most [capacity] events. *)
+
+val ring_dropped : ring -> int
+(** Events overwritten so far. *)
+
+(** {1 Unbounded buffer} — keeps everything, for tests and in-process
+    consumers (checker, lifecycle, Chrome export). *)
+
+type buffer
+
+val buffer : unit -> buffer
+val buffer_sink : buffer -> t
+val buffer_contents : buffer -> Event.t list
+
+(** {1 JSONL writer} — one {!Codec.encode}d line per event. *)
+
+val jsonl : out_channel -> t
+
+(** {1 Time-series aggregation} — buckets per-kind event counts into
+    {!Stats.Series} for plotting alongside the existing figures. *)
+
+type timeline
+
+val timeline : ?interval_s:float -> unit -> timeline
+(** Default bucket width 1 s. *)
+
+val timeline_sink : timeline -> t
+
+val timeline_series : timeline -> Stats.Series.t list
+(** One series per event kind seen, labelled by {!Event.kind_name},
+    sorted by label; x = bucket start (s), y = events in bucket. *)

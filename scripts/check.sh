@@ -14,4 +14,11 @@ dune runtest
 echo "== bench_core --quick =="
 dune exec bin/bench_core.exe -- --quick -o /tmp/BENCH_core.quick.json
 
+echo "== traced smoke sim + invariant checker =="
+# A short traced lease run must replay through the checker with zero
+# violations; tracedump exits non-zero on any.
+dune exec bin/simulate.exe -- -p leases -t 10 -n 4 -d 60 \
+  --trace /tmp/leases_smoke.jsonl > /dev/null
+dune exec bin/tracedump.exe -- /tmp/leases_smoke.jsonl --check-only
+
 echo "== all checks passed =="

@@ -1,0 +1,347 @@
+(* The trace subsystem: codec round-trips, sink semantics, lifecycle
+   reconstruction, and the trace-driven invariant checker — on hand-built
+   streams, on a clean end-to-end run, and on a seeded clock fault the
+   checker must catch. *)
+
+open Simtime
+
+let sec = Time.of_sec
+let file = Vstore.File_id.of_int
+
+let read_op ~at ~client ~f =
+  { Workload.Op.at = sec at; client; kind = Workload.Op.Read; file = f; temporary = false }
+
+let write_op ~at ~client ~f =
+  { Workload.Op.at = sec at; client; kind = Workload.Op.Write; file = f; temporary = false }
+
+(* --- codec: decode (encode e) = e for every event shape ---------------- *)
+
+let gen_time = QCheck.Gen.(map (fun n -> float_of_int n /. 1024.) (int_bound 100_000_000))
+let gen_id = QCheck.Gen.int_bound 1_000
+let gen_opt g = QCheck.Gen.(oneof [ return None; map Option.some g ])
+
+let gen_kind =
+  let open QCheck.Gen in
+  let open Trace.Event in
+  oneof
+    [
+      (let* f = gen_id and* h = gen_id and* t = gen_opt gen_time and* e = gen_opt gen_time
+       and* now = gen_time and* r = bool in
+       return (Lease_grant { file = f; holder = h; term_s = t; server_expiry = e; server_now = now; renewal = r }));
+      (let* f = gen_id and* h = gen_id and* c = oneofl [ Approved; Writer_self ] in
+       return (Lease_release { file = f; holder = h; cause = c }));
+      (let* w = gen_id and* f = gen_id and* wr = gen_id and* waiting = list_size (int_bound 5) gen_id
+       and* d = gen_opt gen_time and* now = gen_time in
+       return (Wait_begin { write = w; file = f; writer = wr; waiting; deadline = d; server_now = now }));
+      (let* w = gen_id and* f = gen_id in
+       return (Wait_expire { write = w; file = f }));
+      (let* w = gen_id and* f = gen_id and* dsts = list_size (int_bound 5) gen_id in
+       return (Approval_request { write = w; file = f; dsts }));
+      (let* w = gen_id and* f = gen_id and* h = gen_id in
+       return (Approval_reply { write = w; file = f; holder = h }));
+      (let* w = gen_opt gen_id and* f = gen_id and* wr = gen_id and* v = gen_id
+       and* now = gen_time and* waited = gen_time in
+       return (Commit { write = w; file = f; writer = wr; version = v; server_now = now; waited_s = waited }));
+      (let* f = gen_id and* u = gen_time in
+       return (Installed_cover { file = f; until = u }));
+      (let* h = gen_id and* f = gen_id and* v = gen_id and* e = gen_opt gen_time and* now = gen_time in
+       return (Client_lease { host = h; file = f; version = v; expiry = e; local_now = now }));
+      (let* h = gen_id and* f = gen_id and* v = gen_id and* now = gen_time in
+       return (Cache_hit { host = h; file = f; version = v; local_now = now }));
+      (let* h = gen_id and* f = gen_id in
+       return (Cache_miss { host = h; file = f }));
+      (let* h = gen_id and* f = gen_id in
+       return (Cache_invalidate { host = h; file = f }));
+      (let* s = gen_id and* d = gen_id
+       and* m = oneofl [ "read-req"; "approve-rep"; "msg with \"quotes\" and \\ slashes\n" ] in
+       return (Net_send { src = s; dst = d; msg = m }));
+      (let* s = gen_id and* d = gen_id and* m = oneofl [ "read-rep"; "installed-refresh" ] in
+       return (Net_deliver { src = s; dst = d; msg = m }));
+      (let* s = gen_id and* d = gen_id and* m = oneofl [ "write-req"; "extend-req" ]
+       and* c = oneofl [ Loss; Partition; Down ] in
+       return (Net_drop { src = s; dst = d; msg = m; cause = c }));
+      map (fun h -> Crash { host = h }) gen_id;
+      map (fun h -> Recover { host = h }) gen_id;
+      (let* h = gen_id and* d = oneofl [ -0.5; 0.; 1.5 ] in
+       return (Clock_drift { host = h; drift = d }));
+      (let* h = gen_id and* s = gen_time in
+       return (Clock_step { host = h; step_s = s }));
+      map (fun p -> Heartbeat { pending = p }) gen_id;
+    ]
+
+let gen_event =
+  QCheck.Gen.(
+    let* at = gen_time and* ev = gen_kind in
+    return { Trace.Event.at; ev })
+
+let event_arb =
+  QCheck.make gen_event ~print:(fun e -> Format.asprintf "%a" Trace.Event.pp e)
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec decode . encode = id" ~count:500 event_arb (fun e ->
+      match Trace.Codec.decode (Trace.Codec.encode e) with
+      | Ok back -> Trace.Event.equal e back
+      | Error _ -> false)
+
+let test_codec_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Trace.Codec.decode line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "decoded garbage %S" line)
+    [ ""; "not json"; "{}"; {|{"at": 1.0}|}; {|{"at": 1.0, "ev": "no-such-kind"}|};
+      {|{"at": 1.0, "ev": "cache-hit"}|}; {|{"at": 1.0, "ev": "cache-hit", "host": 1, "file": 2, "version": 3, "now": 4.0} trailing|} ]
+
+(* --- sinks -------------------------------------------------------------- *)
+
+let hit ~at host =
+  { Trace.Event.at;
+    ev = Trace.Event.Cache_hit { host; file = 0; version = 0; local_now = at } }
+
+let test_ring_overwrites_oldest () =
+  let ring = Trace.Sink.ring ~capacity:4 in
+  let sink = Trace.Sink.ring_sink ring in
+  for i = 0 to 9 do
+    Trace.Sink.emit sink (float_of_int i) (Trace.Event.Heartbeat { pending = i })
+  done;
+  let pending = function
+    | { Trace.Event.ev = Trace.Event.Heartbeat { pending }; _ } -> pending
+    | _ -> Alcotest.fail "unexpected event kind in ring"
+  in
+  Alcotest.(check (list int)) "keeps the newest, oldest first" [ 6; 7; 8; 9 ]
+    (List.map pending (Trace.Sink.ring_contents ring));
+  Alcotest.(check int) "counts overwrites" 6 (Trace.Sink.ring_dropped ring);
+  Alcotest.check_raises "rejects non-positive capacity"
+    (Invalid_argument "Trace.Sink.ring: capacity must be positive") (fun () ->
+      ignore (Trace.Sink.ring ~capacity:0))
+
+let test_null_sink_disabled () =
+  Alcotest.(check bool) "null disabled" false (Trace.Sink.enabled Trace.Sink.null);
+  Alcotest.(check bool) "tee of nulls disabled" false
+    (Trace.Sink.enabled (Trace.Sink.tee [ Trace.Sink.null; Trace.Sink.null ]))
+
+let test_timeline_buckets () =
+  let tl = Trace.Sink.timeline ~interval_s:1.0 () in
+  let sink = Trace.Sink.timeline_sink tl in
+  List.iter
+    (fun e -> Trace.Sink.emit sink e.Trace.Event.at e.Trace.Event.ev)
+    [ hit ~at:0.1 1; hit ~at:0.9 1; hit ~at:2.5 1;
+      { Trace.Event.at = 0.5; ev = Trace.Event.Cache_miss { host = 1; file = 0 } } ];
+  let series = Trace.Sink.timeline_series tl in
+  Alcotest.(check (list string)) "one series per kind, sorted" [ "cache-hit"; "cache-miss" ]
+    (List.map Stats.Series.label series);
+  let hits = List.hd series in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "hits bucketed per second" [ (0., 2.); (2., 1.) ] (Stats.Series.points hits)
+
+(* --- lifecycle reconstruction on a hand-built stream -------------------- *)
+
+let ev at kind = { Trace.Event.at; ev = kind }
+
+let hand_stream =
+  let open Trace.Event in
+  [
+    ev 1.0 (Lease_grant { file = 7; holder = 1; term_s = Some 10.; server_expiry = Some 11.0; server_now = 1.0; renewal = false });
+    ev 2.0 (Lease_grant { file = 7; holder = 2; term_s = Some 10.; server_expiry = Some 12.0; server_now = 2.0; renewal = false });
+    ev 5.0 (Lease_grant { file = 7; holder = 1; term_s = Some 10.; server_expiry = Some 15.0; server_now = 5.0; renewal = true });
+    ev 6.0 (Wait_begin { write = 0; file = 7; writer = 3; waiting = [ 1; 2 ]; deadline = Some 15.0; server_now = 6.0 });
+    ev 6.5 (Approval_reply { write = 0; file = 7; holder = 2 });
+    ev 6.5 (Lease_release { file = 7; holder = 2; cause = Approved });
+    ev 15.0 (Wait_expire { write = 0; file = 7 });
+    ev 15.0 (Commit { write = Some 0; file = 7; writer = 3; version = 1; server_now = 15.0; waited_s = 9.0 });
+  ]
+
+let test_lifecycle_reconstruction () =
+  let life = Trace.Lifecycle.build hand_stream in
+  Alcotest.(check int) "one commit" 1 life.Trace.Lifecycle.commits;
+  (match life.Trace.Lifecycle.leases with
+  | [ a; b ] ->
+    Alcotest.(check int) "first grant holder" 1 a.Trace.Lifecycle.holder;
+    Alcotest.(check int) "renewal folded in" 1 a.Trace.Lifecycle.renewals;
+    Alcotest.(check (option (float 1e-9))) "expiry tracks renewal" (Some 15.0)
+      a.Trace.Lifecycle.last_expiry;
+    (match a.Trace.Lifecycle.end_cause with
+    | Trace.Lifecycle.Commit_sweep -> ()
+    | _ -> Alcotest.fail "holder 1 should end by commit sweep");
+    (match b.Trace.Lifecycle.end_cause with
+    | Trace.Lifecycle.Released Trace.Event.Approved -> ()
+    | _ -> Alcotest.fail "holder 2 should end by approval release")
+  | l -> Alcotest.failf "expected 2 lease lifecycles, got %d" (List.length l));
+  match life.Trace.Lifecycle.waits with
+  | [ w ] ->
+    Alcotest.(check bool) "ended by expiry" true w.Trace.Lifecycle.by_expiry;
+    Alcotest.(check (option (float 1e-9))) "authoritative wait" (Some 9.0)
+      w.Trace.Lifecycle.waited_s;
+    let resolution holder =
+      match
+        List.find_opt (fun b -> b.Trace.Lifecycle.b_holder = holder) w.Trace.Lifecycle.blockers
+      with
+      | Some b -> b.Trace.Lifecycle.resolution
+      | None -> Alcotest.failf "blocker %d missing" holder
+    in
+    (match resolution 2 with
+    | Some (Trace.Lifecycle.Res_approved at) -> Alcotest.(check (float 1e-9)) "approved at" 6.5 at
+    | _ -> Alcotest.fail "holder 2 should resolve by approval");
+    (match resolution 1 with
+    | Some (Trace.Lifecycle.Res_expired at) -> Alcotest.(check (float 1e-9)) "expired at" 15.0 at
+    | _ -> Alcotest.fail "holder 1 should resolve by expiry")
+  | l -> Alcotest.failf "expected 1 wait, got %d" (List.length l)
+
+(* --- checker on hand-built streams -------------------------------------- *)
+
+let invariants report =
+  List.map (fun v -> v.Trace.Checker.invariant) report.Trace.Checker.violations
+
+let test_checker_clean_hand_stream () =
+  let open Trace.Event in
+  let report =
+    Trace.Checker.check
+      [
+        ev 1.0 (Lease_grant { file = 3; holder = 1; term_s = Some 10.; server_expiry = Some 11.0; server_now = 1.0; renewal = false });
+        ev 1.01 (Client_lease { host = 1; file = 3; version = 0; expiry = Some 10.5; local_now = 1.01 });
+        ev 2.0 (Cache_hit { host = 1; file = 3; version = 0; local_now = 2.0 });
+        ev 5.0 (Lease_release { file = 3; holder = 1; cause = Approved });
+        ev 5.0 (Cache_invalidate { host = 1; file = 3 });
+        ev 5.1 (Commit { write = None; file = 3; writer = 2; version = 1; server_now = 5.1; waited_s = 0. });
+      ]
+  in
+  Alcotest.(check bool) "clean" true (Trace.Checker.ok report);
+  Alcotest.(check int) "hits checked" 1 report.Trace.Checker.checked_hits;
+  Alcotest.(check int) "commits checked" 1 report.Trace.Checker.checked_commits
+
+let test_checker_flags_stale_hit () =
+  let open Trace.Event in
+  let report =
+    Trace.Checker.check
+      [
+        ev 1.0 (Client_lease { host = 1; file = 3; version = 0; expiry = Some 30.; local_now = 1.0 });
+        ev 2.0 (Commit { write = None; file = 3; writer = 2; version = 1; server_now = 2.0; waited_s = 0. });
+        ev 3.0 (Cache_hit { host = 1; file = 3; version = 0; local_now = 3.0 });
+      ]
+  in
+  Alcotest.(check bool) "flagged" false (Trace.Checker.ok report);
+  Alcotest.(check (list string)) "as stale-hit" [ "stale-hit" ] (invariants report)
+
+let test_checker_flags_commit_over_live_lease () =
+  let open Trace.Event in
+  let report =
+    Trace.Checker.check
+      [
+        ev 1.0 (Lease_grant { file = 3; holder = 1; term_s = Some 10.; server_expiry = Some 11.0; server_now = 1.0; renewal = false });
+        ev 2.0 (Commit { write = None; file = 3; writer = 2; version = 1; server_now = 2.0; waited_s = 0. });
+      ]
+  in
+  Alcotest.(check (list string)) "as commit-vs-lease" [ "commit-vs-lease" ] (invariants report)
+
+let test_checker_flags_unbacked_hit () =
+  let open Trace.Event in
+  let report =
+    Trace.Checker.check [ ev 1.0 (Cache_hit { host = 1; file = 3; version = 0; local_now = 1.0 }) ]
+  in
+  Alcotest.(check (list string)) "as local-read-validity" [ "local-read-validity" ]
+    (invariants report)
+
+let test_checker_expired_hit () =
+  let open Trace.Event in
+  let report =
+    Trace.Checker.check
+      [
+        ev 1.0 (Client_lease { host = 1; file = 3; version = 0; expiry = Some 5.0; local_now = 1.0 });
+        ev 6.0 (Cache_hit { host = 1; file = 3; version = 0; local_now = 6.0 });
+      ]
+  in
+  Alcotest.(check (list string)) "expired lease cannot back a hit" [ "local-read-validity" ]
+    (invariants report)
+
+(* --- end to end: clean traced run vs. seeded clock fault ----------------- *)
+
+let traced_run ?(faults = []) ?config ~term ops =
+  let buf = Trace.Sink.buffer () in
+  let setup =
+    {
+      (Experiments.Runner.lease_setup ~n_clients:2 ?config ~term ()) with
+      Leases.Sim.faults;
+      tracer = Trace.Sink.buffer_sink buf;
+    }
+  in
+  let m = Experiments.Runner.run_lease setup (Workload.Trace.of_ops ops) in
+  (m, Trace.Sink.buffer_contents buf)
+
+let busy_ops =
+  List.concat_map
+    (fun i ->
+      let t = float_of_int i in
+      [
+        read_op ~at:(3. *. t +. 1.) ~client:(i mod 2) ~f:(file (i mod 3));
+        write_op ~at:(3. *. t +. 2.) ~client:((i + 1) mod 2) ~f:(file (i mod 3));
+        read_op ~at:(3. *. t +. 2.5) ~client:(i mod 2) ~f:(file (i mod 3));
+      ])
+    (List.init 20 Fun.id)
+
+let test_clean_run_no_violations () =
+  let m, events = traced_run ~term:(Analytic.Model.Finite 10.) busy_ops in
+  let report = Trace.Checker.check events in
+  if not (Trace.Checker.ok report) then
+    Alcotest.failf "clean run flagged: %a" (fun ppf r -> Trace.Checker.pp_report ppf r) report;
+  Alcotest.(check int) "checker saw every hit" m.Leases.Metrics.cache_hits
+    report.Trace.Checker.checked_hits;
+  Alcotest.(check int) "checker saw every commit" m.Leases.Metrics.commits
+    report.Trace.Checker.checked_commits;
+  let life = Trace.Lifecycle.build events in
+  Alcotest.(check int) "lifecycle counts the commits" m.Leases.Metrics.commits
+    life.Trace.Lifecycle.commits;
+  Alcotest.(check int) "oracle agrees" 0 m.Leases.Metrics.oracle_violations
+
+let test_fast_server_clock_caught () =
+  (* A fast server clock expires leases early by the server's reckoning:
+     with a wait-only server (no approval callback to save us) the commit
+     lands while the client still trusts its lease — the unsafe polarity
+     of Section 5, and the checker must catch it from the trace alone. *)
+  let config = { Leases.Config.default with Leases.Config.callback_on_write = false } in
+  let ops =
+    [
+      read_op ~at:1. ~client:0 ~f:(file 0);
+      write_op ~at:4. ~client:1 ~f:(file 0);
+      read_op ~at:12. ~client:0 ~f:(file 0);
+    ]
+  in
+  let m, events =
+    traced_run ~config ~term:(Analytic.Model.Finite 30.)
+      ~faults:[ Leases.Sim.Server_drift { at = sec 2.; drift = 2.0 } ]
+      ops
+  in
+  let report = Trace.Checker.check events in
+  Alcotest.(check bool) "checker flags the fault" false (Trace.Checker.ok report);
+  Alcotest.(check bool) "as a stale hit" true
+    (List.mem "stale-hit" (invariants report));
+  Alcotest.(check bool) "oracle agrees it is a real violation" true
+    (m.Leases.Metrics.oracle_violations >= 1)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "codec",
+        QCheck_alcotest.to_alcotest prop_codec_roundtrip
+        :: [ Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "ring overwrites oldest" `Quick test_ring_overwrites_oldest;
+          Alcotest.test_case "null disabled" `Quick test_null_sink_disabled;
+          Alcotest.test_case "timeline buckets" `Quick test_timeline_buckets;
+        ] );
+      ( "lifecycle",
+        [ Alcotest.test_case "reconstruction" `Quick test_lifecycle_reconstruction ] );
+      ( "checker",
+        [
+          Alcotest.test_case "clean hand stream" `Quick test_checker_clean_hand_stream;
+          Alcotest.test_case "stale hit" `Quick test_checker_flags_stale_hit;
+          Alcotest.test_case "commit over live lease" `Quick test_checker_flags_commit_over_live_lease;
+          Alcotest.test_case "unbacked hit" `Quick test_checker_flags_unbacked_hit;
+          Alcotest.test_case "expired hit" `Quick test_checker_expired_hit;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "clean run has no violations" `Quick test_clean_run_no_violations;
+          Alcotest.test_case "fast server clock caught" `Quick test_fast_server_clock_caught;
+        ] );
+    ]
