@@ -27,44 +27,10 @@ let m_prop_of_rtt rtt_ms =
 
 (* --fault specs: kind=args with comma-separated numbers, e.g.
    crash-client=1,30,20 (client 1 down at t=30 for 20 s) or
-   server-drift=40,1.0 (server clock runs 2x from t=40). *)
+   server-drift=40,1.0 (server clock runs 2x from t=40).  The grammar
+   lives in [Leases.Sim] so campaign reproducers stay parseable here. *)
 let parse_fault spec =
-  let fail () =
-    failwith
-      (Printf.sprintf
-         "bad fault spec %S: expected crash-client=CLIENT,AT,DUR | crash-server=AT,DUR | \
-          partition=C1+C2+...,AT,DUR | client-drift=CLIENT,AT,RATE | server-drift=AT,RATE | \
-          client-step=CLIENT,AT,SEC | server-step=AT,SEC"
-         spec)
-  in
-  let num s = match float_of_string_opt (String.trim s) with Some v -> v | None -> fail () in
-  let int_ s = int_of_float (num s) in
-  match String.index_opt spec '=' with
-  | None -> fail ()
-  | Some eq -> (
-    let kind = String.sub spec 0 eq in
-    let args =
-      String.split_on_char ',' (String.sub spec (eq + 1) (String.length spec - eq - 1))
-    in
-    let sec v = Simtime.Time.of_sec v in
-    match (kind, args) with
-    | "crash-client", [ c; at; dur ] ->
-      Leases.Sim.Crash_client { client = int_ c; at = sec (num at); duration = span_sec (num dur) }
-    | "crash-server", [ at; dur ] ->
-      Leases.Sim.Crash_server { at = sec (num at); duration = span_sec (num dur) }
-    | "partition", [ cs; at; dur ] ->
-      Leases.Sim.Partition_clients
-        { clients = List.map int_ (String.split_on_char '+' cs);
-          at = sec (num at);
-          duration = span_sec (num dur) }
-    | "client-drift", [ c; at; d ] ->
-      Leases.Sim.Client_drift { client = int_ c; at = sec (num at); drift = num d }
-    | "server-drift", [ at; d ] -> Leases.Sim.Server_drift { at = sec (num at); drift = num d }
-    | "client-step", [ c; at; s ] ->
-      Leases.Sim.Client_step { client = int_ c; at = sec (num at); step = span_sec (num s) }
-    | "server-step", [ at; s ] ->
-      Leases.Sim.Server_step { at = sec (num at); step = span_sec (num s) }
-    | _ -> fail ())
+  match Leases.Sim.fault_of_spec spec with Ok fault -> fault | Error why -> failwith why
 
 let trace_sink trace_out trace_format =
   match trace_out with

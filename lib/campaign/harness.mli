@@ -1,0 +1,31 @@
+(** Campaign driver: generate [n] schedules from one seed, run each with
+    the safety monitors armed, shrink any safety violation to a minimal
+    reproducer, and summarise. *)
+
+type result = {
+  outcome : Runner.outcome;
+  shrunk : Schedule.t option;  (** minimal reproducer, safety outcomes only *)
+  shrink_runs : int;  (** re-executions spent shrinking *)
+}
+
+type summary = {
+  seed : int;
+  schedules : int;
+  clean : int;
+  degraded : int;
+  safety : int;
+  results : result list;
+}
+
+val run : ?shrink:bool -> seed:int -> schedules:int -> unit -> summary
+(** [run ~seed ~schedules ()] executes every generated schedule in order.
+    With [shrink] (default [true]) each safety violation is minimised via
+    {!Shrink.minimize} before being reported. *)
+
+val has_safety : summary -> bool
+
+val to_json : summary -> Trace.Json.t
+(** Stable field order and number formatting: the same [seed] and
+    [schedules] produce byte-identical output. *)
+
+val pp : Format.formatter -> summary -> unit

@@ -1,0 +1,69 @@
+type classification = Clean | Degraded | Safety
+
+type outcome = {
+  schedule : Schedule.t;
+  classification : classification;
+  oracle_violations : int;
+  checker_violations : int;
+  first_violation : string option;
+  ops_issued : int;
+  dropped_ops : int;
+  commits : int;
+  checked_events : int;
+}
+
+let classification_name = function
+  | Clean -> "clean"
+  | Degraded -> "degraded"
+  | Safety -> "safety"
+
+let run schedule =
+  let trace = Schedule.trace schedule in
+  let buf = Trace.Sink.buffer () in
+  let setup = Schedule.setup ~tracer:(Trace.Sink.buffer_sink buf) schedule in
+  let outcome = Leases.Sim.run setup ~trace in
+  let m = outcome.Leases.Sim.metrics in
+  let report = Trace.Checker.check ~server:0 (Trace.Sink.buffer_contents buf) in
+  let oracle_violations = m.Leases.Metrics.oracle_violations in
+  let checker_violations = List.length report.Trace.Checker.violations in
+  let first_violation =
+    match report.Trace.Checker.violations with
+    | v :: _ -> Some (Format.asprintf "%a" Trace.Checker.pp_violation v)
+    | [] ->
+      Option.map
+        (fun (file, version, at) ->
+          Format.asprintf "oracle: stale read of file %d v%d completed at %a"
+            (Vstore.File_id.to_int file) (Vstore.Version.to_int version) Simtime.Time.pp at)
+        (Oracle.Register_oracle.first_violation outcome.Leases.Sim.oracle)
+  in
+  let classification =
+    if oracle_violations > 0 || checker_violations > 0 then Safety
+    else if m.Leases.Metrics.dropped_ops > 0 then Degraded
+    else Clean
+  in
+  {
+    schedule;
+    classification;
+    oracle_violations;
+    checker_violations;
+    first_violation;
+    ops_issued = m.Leases.Metrics.ops_issued;
+    dropped_ops = m.Leases.Metrics.dropped_ops;
+    commits = m.Leases.Metrics.commits;
+    checked_events = report.Trace.Checker.events;
+  }
+
+let to_json o =
+  Trace.Json.Obj
+    [
+      ("schedule", Schedule.to_json o.schedule);
+      ("classification", Trace.Json.Str (classification_name o.classification));
+      ("oracle_violations", Trace.Json.Num (float_of_int o.oracle_violations));
+      ("checker_violations", Trace.Json.Num (float_of_int o.checker_violations));
+      ( "first_violation",
+        match o.first_violation with Some v -> Trace.Json.Str v | None -> Trace.Json.Null );
+      ("ops_issued", Trace.Json.Num (float_of_int o.ops_issued));
+      ("dropped_ops", Trace.Json.Num (float_of_int o.dropped_ops));
+      ("commits", Trace.Json.Num (float_of_int o.commits));
+      ("checked_events", Trace.Json.Num (float_of_int o.checked_events));
+    ]

@@ -1,0 +1,27 @@
+(** Execute one schedule with both safety monitors armed and classify the
+    outcome. *)
+
+type classification =
+  | Clean  (** every issued operation completed; no safety finding *)
+  | Degraded  (** liveness only: some operations never completed *)
+  | Safety  (** oracle staleness or a trace-checker invariant violation *)
+
+type outcome = {
+  schedule : Schedule.t;
+  classification : classification;
+  oracle_violations : int;
+  checker_violations : int;
+  first_violation : string option;  (** earliest finding, human-readable *)
+  ops_issued : int;
+  dropped_ops : int;
+  commits : int;
+  checked_events : int;  (** events replayed through the invariant checker *)
+}
+
+val classification_name : classification -> string
+
+val run : Schedule.t -> outcome
+(** Runs {!Schedule.trace} through [Sim.run] with the register oracle and
+    an in-memory trace buffer feeding {!Trace.Checker.check}. *)
+
+val to_json : outcome -> Trace.Json.t

@@ -5,12 +5,30 @@ type t = {
   mutable base_engine : Time.t;
   mutable base_local : Time.t;
   mutable rate : float;
+  timers : (int, timer) Hashtbl.t;
+  mutable next_timer : int;
+}
+
+and timer = {
+  owner : t;
+  deadline : Time.t;  (** local *)
+  callback : unit -> unit;
+  id : int;
+  mutable engine_event : Engine.handle option;
+  mutable live : bool;
 }
 
 let create engine ?(offset = Time.Span.zero) ?(drift = 0.) () =
   if drift <= -1. then invalid_arg "Clock.create: drift must exceed -1";
   let now = Engine.now engine in
-  { engine; base_engine = now; base_local = Time.add now offset; rate = 1. +. drift }
+  {
+    engine;
+    base_engine = now;
+    base_local = Time.add now offset;
+    rate = 1. +. drift;
+    timers = Hashtbl.create 16;
+    next_timer = 0;
+  }
 
 let now t =
   let elapsed = Time.diff (Engine.now t.engine) t.base_engine in
@@ -23,15 +41,6 @@ let rebase t =
   t.base_engine <- Engine.now t.engine;
   t.base_local <- local
 
-let set_drift t drift =
-  if drift <= -1. then invalid_arg "Clock.set_drift: drift must exceed -1";
-  rebase t;
-  t.rate <- 1. +. drift
-
-let step t span =
-  rebase t;
-  t.base_local <- Time.add t.base_local span
-
 let engine_time_of_local t local =
   let engine_now = Engine.now t.engine in
   let local_now = now t in
@@ -42,5 +51,71 @@ let engine_time_of_local t local =
     Time.add engine_now remaining_engine
   end
 
+(* A local-deadline timer stays registered in [t.timers] until it fires or
+   is cancelled.  [arm] converts the local deadline to an engine instant at
+   the current rate; [fire] re-checks the local clock before running the
+   callback, so a timer armed under one rate never runs while the clock —
+   after a later [set_drift] or backward [step] — has yet to reach its
+   deadline.  The conversion rounds to the microsecond grid, so when the
+   deadline is still in the local future but the remaining engine span
+   rounds to zero we push the event one microsecond out rather than spin
+   at the current instant. *)
+let rec arm_timer c tm =
+  let target = engine_time_of_local c tm.deadline in
+  let now_e = Engine.now c.engine in
+  let target =
+    if Time.(target > now_e) || Time.(now c >= tm.deadline) then target
+    else Time.add now_e (Time.Span.of_us 1)
+  in
+  tm.engine_event <- Some (Engine.schedule_at c.engine target (fun () -> fire_timer c tm))
+
+and fire_timer c tm =
+  tm.engine_event <- None;
+  if tm.live then begin
+    if Time.(now c >= tm.deadline) then begin
+      tm.live <- false;
+      Hashtbl.remove c.timers tm.id;
+      tm.callback ()
+    end
+    else arm_timer c tm
+  end
+
+(* Re-derive every outstanding timer's engine instant after a rate change
+   or step.  [arm_timer] only touches the engine queue, never [c.timers],
+   so iterating while re-arming is safe. *)
+let reschedule_timers c =
+  Hashtbl.iter
+    (fun _ tm ->
+      (match tm.engine_event with Some h -> Engine.cancel h | None -> ());
+      arm_timer c tm)
+    c.timers
+
+let set_drift t drift =
+  if drift <= -1. then invalid_arg "Clock.set_drift: drift must exceed -1";
+  rebase t;
+  t.rate <- 1. +. drift;
+  reschedule_timers t
+
+let step t span =
+  rebase t;
+  t.base_local <- Time.add t.base_local span;
+  reschedule_timers t
+
 let schedule_at_local t local callback =
-  Engine.schedule_at t.engine (engine_time_of_local t local) callback
+  let tm =
+    { owner = t; deadline = local; callback; id = t.next_timer; engine_event = None; live = true }
+  in
+  t.next_timer <- t.next_timer + 1;
+  Hashtbl.replace t.timers tm.id tm;
+  arm_timer t tm;
+  tm
+
+let cancel_timer tm =
+  if tm.live then begin
+    tm.live <- false;
+    Hashtbl.remove tm.owner.timers tm.id;
+    (match tm.engine_event with Some h -> Engine.cancel h | None -> ());
+    tm.engine_event <- None
+  end
+
+let pending_local_timers t = Hashtbl.length t.timers

@@ -13,7 +13,7 @@ type write_result = { w_version : Vstore.Version.t; w_latency : Time.Span.t }
 type entry = {
   mutable version : Vstore.Version.t;
   mutable expiry : Lease.expiry;  (** on the client's clock *)
-  mutable renewal_timer : Engine.handle option;
+  mutable renewal_timer : Clock.timer option;
 }
 
 type rpc_kind =
@@ -141,7 +141,7 @@ let entry_for t file =
 let cancel_renewal entry =
   match entry.renewal_timer with
   | Some h ->
-    Engine.cancel h;
+    Clock.cancel_timer h;
     entry.renewal_timer <- None
   | None -> ()
 
@@ -322,25 +322,26 @@ and drain_queue t file =
 let complete_read t rpc (granted : Messages.grant_line list) =
   List.iter (apply_grant t) granted;
   match rpc.kind with
-  | Rpc_read { file; k } ->
+  | Rpc_read { file; k } -> (
     finish_rpc t rpc;
-    let version =
-      match List.find_opt (fun (g : Messages.grant_line) -> File_id.equal g.g_file file) granted with
-      | Some line -> line.g_version
-      | None -> (
-        (* The server answered a different file list (possible after a
-           retransmission raced a crash); fall back to the cache. *)
-        match cached_version t file with
-        | Some version -> version
-        | None -> Vstore.Version.initial)
-    in
-    k
-      {
-        r_version = version;
-        r_latency = Time.diff (Engine.now t.engine) rpc.started;
-        r_from_cache = false;
-      };
-    release t file
+    match List.find_opt (fun (g : Messages.grant_line) -> File_id.equal g.g_file file) granted with
+    | Some line ->
+      k
+        {
+          r_version = line.g_version;
+          r_latency = Time.diff (Engine.now t.engine) rpc.started;
+          r_from_cache = false;
+        };
+      release t file
+    | None ->
+      (* The server answered a different file list (possible after a
+         retransmission raced a crash).  Fabricating a result from the
+         cache here would complete the read with no lease and no server
+         version — a reply-mismatch artifact the oracle would then book as
+         protocol staleness — so re-issue the read instead.  The file stays
+         busy, so queued operations keep their order. *)
+      bump t "fallback-reads";
+      start_rpc t (Rpc_read { file; k }) (Messages.Read_request { req = fresh_req t; file }))
   | Rpc_renewal ->
     t.renewal_in_flight <- false;
     finish_rpc t rpc
@@ -449,5 +450,6 @@ let hits t = Stats.Counter.Registry.find t.counters "hits"
 let misses t = Stats.Counter.Registry.find t.counters "misses"
 let approvals_answered t = Stats.Counter.Registry.find t.counters "approvals-answered"
 let retransmissions t = Stats.Counter.Registry.find t.counters "retransmissions"
+let fallback_reads t = Stats.Counter.Registry.find t.counters "fallback-reads"
 let renewals_sent t = Stats.Counter.Registry.find t.counters "renewals-sent"
 let counters t = t.counters

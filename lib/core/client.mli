@@ -64,4 +64,9 @@ val retransmissions : t -> int
 val renewals_sent : t -> int
 (** Anticipatory extension RPCs issued with no read waiting. *)
 
+val fallback_reads : t -> int
+(** Reads re-issued because a reply answered a different file list (a
+    retransmission raced a crash).  These never complete from fabricated
+    local state, so they cannot pollute oracle staleness attribution. *)
+
 val counters : t -> Stats.Counter.Registry.t

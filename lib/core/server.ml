@@ -10,7 +10,7 @@ type pending = {
   mutable waiting : Host_id.Set.t;
   mutable lease_deadline : Lease.expiry;  (** server-local; covers waited leases + recovery *)
   arrived : Time.t;  (** engine time, for the wait histogram *)
-  mutable expiry_timer : Engine.handle option;
+  mutable expiry_timer : Clock.timer option;
   mutable retry_timer : Engine.handle option;
 }
 
@@ -236,7 +236,7 @@ let rec start_write t ~writer ~req file =
   end
 
 and arm_expiry_timer t p =
-  (match p.expiry_timer with Some h -> Engine.cancel h | None -> ());
+  (match p.expiry_timer with Some h -> Clock.cancel_timer h | None -> ());
   match p.lease_deadline with
   | Lease.Never -> p.expiry_timer <- None
   | Lease.At deadline ->
@@ -289,7 +289,7 @@ and finish_pending t p =
       arm_expiry_timer t p
     end
     else begin
-      (match p.expiry_timer with Some h -> Engine.cancel h | None -> ());
+      (match p.expiry_timer with Some h -> Clock.cancel_timer h | None -> ());
       (match p.retry_timer with Some h -> Engine.cancel h | None -> ());
       Hashtbl.remove t.pending p.p_file;
       Hashtbl.remove t.pending_by_id p.write_id;
@@ -324,12 +324,15 @@ and commit_write t ~writer ~req ~write_id file ~arrived =
     t.installed_cover <- File_id.Map.remove file t.installed_cover
   end;
   send t ~dst:writer (Messages.Write_reply { req; file; version });
-  (* Serve the next queued write, if any. *)
+  (* Serve the next queued write, if any; a drained-empty queue is removed
+     so [t.queued] stays bounded by the files with writes outstanding. *)
   match Hashtbl.find_opt t.queued file with
   | Some q when not (Queue.is_empty q) ->
     let { q_writer; q_req } = Queue.pop q in
+    if Queue.is_empty q then Hashtbl.remove t.queued file;
     start_write t ~writer:q_writer ~req:q_req file
-  | Some _ | None -> ()
+  | Some _ -> Hashtbl.remove t.queued file
+  | None -> ()
 
 let handle_write t ~writer ~req file =
   match Hashtbl.find_opt t.applied (writer, req) with
@@ -465,7 +468,7 @@ let on_crash t =
   Lease_table.clear t.leases;
   Hashtbl.iter
     (fun _ p ->
-      (match p.expiry_timer with Some h -> Engine.cancel h | None -> ());
+      (match p.expiry_timer with Some h -> Clock.cancel_timer h | None -> ());
       match p.retry_timer with Some h -> Engine.cancel h | None -> ())
     t.pending;
   Hashtbl.reset t.pending;
@@ -535,6 +538,7 @@ let create ~engine ~clock ~net ~liveness ~host ~clients ~store ~config
 
 let host t = t.host
 let store t = t.store
+let queued_files t = Hashtbl.length t.queued
 let wal t = t.wal
 let clock t = t.clock
 

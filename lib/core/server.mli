@@ -59,6 +59,10 @@ val leaseholders : t -> Vstore.File_id.t -> Host.Host_id.t list
 val has_pending_write : t -> Vstore.File_id.t -> bool
 val recovering : t -> bool
 
+val queued_files : t -> int
+(** Files with a queued-write table entry.  Bounded by the files that have
+    writes outstanding: a drained-empty queue is removed at commit. *)
+
 val messages_handled : t -> Messages.category -> int
 (** Messages sent or received by the server in this category — the paper's
     unit of server load. *)

@@ -17,6 +17,17 @@ type fault =
   | Client_step of { client : int; at : Simtime.Time.t; step : Simtime.Time.Span.t }
   | Server_step of { at : Simtime.Time.t; step : Simtime.Time.Span.t }
 
+val fault_to_spec : fault -> string
+(** The [--fault] command-line form of a fault
+    (e.g. ["server-drift=40,-0.5"]), as accepted by [leases-sim] and
+    printed by the campaign harness's shrunk reproducers. *)
+
+val fault_of_spec : string -> (fault, string) result
+(** Inverse of {!fault_to_spec}; round-trips every fault (times carry
+    microsecond precision). *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
 type setup = {
   seed : int64;
   n_clients : int;

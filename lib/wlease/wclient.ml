@@ -34,7 +34,7 @@ type entry = {
   mutable expiry : Time.t;  (** client clock; write leases flush before this *)
   mutable epoch : Wmessages.epoch;
   mutable dirty : int;
-  mutable flush_timer : Engine.handle option;
+  mutable flush_timer : Clock.timer option;
   mutable pending_recall : int option;
   mutable flushing : (int * int) option;  (** in-flight flush: (req, writes covered) *)
 }
@@ -124,7 +124,7 @@ let fresh_req t =
 let cancel_flush_timer entry =
   match entry.flush_timer with
   | Some h ->
-    Engine.cancel h;
+    Clock.cancel_timer h;
     entry.flush_timer <- None
   | None -> ()
 

@@ -12,7 +12,7 @@ type pending = {
   p_waiter : waiter;
   mutable p_waiting : Host_id.Set.t;
   p_deadline : Time.t;  (** server-local: latest conflicting expiry *)
-  mutable p_expiry_timer : Engine.handle option;
+  mutable p_expiry_timer : Clock.timer option;
   mutable p_retry_timer : Engine.handle option;
 }
 
@@ -165,7 +165,7 @@ and send_recalls t s p =
 
 and finish_pending t s p =
   if Host_id.Set.is_empty p.p_waiting then begin
-    (match p.p_expiry_timer with Some h -> Engine.cancel h | None -> ());
+    (match p.p_expiry_timer with Some h -> Clock.cancel_timer h | None -> ());
     (match p.p_retry_timer with Some h -> Engine.cancel h | None -> ());
     s.pending <- None;
     grant t p.p_file s p.p_waiter
@@ -266,7 +266,7 @@ let on_crash t =
     (fun _ s ->
       (match s.pending with
       | Some p ->
-        (match p.p_expiry_timer with Some h -> Engine.cancel h | None -> ());
+        (match p.p_expiry_timer with Some h -> Clock.cancel_timer h | None -> ());
         (match p.p_retry_timer with Some h -> Engine.cancel h | None -> ())
       | None -> ());
       s.pending <- None;

@@ -21,4 +21,11 @@ dune exec bin/simulate.exe -- -p leases -t 10 -n 4 -d 60 \
   --trace /tmp/leases_smoke.jsonl > /dev/null
 dune exec bin/tracedump.exe -- /tmp/leases_smoke.jsonl --check-only
 
+echo "== fault campaign (25 seeded schedules) =="
+# A pinned random fault campaign with the register oracle and the trace
+# invariant checker armed on every schedule; leases-campaign exits
+# non-zero if any schedule finds a safety violation, after shrinking it
+# to a minimal reproducer command line.
+dune exec bin/campaign.exe -- --seed 1 --schedules 25 --shrink
+
 echo "== all checks passed =="

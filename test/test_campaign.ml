@@ -1,0 +1,126 @@
+(* Campaign harness: seeded generation must be deterministic and
+   prefix-stable, full campaign reports byte-identical, generated fault
+   specs must round-trip through the shared parser, and the server's
+   write-queue table must drain back to empty (the queued-entry leak). *)
+
+open Simtime
+
+let commands scheds = List.map Fault_campaign.Schedule.to_command scheds
+
+let test_generation_deterministic () =
+  let a = commands (Fault_campaign.Gen.schedules ~seed:42 ~n:6) in
+  let b = commands (Fault_campaign.Gen.schedules ~seed:42 ~n:6) in
+  Alcotest.(check (list string)) "same seed, same schedules" a b;
+  let c = commands (Fault_campaign.Gen.schedules ~seed:43 ~n:6) in
+  Alcotest.(check bool) "different seed differs" false (a = c)
+
+let test_generation_prefix_stable () =
+  let six = commands (Fault_campaign.Gen.schedules ~seed:42 ~n:6) in
+  let three = commands (Fault_campaign.Gen.schedules ~seed:42 ~n:3) in
+  Alcotest.(check (list string)) "schedule i independent of n" three
+    (List.filteri (fun i _ -> i < 3) six)
+
+let test_pinned_seed_schedule () =
+  (* pins the whole derivation chain: splitmix splits, draw order, fault
+     grammar and number formatting *)
+  match Fault_campaign.Gen.schedules ~seed:1 ~n:1 with
+  | [ s ] ->
+    Alcotest.(check string) "seed 1, schedule 0"
+      "leases-sim -p leases -t 10 -n 5 -d 47 -s -6894164319213084917 -w bursty --loss \
+       0.1593918509 --fault 'crash-client=3,9.076349,23.339903' --fault \
+       'client-step=2,7.921407,9.840989' --fault 'server-drift=33.956426,-0.529099612097' \
+       --fault 'server-drift=41.337524,0'"
+      (Fault_campaign.Schedule.to_command s)
+  | _ -> Alcotest.fail "expected exactly one schedule"
+
+let test_fault_specs_round_trip () =
+  List.iter
+    (fun s ->
+      List.iter
+        (fun f ->
+          let spec = Leases.Sim.fault_to_spec f in
+          match Leases.Sim.fault_of_spec spec with
+          | Ok f' -> Alcotest.(check string) ("round-trip " ^ spec) spec (Leases.Sim.fault_to_spec f')
+          | Error why -> Alcotest.fail (Printf.sprintf "spec %S does not parse: %s" spec why))
+        s.Fault_campaign.Schedule.faults)
+    (Fault_campaign.Gen.schedules ~seed:42 ~n:10)
+
+let test_campaign_report_byte_identical () =
+  let report () =
+    Trace.Json.to_string
+      (Fault_campaign.Harness.to_json
+         (Fault_campaign.Harness.run ~shrink:false ~seed:5 ~schedules:2 ()))
+  in
+  let a = report () in
+  Alcotest.(check string) "same seed, same bytes" a (report ())
+
+let test_unsafe_budget_small_vs_allowance () =
+  Alcotest.(check bool) "unsafe budget under the 100 ms skew allowance" true
+    (Fault_campaign.Gen.unsafe_skew_budget_s < 0.1)
+
+(* The queued-write leak: a file's queue entry must disappear once its
+   last queued write commits, so [Server.queued_files] returns to zero
+   after every burst drains. *)
+
+let run_write_burst ops =
+  let engine = Engine.create () in
+  let liveness = Host.Liveness.create () in
+  let partition = Netsim.Partition.create () in
+  let net =
+    Netsim.Net.create engine ~liveness ~partition ~prop_delay:(Time.Span.of_ms 0.5)
+      ~proc_delay:(Time.Span.of_ms 1.) ()
+  in
+  let n_clients = 3 in
+  let server_host = Host.Host_id.of_int 0 in
+  let client_hosts = List.init n_clients (fun i -> Host.Host_id.of_int (i + 1)) in
+  let store = Vstore.Store.create () in
+  let config = Leases.Config.default in
+  let server =
+    Leases.Server.create ~engine ~clock:(Clock.create engine ()) ~net ~liveness ~host:server_host
+      ~clients:client_hosts ~store ~config ()
+  in
+  let clients =
+    Array.of_list
+      (List.map
+         (fun host ->
+           Leases.Client.create ~engine ~clock:(Clock.create engine ()) ~net ~liveness ~host
+             ~server:server_host ~config ())
+         client_hosts)
+  in
+  let completed = ref 0 in
+  List.iter
+    (fun (at_ms, client, file) ->
+      ignore
+        (Engine.schedule_at engine
+           (Time.of_sec (float_of_int at_ms /. 1000.))
+           (fun () ->
+             Leases.Client.write clients.(client) (Vstore.File_id.of_int file) ~k:(fun _ ->
+                 incr completed))))
+    ops;
+  Engine.run engine;
+  (server, !completed)
+
+let queued_drains_to_zero =
+  QCheck.Test.make ~name:"queued table empty after write bursts drain" ~count:60
+    QCheck.(
+      list_of_size (Gen.int_range 1 25)
+        (triple (int_range 1 5_000) (int_range 0 2) (int_range 0 3)))
+    (fun ops ->
+      let server, completed = run_write_burst ops in
+      completed = List.length ops && Leases.Server.queued_files server = 0)
+
+let () =
+  Alcotest.run "campaign"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generation_deterministic;
+          Alcotest.test_case "prefix stable" `Quick test_generation_prefix_stable;
+          Alcotest.test_case "pinned seed" `Quick test_pinned_seed_schedule;
+          Alcotest.test_case "fault specs round-trip" `Quick test_fault_specs_round_trip;
+          Alcotest.test_case "unsafe budget bounded" `Quick test_unsafe_budget_small_vs_allowance;
+        ] );
+      ( "harness",
+        [ Alcotest.test_case "report byte-identical" `Slow test_campaign_report_byte_identical ] );
+      ("server", [ QCheck_alcotest.to_alcotest queued_drains_to_zero ]);
+    ]

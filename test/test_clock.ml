@@ -72,6 +72,78 @@ let test_schedule_at_local () =
   Engine.run engine;
   Alcotest.(check (float 1e-5)) "fires at the right engine instant" 4. (Time.to_sec !fired_at)
 
+(* The drift-faithful timer contract: a timer armed under one rate must
+   track later rate changes in both directions. *)
+
+let test_timer_tracks_slowdown () =
+  let engine = Engine.create () in
+  let clock = Clock.create engine () in
+  let fired_at = ref Time.zero in
+  ignore (Clock.schedule_at_local clock (sec 10.) (fun () -> fired_at := Engine.now engine));
+  (* Slow to rate 0.5 at engine 4 (local 4): the remaining 6 local seconds
+     now take 12 engine seconds, so the timer must fire at engine 16, not
+     at the originally computed engine 10. *)
+  ignore (Engine.schedule_at engine (sec 4.) (fun () -> Clock.set_drift clock (-0.5)));
+  Engine.run engine;
+  Alcotest.(check (float 1e-5)) "re-armed after slowdown" 16. (Time.to_sec !fired_at)
+
+let test_timer_tracks_speedup () =
+  let engine = Engine.create () in
+  let clock = Clock.create engine () in
+  let fired_at = ref Time.zero in
+  ignore (Clock.schedule_at_local clock (sec 10.) (fun () -> fired_at := Engine.now engine));
+  (* Speed up to rate 2 at engine 4: remaining 6 local seconds take 3
+     engine seconds; firing at the stale engine 10 would be 3 s late. *)
+  ignore (Engine.schedule_at engine (sec 4.) (fun () -> Clock.set_drift clock 1.0));
+  Engine.run engine;
+  Alcotest.(check (float 1e-5)) "re-armed after speedup" 7. (Time.to_sec !fired_at)
+
+let test_timer_tracks_backward_step () =
+  let engine = Engine.create () in
+  let clock = Clock.create engine () in
+  let fired_at = ref Time.zero in
+  ignore (Clock.schedule_at_local clock (sec 10.) (fun () -> fired_at := Engine.now engine));
+  (* Step the clock back 5 s at engine 4: local 10 is now 11 engine
+     seconds away. *)
+  ignore (Engine.schedule_at engine (sec 4.) (fun () -> Clock.step clock (Time.Span.neg (span 5.))));
+  Engine.run engine;
+  Alcotest.(check (float 1e-5)) "re-armed after backward step" 15. (Time.to_sec !fired_at)
+
+let test_timer_forward_step_fires_immediately () =
+  let engine = Engine.create () in
+  let clock = Clock.create engine () in
+  let fired_at = ref Time.zero in
+  ignore (Clock.schedule_at_local clock (sec 10.) (fun () -> fired_at := Engine.now engine));
+  (* Step past the deadline at engine 4: the local deadline has been
+     reached, so the timer fires there instead of waiting for engine 10. *)
+  ignore (Engine.schedule_at engine (sec 4.) (fun () -> Clock.step clock (span 7.)));
+  Engine.run engine;
+  Alcotest.(check (float 1e-5)) "fires on the step" 4. (Time.to_sec !fired_at)
+
+let test_cancel_timer () =
+  let engine = Engine.create () in
+  let clock = Clock.create engine () in
+  let fired = ref false in
+  let tm = Clock.schedule_at_local clock (sec 5.) (fun () -> fired := true) in
+  Alcotest.(check int) "timer pending" 1 (Clock.pending_local_timers clock);
+  Clock.cancel_timer tm;
+  Clock.cancel_timer tm;
+  (* idempotent *)
+  Alcotest.(check int) "no timers pending" 0 (Clock.pending_local_timers clock);
+  advance_to engine (sec 10.);
+  Alcotest.(check bool) "never fires" false !fired
+
+let test_timer_cleared_after_fire () =
+  let engine = Engine.create () in
+  let clock = Clock.create engine ~drift:0.25 () in
+  let fired = ref 0 in
+  ignore (Clock.schedule_at_local clock (sec 5.) (fun () -> incr fired));
+  ignore (Engine.schedule_at engine (sec 1.) (fun () -> Clock.set_drift clock (-0.25)));
+  ignore (Engine.schedule_at engine (sec 2.) (fun () -> Clock.set_drift clock 0.));
+  Engine.run engine;
+  Alcotest.(check int) "fires exactly once" 1 !fired;
+  Alcotest.(check int) "table drained" 0 (Clock.pending_local_timers clock)
+
 let test_invalid_drift () =
   let engine = Engine.create () in
   Alcotest.check_raises "create drift <= -1"
@@ -94,6 +166,13 @@ let () =
           Alcotest.test_case "step" `Quick test_step;
           Alcotest.test_case "inverse mapping" `Quick test_engine_time_of_local;
           Alcotest.test_case "schedule at local" `Quick test_schedule_at_local;
+          Alcotest.test_case "timer tracks slowdown" `Quick test_timer_tracks_slowdown;
+          Alcotest.test_case "timer tracks speedup" `Quick test_timer_tracks_speedup;
+          Alcotest.test_case "timer tracks backward step" `Quick test_timer_tracks_backward_step;
+          Alcotest.test_case "timer fires on forward step" `Quick
+            test_timer_forward_step_fires_immediately;
+          Alcotest.test_case "cancel timer" `Quick test_cancel_timer;
+          Alcotest.test_case "timer cleared after fire" `Quick test_timer_cleared_after_fire;
           Alcotest.test_case "invalid drift" `Quick test_invalid_drift;
         ] );
     ]

@@ -185,6 +185,70 @@ let test_ops_during_client_crash_are_dropped () =
   Alcotest.(check int) "middle op dropped" 1 m.Leases.Metrics.dropped_ops;
   Alcotest.(check int) "the others completed" 2 m.Leases.Metrics.reads_completed
 
+(* Regression for the drift-stale timer bug: the server arms its
+   write-expiry timer at the lease's server-local expiry; if its clock then
+   slows (or steps backward) mid-wait, a timer frozen at the arming-time
+   rate fires while the severed holder's lease is still running on the
+   server's own clock.  A drift-faithful timer must ride the rate change
+   out and commit only at true server-clock expiry. *)
+
+let run_checked setup trace =
+  let buf = Trace.Sink.buffer () in
+  let setup = { setup with Leases.Sim.tracer = Trace.Sink.buffer_sink buf } in
+  let outcome = Leases.Sim.run setup ~trace in
+  let report = Trace.Checker.check ~server:0 (Trace.Sink.buffer_contents buf) in
+  (outcome, report)
+
+let expiry_wait_setup faults =
+  {
+    (Experiments.Runner.lease_setup ~n_clients:2 ~term:(Analytic.Model.Finite 10.) ()) with
+    Leases.Sim.faults;
+    drain = span 300.;
+  }
+
+let expiry_wait_trace =
+  (* client 1 takes a lease, is cut off, then client 0's write must park on
+     the expiry timer for the rest of the term *)
+  Workload.Trace.of_ops
+    [ read_op ~at:1. ~client:1 ~f:(file 0); write_op ~at:2. ~client:0 ~f:(file 0) ]
+
+let check_commit_at_server_expiry ~min_wait (outcome, report) =
+  let m = outcome.Leases.Sim.metrics in
+  Alcotest.(check int) "committed" 1 m.Leases.Metrics.commits;
+  let wait = Stats.Histogram.quantile m.Leases.Metrics.write_wait 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "waited %.2f s, to true server-clock expiry (>= %.0f)" wait min_wait)
+    true (wait >= min_wait);
+  Alcotest.(check int) "oracle clean" 0 m.Leases.Metrics.oracle_violations;
+  Alcotest.(check bool) "trace checker clean" true (Trace.Checker.ok report)
+
+let test_slow_server_drift_mid_wait () =
+  (* lease runs to ~11 on the server clock; slowing to half speed at
+     engine 3 pushes that to engine ~19, so the write waits ~17 s.  The
+     buggy once-at-arming timer fired at engine 11 (server clock ~7),
+     committing 4 s of server-clock lease early. *)
+  let setup =
+    expiry_wait_setup
+      [
+        Leases.Sim.Partition_clients { clients = [ 1 ]; at = sec 1.5; duration = span 30. };
+        Leases.Sim.Server_drift { at = sec 3.; drift = -0.5 };
+      ]
+  in
+  check_commit_at_server_expiry ~min_wait:15. (run_checked setup expiry_wait_trace)
+
+let test_backward_server_step_mid_wait () =
+  (* stepping the server clock back 5 s at engine 3 moves local expiry ~11
+     out to engine ~16: the wait stretches to ~14 s instead of firing at
+     the stale engine instant. *)
+  let setup =
+    expiry_wait_setup
+      [
+        Leases.Sim.Partition_clients { clients = [ 1 ]; at = sec 1.5; duration = span 30. };
+        Leases.Sim.Server_step { at = sec 3.; step = Time.Span.neg (span 5.) };
+      ]
+  in
+  check_commit_at_server_expiry ~min_wait:13. (run_checked setup expiry_wait_trace)
+
 let () =
   Alcotest.run "faults"
     [
@@ -205,5 +269,8 @@ let () =
           Alcotest.test_case "slow client clock unsafe" `Quick
             test_slow_client_clock_unsafe_direction;
           Alcotest.test_case "epsilon masks small skew" `Quick test_epsilon_masks_small_skew;
+          Alcotest.test_case "slow server drift mid-wait" `Quick test_slow_server_drift_mid_wait;
+          Alcotest.test_case "backward server step mid-wait" `Quick
+            test_backward_server_step_mid_wait;
         ] );
     ]
