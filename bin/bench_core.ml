@@ -35,6 +35,7 @@ let main quick out =
   let cancel_heavy = Experiments.Corebench.event_queue_cancel_heavy ~timer ~ops:micro_ops in
   let lease_table = Experiments.Corebench.lease_table_churn ~timer ~ops:micro_ops in
   let trace_sink = Experiments.Corebench.trace_emit ~timer ~ops:micro_ops in
+  let telemetry = Experiments.Corebench.telemetry_bench ~timer ~ops:micro_ops in
   (* The N=1 run lasts a couple of milliseconds, which makes a single shot
      hostage to heap warmup (the first run after the microbenches measures
      GC growth, not the simulator).  Warm up once per N and report the best
@@ -76,6 +77,13 @@ let main quick out =
        (micro_fields trace_sink.Experiments.Corebench.null_sink)
        (micro_fields trace_sink.Experiments.Corebench.ring_sink)
        trace_sink.Experiments.Corebench.ring_dropped);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"telemetry\": {\n    \"probe_disabled\": { %s },\n    \"probe_enabled\": { %s },\n\
+       \    \"snapshot\": { %s }\n  },\n"
+       (micro_fields telemetry.Experiments.Corebench.probe_disabled)
+       (micro_fields telemetry.Experiments.Corebench.probe_enabled)
+       (micro_fields telemetry.Experiments.Corebench.snapshot));
   Buffer.add_string buf "  \"end_to_end\": [\n";
   List.iteri
     (fun i (r : Experiments.Corebench.throughput) ->
@@ -104,6 +112,11 @@ let main quick out =
   Printf.printf "trace sink  : null %.2f Mops/s; ring %.2f Mops/s\n"
     (trace_sink.Experiments.Corebench.null_sink.Experiments.Corebench.ops_per_sec /. 1e6)
     (trace_sink.Experiments.Corebench.ring_sink.Experiments.Corebench.ops_per_sec /. 1e6);
+  Printf.printf
+    "telemetry   : probe off %.2f Mops/s, on %.2f Mops/s; snapshot %.1f Kops/s\n"
+    (telemetry.Experiments.Corebench.probe_disabled.Experiments.Corebench.ops_per_sec /. 1e6)
+    (telemetry.Experiments.Corebench.probe_enabled.Experiments.Corebench.ops_per_sec /. 1e6)
+    (telemetry.Experiments.Corebench.snapshot.Experiments.Corebench.ops_per_sec /. 1e3);
   List.iter
     (fun (r : Experiments.Corebench.throughput) ->
       Printf.printf "end-to-end  : N=%-3d  %.0f sim-s in %.2f s  =  %.0f sim-s/s\n" r.n_clients

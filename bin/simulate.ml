@@ -49,10 +49,52 @@ let trace_sink trace_out trace_format =
           close_out oc )
     | other -> failwith (Printf.sprintf "unknown trace format %S (jsonl|chrome)" other))
 
+(* --telemetry wires a Telemetry.Sampler into the run via the
+   on_instruments hook; the report is written after the run drains so the
+   final partial window is included. *)
+let finish_telemetry sampler ~term ~setup ~telemetry_out ~telemetry_format ~json =
+  Telemetry.Sampler.finalize sampler;
+  let params = Telemetry.Residual.params_of_setup ~term setup in
+  (match telemetry_out with
+  | None -> ()
+  | Some path ->
+    let data =
+      match telemetry_format with
+      | "json" -> Telemetry.Report.to_json_string ~params sampler
+      | "csv" -> Telemetry.Report.to_csv_string ~params sampler
+      | other -> failwith (Printf.sprintf "unknown telemetry format %S (json|csv)" other)
+    in
+    let oc = open_out path in
+    output_string oc data;
+    close_out oc);
+  if not json then begin
+    let summary =
+      Telemetry.Residual.summarize params (Telemetry.Residual.evaluate params sampler)
+    in
+    Format.printf
+      "telemetry: %d windows (%d flagged), consistency load %.3f msg/s measured vs %.3f \
+       predicted, steady residual %+.1f%%@."
+      summary.Telemetry.Residual.windows summary.Telemetry.Residual.flagged_windows
+      summary.Telemetry.Residual.mean_measured_load
+      summary.Telemetry.Residual.mean_predicted_load
+      (100. *. summary.Telemetry.Residual.steady_load_residual)
+  end
+
 let main protocol term_s clients duration seed loss rtt_ms workload ops_file json trace_out
-    trace_format fault_specs =
+    trace_format fault_specs telemetry_s telemetry_out telemetry_format =
   try
     let faults = List.map parse_fault fault_specs in
+    if telemetry_out <> None && telemetry_s = None then
+      failwith "--telemetry-out requires --telemetry INTERVAL";
+    (match telemetry_s with
+    | Some i when i <= 0. -> failwith "--telemetry interval must be positive"
+    | _ -> ());
+    if telemetry_s <> None && protocol <> "leases" then
+      failwith
+        (Printf.sprintf
+           "--telemetry instruments the lease protocol's server and clients; protocol %S does \
+            not expose them"
+           protocol);
     let trace =
       match ops_file with
       | Some path ->
@@ -72,7 +114,19 @@ let main protocol term_s clients duration seed loss rtt_ms workload ops_file jso
       | "leases" ->
         let setup = Experiments.Runner.lease_setup ~n_clients:clients ~m_prop ~m_proc ~term () in
         let setup = { setup with Leases.Sim.loss; seed; tracer; faults } in
-        (Leases.Sim.run setup ~trace).Leases.Sim.metrics
+        let sampler =
+          Option.map (fun interval_s -> Telemetry.Sampler.create ~interval_s ()) telemetry_s
+        in
+        let setup =
+          match sampler with
+          | None -> setup
+          | Some s -> { setup with Leases.Sim.on_instruments = Telemetry.Sampler.attach s }
+        in
+        let metrics = (Leases.Sim.run setup ~trace).Leases.Sim.metrics in
+        Option.iter
+          (fun s -> finish_telemetry s ~term ~setup ~telemetry_out ~telemetry_format ~json)
+          sampler;
+        metrics
       | "polling" ->
         let setup =
           { Baselines.Polling.default_setup with
@@ -159,10 +213,30 @@ let faults =
                  partition=C1+C2,AT,DUR; client-drift=CLIENT,AT,RATE; server-drift=AT,RATE; \
                  client-step=CLIENT,AT,SEC; server-step=AT,SEC.  Times in virtual seconds.")
 
+let telemetry =
+  Arg.(value & opt (some float) None
+       & info [ "telemetry" ] ~docv:"SEC"
+           ~doc:"Sample telemetry every $(docv) virtual seconds (leases protocol only): counter \
+                 registries, lease-table occupancy, write queues, in-flight messages, clock \
+                 skew, and live analytic-model residuals per window.")
+
+let telemetry_out =
+  Arg.(value & opt (some string) None
+       & info [ "telemetry-out" ] ~docv:"FILE"
+           ~doc:"Write the telemetry report to $(docv) (see leases-telemetry); requires \
+                 --telemetry.")
+
+let telemetry_format =
+  Arg.(value & opt string "json"
+       & info [ "telemetry-format" ] ~docv:"FMT"
+           ~doc:"Telemetry report format: json (full report, leases-telemetry input) or csv \
+                 (per-window scalars).")
+
 let cmd =
   let doc = "Simulate a distributed file cache under a chosen consistency protocol." in
   Cmd.v (Cmd.info "leases-sim" ~doc)
     Term.(ret (const main $ protocol $ term $ clients $ duration $ seed $ loss $ rtt $ workload
-               $ ops_file $ json $ trace_out $ trace_format $ faults))
+               $ ops_file $ json $ trace_out $ trace_format $ faults $ telemetry $ telemetry_out
+               $ telemetry_format))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,54 @@
+(* Render a saved telemetry report (leases-sim --telemetry-out) in the
+   terminal, and optionally gate on the steady-state residual. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let main file gate_residual quiet =
+  match Telemetry.Report.of_string (read_file file) with
+  | Error why -> `Error (false, Printf.sprintf "%s: %s" file why)
+  | Ok view ->
+    if not quiet then Format.printf "%a" Telemetry.Report.pp_view view;
+    let steady = view.Telemetry.Report.v_summary.Telemetry.Residual.steady_load_residual in
+    (match gate_residual with
+    | None -> `Ok ()
+    | Some tolerance ->
+      if Float.abs steady <= tolerance then begin
+        if not quiet then
+          Format.printf "residual gate: |%+.1f%%| within %.0f%%@." (100. *. steady)
+            (100. *. tolerance);
+        `Ok ()
+      end
+      else
+        `Error
+          ( false,
+            Printf.sprintf
+              "steady-state residual %+.1f%% exceeds the %.0f%% tolerance: measured \
+               consistency load disagrees with the Section 3.1 model"
+              (100. *. steady) (100. *. tolerance) ))
+  | exception Sys_error why -> `Error (false, why)
+
+let file =
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"FILE" ~doc:"Telemetry JSON report written by leases-sim --telemetry-out.")
+
+let gate_residual =
+  Arg.(value & opt (some float) None
+       & info [ "gate-residual" ] ~docv:"TOL"
+           ~doc:"Exit non-zero unless the steady-state load residual's magnitude is at most \
+                 $(docv) (a fraction, e.g. 0.25).")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress the rendered report.")
+
+let cmd =
+  let doc = "Render a lease-simulation telemetry report with sparklines and residuals." in
+  Cmd.v (Cmd.info "leases-telemetry" ~doc)
+    Term.(ret (const main $ file $ gate_residual $ quiet))
+
+let () = exit (Cmd.eval cmd)

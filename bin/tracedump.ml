@@ -34,6 +34,29 @@ let kind_counts events =
     events;
   List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
 
+(* --stats: per-kind count plus first/last timestamp, no lifecycle or
+   checker replay — cheap enough for very large traces. *)
+let print_stats events =
+  let tbl : (string, int * float * float) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (ev : Trace.Event.t) ->
+      let name = Trace.Event.kind_name ev.ev in
+      let entry =
+        match Hashtbl.find_opt tbl name with
+        | None -> (1, ev.at, ev.at)
+        | Some (n, first, last) -> (n + 1, Float.min first ev.at, Float.max last ev.at)
+      in
+      Hashtbl.replace tbl name entry)
+    events;
+  let rows = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  Printf.printf "== event stats (%d events, %d kinds) ==\n" (List.length events)
+    (List.length rows);
+  Printf.printf "%-20s %10s %14s %14s\n" "kind" "count" "first" "last";
+  List.iter
+    (fun (name, (n, first, last)) ->
+      Printf.printf "%-20s %10d %14.6f %14.6f\n" name n first last)
+    rows
+
 let end_cause_name : Trace.Lifecycle.end_cause -> string = function
   | Active -> "active"
   | Released Approved -> "released/approved"
@@ -85,22 +108,28 @@ let print_waits life =
         w.blockers)
     waits
 
-let main path server limit no_lifecycle =
+let main path server limit no_lifecycle stats =
   try
     let events = read_events path in
     if events = [] then failwith (Printf.sprintf "no events decoded from %s" path);
-    Printf.printf "== events (%d) ==\n" (List.length events);
-    List.iter (fun (k, n) -> Printf.printf "%-20s %d\n" k n) (kind_counts events);
-    let life = Trace.Lifecycle.build ~server events in
-    if not no_lifecycle then begin
-      Printf.printf "\n";
-      print_leases life limit;
-      print_waits life
-    end;
-    Printf.printf "\n== invariants ==\n";
-    let report = Trace.Checker.check ~server events in
-    Format.printf "%a@." Trace.Checker.pp_report report;
-    if Trace.Checker.ok report then `Ok () else `Error (false, "invariant violations found")
+    if stats then begin
+      print_stats events;
+      `Ok ()
+    end
+    else begin
+      Printf.printf "== events (%d) ==\n" (List.length events);
+      List.iter (fun (k, n) -> Printf.printf "%-20s %d\n" k n) (kind_counts events);
+      let life = Trace.Lifecycle.build ~server events in
+      if not no_lifecycle then begin
+        Printf.printf "\n";
+        print_leases life limit;
+        print_waits life
+      end;
+      Printf.printf "\n== invariants ==\n";
+      let report = Trace.Checker.check ~server events in
+      Format.printf "%a@." Trace.Checker.pp_report report;
+      if Trace.Checker.ok report then `Ok () else `Error (false, "invariant violations found")
+    end
   with
   | Failure why | Sys_error why -> `Error (false, why)
 
@@ -120,9 +149,14 @@ let no_lifecycle =
        & info [ "check-only" ] ~doc:"Skip the lifecycle and wait tables; print counts and the \
                                      invariant verdict only.")
 
+let stats =
+  Arg.(value & flag
+       & info [ "stats" ] ~doc:"Print only per-event-kind counts with first/last timestamps; \
+                                skip lifecycle reconstruction and the invariant checker.")
+
 let cmd =
   let doc = "Summarise a protocol trace and verify the lease safety invariants." in
   Cmd.v (Cmd.info "leases-tracedump" ~doc)
-    Term.(ret (const main $ path $ server $ limit $ no_lifecycle))
+    Term.(ret (const main $ path $ server $ limit $ no_lifecycle $ stats))
 
 let () = exit (Cmd.eval cmd)

@@ -35,5 +35,6 @@ let run setup ~trace =
       faults = setup.faults;
       drain = setup.drain;
       tracer = setup.tracer;
+      on_instruments = ignore;
     }
     ~trace

@@ -77,6 +77,15 @@ let pp ppf s =
         sched.Schedule.loss
         (List.length sched.Schedule.faults)
         o.Runner.ops_issued o.Runner.dropped_ops;
+      let t = o.Runner.telemetry in
+      if t.Telemetry.Residual.windows > 0 then
+        Format.fprintf ppf
+          "      telemetry: %d windows (%d flagged), load %.3f msg/s measured vs %.3f \
+           predicted, worst residual %+.0f%% at t=%.0fs@."
+          t.Telemetry.Residual.windows t.Telemetry.Residual.flagged_windows
+          t.Telemetry.Residual.mean_measured_load t.Telemetry.Residual.mean_predicted_load
+          (100. *. t.Telemetry.Residual.worst_load_residual)
+          t.Telemetry.Residual.worst_window_t;
       (match o.Runner.first_violation with
       | Some v -> Format.fprintf ppf "      violation: %s@." v
       | None -> ());

@@ -10,6 +10,7 @@ type outcome = {
   dropped_ops : int;
   commits : int;
   checked_events : int;
+  telemetry : Telemetry.Residual.summary;
 }
 
 let classification_name = function
@@ -17,11 +18,29 @@ let classification_name = function
   | Degraded -> "degraded"
   | Safety -> "safety"
 
+(* Telemetry windows per schedule: aim for ~24 windows but keep each wide
+   enough (>= 2.5 s) that per-window counts are not all-noise, and never
+   wider than the 30 s the standalone runs use. *)
+let telemetry_interval_s duration_s = Float.max 2.5 (Float.min 30. (duration_s /. 24.))
+
 let run schedule =
   let trace = Schedule.trace schedule in
   let buf = Trace.Sink.buffer () in
   let setup = Schedule.setup ~tracer:(Trace.Sink.buffer_sink buf) schedule in
+  let sampler =
+    Telemetry.Sampler.create ~interval_s:(telemetry_interval_s schedule.Schedule.duration_s) ()
+  in
+  let setup = { setup with Leases.Sim.on_instruments = Telemetry.Sampler.attach sampler } in
   let outcome = Leases.Sim.run setup ~trace in
+  Telemetry.Sampler.finalize sampler;
+  let residual_params =
+    Telemetry.Residual.params_of_setup
+      ~term:(Analytic.Model.Finite schedule.Schedule.term_s) setup
+  in
+  let telemetry =
+    Telemetry.Residual.summarize residual_params
+      (Telemetry.Residual.evaluate residual_params sampler)
+  in
   let m = outcome.Leases.Sim.metrics in
   let report = Trace.Checker.check ~server:0 (Trace.Sink.buffer_contents buf) in
   let oracle_violations = m.Leases.Metrics.oracle_violations in
@@ -51,6 +70,7 @@ let run schedule =
     dropped_ops = m.Leases.Metrics.dropped_ops;
     commits = m.Leases.Metrics.commits;
     checked_events = report.Trace.Checker.events;
+    telemetry;
   }
 
 let to_json o =
@@ -66,4 +86,5 @@ let to_json o =
       ("dropped_ops", Trace.Json.Num (float_of_int o.dropped_ops));
       ("commits", Trace.Json.Num (float_of_int o.commits));
       ("checked_events", Trace.Json.Num (float_of_int o.checked_events));
+      ("telemetry", Telemetry.Report.summary_to_json o.telemetry);
     ]

@@ -16,12 +16,20 @@ type outcome = {
   dropped_ops : int;
   commits : int;
   checked_events : int;  (** events replayed through the invariant checker *)
+  telemetry : Telemetry.Residual.summary;
+      (** per-window analytic-model residuals sampled over the run (about
+          24 windows, clamped to 2.5–30 s each); fault windows surface
+          here as flagged residual swings *)
 }
 
 val classification_name : classification -> string
 
+val telemetry_interval_s : float -> float
+(** The sampling interval used for a schedule of the given duration. *)
+
 val run : Schedule.t -> outcome
-(** Runs {!Schedule.trace} through [Sim.run] with the register oracle and
-    an in-memory trace buffer feeding {!Trace.Checker.check}. *)
+(** Runs {!Schedule.trace} through [Sim.run] with the register oracle, an
+    in-memory trace buffer feeding {!Trace.Checker.check}, and a telemetry
+    sampler evaluating the Section 3.1 residuals per window. *)
 
 val to_json : outcome -> Trace.Json.t

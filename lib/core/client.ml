@@ -86,6 +86,8 @@ let holds_valid_lease t file =
 
 let cached_version t file = Option.map (fun e -> e.version) (Hashtbl.find_opt t.cache file)
 let cache_size t = Hashtbl.length t.cache
+let inflight_rpcs t = Hashtbl.length t.rpcs
+let queued_ops t = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.op_queue 0
 
 (* ------------------------------------------------------------------ *)
 (* RPC plumbing                                                        *)

@@ -57,6 +57,12 @@ val cached_version : t -> Vstore.File_id.t -> Vstore.Version.t option
 
 val cache_size : t -> int
 
+val inflight_rpcs : t -> int
+(** RPCs on the wire (retransmission timers armed). *)
+
+val queued_ops : t -> int
+(** Operations blocked behind an in-flight RPC on the same file. *)
+
 val hits : t -> int
 val misses : t -> int
 val approvals_answered : t -> int

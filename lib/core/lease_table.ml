@@ -50,4 +50,22 @@ let live_holder_set t file ~now =
 let live_deadline t file ~now ~init =
   fold_live t file ~now ~init ~f:(fun _ expiry acc -> Lease.expiry_max expiry acc)
 
-let clear t = Hashtbl.reset t.files
+type occupancy = { files : int; records : int; live_records : int }
+
+let occupancy (t : t) ~now =
+  Hashtbl.fold
+    (fun _ holders acc ->
+      let live =
+        Hashtbl.fold
+          (fun _ expiry n -> if Lease.expired expiry ~now then n else n + 1)
+          holders 0
+      in
+      {
+        files = acc.files + 1;
+        records = acc.records + Hashtbl.length holders;
+        live_records = acc.live_records + live;
+      })
+    t.files
+    { files = 0; records = 0; live_records = 0 }
+
+let clear (t : t) = Hashtbl.reset t.files

@@ -44,5 +44,13 @@ val live_deadline :
   t -> Vstore.File_id.t -> now:Simtime.Time.t -> init:Lease.expiry -> Lease.expiry
 (** Latest live expiry on the file, at least [init]. *)
 
+type occupancy = { files : int; records : int; live_records : int }
+
+val occupancy : t -> now:Simtime.Time.t -> occupancy
+(** Whole-table occupancy: files with at least one record, total records,
+    and records unexpired at [now] (server clock).  One pass, no
+    allocation beyond the result — cheap enough for the telemetry
+    sampler's periodic snapshots. *)
+
 val clear : t -> unit
 (** Crash reset: empty the table in place. *)

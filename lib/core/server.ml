@@ -45,6 +45,9 @@ type t = {
   (** server-local expiry of the latest installed coverage per file *)
   mutable refresh_timer : Engine.handle option;
   mutable up : bool;
+  mutable obs : Breakdown.t option;
+      (** per-entity hot-counter breakdowns; attached only while telemetry
+          samples, so every bump site below is guarded like a trace emit *)
 }
 
 let msg_counter t category = Stats.Counter.Registry.counter t.counters ("msgs/" ^ Messages.category_name category)
@@ -220,6 +223,11 @@ let rec start_write t ~writer ~req file =
     t.next_write_id <- t.next_write_id + 1;
     Hashtbl.replace t.pending file p;
     Hashtbl.replace t.pending_by_id p.write_id p;
+    (match t.obs with
+    | Some o ->
+      Breakdown.bump o.Breakdown.write_waits_by_file (File_id.to_int file);
+      Breakdown.bump o.Breakdown.write_waits_by_client (Host_id.to_int writer)
+    | None -> ());
     if tracing t then
       emit t
         (Trace.Event.Wait_begin
@@ -369,6 +377,11 @@ let handle_approval t ~holder ~write_id file =
   | Some p when File_id.equal p.p_file file ->
     if Host_id.Set.mem holder p.waiting then begin
       p.waiting <- Host_id.Set.remove holder p.waiting;
+      (match t.obs with
+      | Some o ->
+        Breakdown.bump o.Breakdown.approvals_by_file (File_id.to_int file);
+        Breakdown.bump o.Breakdown.approvals_by_client (Host_id.to_int holder)
+      | None -> ());
       (* The approval invalidates the holder's copy, so its lease record
          goes too. *)
       Lease_table.remove_holder t.leases file holder;
@@ -398,10 +411,22 @@ let note_read t file =
 
 let handle_read t ~src ~req file =
   note_read t file;
+  (match t.obs with
+  | Some o ->
+    Breakdown.bump o.Breakdown.reads_by_file (File_id.to_int file);
+    Breakdown.bump o.Breakdown.reads_by_client (Host_id.to_int src)
+  | None -> ());
   send t ~dst:src
     (Messages.Read_reply { req; granted = grant_for t ~holder:src ~renewal:false file })
 
 let handle_extend t ~src ~req files =
+  (match t.obs with
+  | Some o ->
+    Breakdown.bump o.Breakdown.extensions_by_client (Host_id.to_int src);
+    List.iter
+      (fun file -> Breakdown.bump o.Breakdown.extensions_by_file (File_id.to_int file))
+      files
+  | None -> ());
   let granted =
     List.map
       (fun file ->
@@ -528,6 +553,7 @@ let create ~engine ~clock ~net ~liveness ~host ~clients ~store ~config
       installed_cover = File_id.Map.empty;
       refresh_timer = None;
       up = true;
+      obs = None;
     }
   in
   Netsim.Net.register net host (handle_message t);
@@ -538,9 +564,35 @@ let create ~engine ~clock ~net ~liveness ~host ~clients ~store ~config
 
 let host t = t.host
 let store t = t.store
-let queued_files t = Hashtbl.length t.queued
 let wal t = t.wal
 let clock t = t.clock
+
+type snapshot = {
+  lease_files : int;
+  lease_records : int;
+  lease_records_live : int;
+  pending_writes : int;
+  queued_writes : int;
+  queued_files : int;
+  recovering : bool;
+  up : bool;
+}
+
+let snapshot t =
+  let occ = Lease_table.occupancy t.leases ~now:(local_now t) in
+  {
+    lease_files = occ.Lease_table.files;
+    lease_records = occ.Lease_table.records;
+    lease_records_live = occ.Lease_table.live_records;
+    pending_writes = Hashtbl.length t.pending;
+    queued_writes = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.queued 0;
+    queued_files = Hashtbl.length t.queued;
+    recovering = recovering t;
+    up = t.up;
+  }
+
+let set_breakdown t obs = t.obs <- obs
+let breakdown t = t.obs
 
 let messages_handled t category = Stats.Counter.Registry.find t.counters ("msgs/" ^ Messages.category_name category)
 

@@ -59,9 +59,29 @@ val leaseholders : t -> Vstore.File_id.t -> Host.Host_id.t list
 val has_pending_write : t -> Vstore.File_id.t -> bool
 val recovering : t -> bool
 
-val queued_files : t -> int
-(** Files with a queued-write table entry.  Bounded by the files that have
-    writes outstanding: a drained-empty queue is removed at commit. *)
+type snapshot = {
+  lease_files : int;  (** files with at least one lease record *)
+  lease_records : int;  (** lease records, live or expired *)
+  lease_records_live : int;  (** records unexpired on the server clock *)
+  pending_writes : int;  (** writes waiting on approvals or lease expiry *)
+  queued_writes : int;  (** writes queued behind a pending one *)
+  queued_files : int;
+      (** files with a queued-write table entry; bounded by the files with
+          writes outstanding — a drained-empty queue is removed at commit *)
+  recovering : bool;
+  up : bool;
+}
+
+val snapshot : t -> snapshot
+(** One read-only view of the server's volatile occupancy, taken at the
+    current instant.  This is {e the} accessor for both the telemetry
+    sampler and tests — nothing else exposes the internal tables. *)
+
+val set_breakdown : t -> Breakdown.t option -> unit
+(** Attach (or detach) per-entity hot-counter breakdowns.  [None] (the
+    default) keeps every bump site down to one load and one branch. *)
+
+val breakdown : t -> Breakdown.t option
 
 val messages_handled : t -> Messages.category -> int
 (** Messages sent or received by the server in this category — the paper's

@@ -99,6 +99,18 @@ type setup = {
   faults : fault list;
   drain : Time.Span.t;
   tracer : Trace.Sink.t;
+  on_instruments : instruments -> unit;
+}
+
+and instruments = {
+  i_engine : Engine.t;
+  i_net : Messages.payload Netsim.Net.t;
+  i_server : Server.t;
+  i_clients : Client.t array;
+  i_server_clock : Clock.t;
+  i_client_clocks : Clock.t array;
+  i_read_latency : Stats.Histogram.t;
+  i_write_latency : Stats.Histogram.t;
 }
 
 let default_setup =
@@ -112,6 +124,7 @@ let default_setup =
     faults = [];
     drain = Time.Span.of_sec 120.;
     tracer = Trace.Sink.null;
+    on_instruments = ignore;
   }
 
 let v_lan_setup = default_setup
@@ -242,6 +255,18 @@ let run setup ~trace =
       in
       ignore (Engine.schedule_at engine op.at issue))
     (Workload.Trace.ops trace);
+
+  setup.on_instruments
+    {
+      i_engine = engine;
+      i_net = net;
+      i_server = server;
+      i_clients = clients;
+      i_server_clock = server_clock;
+      i_client_clocks = client_clocks;
+      i_read_latency = read_latency;
+      i_write_latency = write_latency;
+    };
 
   let horizon = Time.add Time.zero (Time.Span.add (Workload.Trace.duration trace) setup.drain) in
   Engine.run ~until:horizon engine;

@@ -43,7 +43,26 @@ type setup = {
   (** receives the protocol event stream from every layer (engine, net,
       server, clients, fault injector); {!Trace.Sink.null} — the default —
       compiles the instrumentation down to a guarded no-op *)
+  on_instruments : instruments -> unit;
+  (** called once per run, after the cluster is built and the workload and
+      faults are scheduled but before the engine starts — the hook a
+      telemetry sampler uses to attach itself.  Default [ignore]. *)
 }
+
+and instruments = {
+  i_engine : Simtime.Engine.t;
+  i_net : Messages.payload Netsim.Net.t;
+  i_server : Server.t;
+  i_clients : Client.t array;
+  i_server_clock : Clock.t;
+  i_client_clocks : Clock.t array;
+  i_read_latency : Stats.Histogram.t;
+      (** the driver's read-latency histogram, live while the run executes *)
+  i_write_latency : Stats.Histogram.t;
+}
+(** Read-only handles on every layer of a running cluster.  Consumers must
+    not mutate protocol state; sampling through {!Server.snapshot},
+    counter registries and clock readings is the intended use. *)
 
 val default_setup : setup
 (** Seed 1, one client, {!Config.default}, the V LAN message times

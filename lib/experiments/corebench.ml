@@ -103,6 +103,61 @@ let trace_emit ~timer ~ops =
   let ring_sink = measure (Trace.Sink.ring_sink ring) in
   { null_sink; ring_sink; ring_dropped = Trace.Sink.ring_dropped ring }
 
+type telemetry_bench = { probe_disabled : micro; probe_enabled : micro; snapshot : micro }
+
+(* One op = one guarded per-entity bump attempt at the server's read hot
+   path (two axes: by file, by client).  Detached measures the cost left
+   on an unsampled run — one load and one branch per site, mirroring the
+   trace [enabled] guard; attached measures bumping at full bore.  The
+   option is read through [Sys.opaque_identity] so the branch cannot be
+   hoisted out of the loop. *)
+let telemetry_probe ~timer ~ops =
+  let measure obs_value =
+    let obs = ref obs_value in
+    let started = timer () in
+    for i = 0 to ops - 1 do
+      match Sys.opaque_identity !obs with
+      | Some b ->
+        Leases.Breakdown.bump b.Leases.Breakdown.reads_by_file (i mod 1_000);
+        Leases.Breakdown.bump b.Leases.Breakdown.reads_by_client (i mod 7)
+      | None -> ()
+    done;
+    finish ~timer ~started ~ops
+  in
+  let probe_disabled = measure None in
+  let probe_enabled = measure (Some (Leases.Breakdown.create ())) in
+  (probe_disabled, probe_enabled)
+
+(* One op = one full sampler visit to the server: occupancy snapshot plus
+   a prefixed counter-registry dump — the per-window cost of the telemetry
+   sampler, measured against a server left populated by a real run. *)
+let telemetry_snapshot ~timer ~ops =
+  let server = ref None in
+  let duration = Simtime.Time.Span.of_sec 60. in
+  let trace = (V_trace.poisson ~clients:4 ~duration ()).V_trace.trace in
+  let setup = Runner.lease_setup ~n_clients:4 ~term:(Analytic.Model.Finite 10.) () in
+  let setup =
+    { setup with
+      Leases.Sim.on_instruments = (fun i -> server := Some i.Leases.Sim.i_server) }
+  in
+  ignore (Leases.Sim.run setup ~trace);
+  let server = Option.get !server in
+  let sink = ref 0 in
+  let started = timer () in
+  for _ = 0 to ops - 1 do
+    let snap = Leases.Server.snapshot server in
+    let dump = Stats.Counter.Registry.dump ~prefix:"server/" (Leases.Server.counters server) in
+    sink := !sink + snap.Leases.Server.lease_records + List.length dump
+  done;
+  ignore (Sys.opaque_identity !sink);
+  finish ~timer ~started ~ops
+
+let telemetry_bench ~timer ~ops =
+  let probe_disabled, probe_enabled = telemetry_probe ~timer ~ops in
+  (* a sampler visit is ~1000x a probe; scale the op count down *)
+  let snapshot = telemetry_snapshot ~timer ~ops:(Stdlib.max 100 (ops / 1_000)) in
+  { probe_disabled; probe_enabled; snapshot }
+
 let lease_throughput ~timer ~n_clients ~duration =
   let trace = (V_trace.poisson ~clients:n_clients ~duration ()).V_trace.trace in
   let setup = Runner.lease_setup ~n_clients ~term:(Analytic.Model.Finite 10.) () in

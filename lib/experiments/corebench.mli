@@ -37,6 +37,19 @@ val trace_emit : timer:(unit -> float) -> ops:int -> trace_emit
     branch, no allocation), [ring_sink] the cost of tracing into a
     bounded 64 Ki ring. *)
 
+type telemetry_bench = {
+  probe_disabled : micro;  (** detached breakdown: one load + branch per site *)
+  probe_enabled : micro;  (** attached: two per-entity hashtable bumps *)
+  snapshot : micro;  (** one sampler visit: occupancy + registry dump *)
+}
+
+val telemetry_bench : timer:(unit -> float) -> ops:int -> telemetry_bench
+(** Telemetry overhead at its two cost centres: the per-message guarded
+    breakdown probe on the server hot path (disabled must stay within
+    noise of free — same pattern as {!trace_emit}'s null sink), and the
+    per-window sampler snapshot (run at [ops / 1000], it is ~1000x the
+    probe cost and off the per-message path entirely). *)
+
 val lease_throughput :
   timer:(unit -> float) -> n_clients:int -> duration:Simtime.Time.Span.t -> throughput
 (** Run the standard Poisson V workload end to end and report simulated

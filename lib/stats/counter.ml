@@ -26,6 +26,9 @@ module Registry = struct
     Hashtbl.fold (fun name counter acc -> (name, counter.value) :: acc) registry []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+  let dump ?(prefix = "") registry =
+    List.map (fun (name, value) -> (prefix ^ name, value)) (to_list registry)
+
   let find registry name =
     match Hashtbl.find_opt registry name with
     | Some counter -> counter.value

@@ -14,7 +14,14 @@ module Registry : sig
       use.  Repeated calls with the same name return the same counter. *)
 
   val to_list : t -> (string * int) list
-  (** All counters, sorted by name. *)
+  (** All counters, sorted by name.  Every dump path ({!to_list}, {!dump},
+      {!pp}) is deterministically ordered so registry output is byte-stable
+      across runs regardless of hash-table layout. *)
+
+  val dump : ?prefix:string -> t -> (string * int) list
+  (** Like {!to_list} with [prefix] prepended to every name — the form the
+      telemetry sampler uses to merge several registries ("server/",
+      "client/0/", ...) into one deterministically ordered namespace. *)
 
   val find : t -> string -> int
   (** Current value under [name]; 0 if never touched. *)

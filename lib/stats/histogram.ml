@@ -47,6 +47,7 @@ let add t x =
   t.sum <- t.sum +. x
 
 let count t = t.total_count
+let sum t = t.sum
 
 let quantile t q =
   if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q must be in [0, 1]";

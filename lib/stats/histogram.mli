@@ -14,6 +14,10 @@ val create : ?least:float -> ?growth:float -> ?buckets:int -> unit -> t
 val add : t -> float -> unit
 val count : t -> int
 
+val sum : t -> float
+(** Exact running sum of every sample added (not bucket-quantised) — what
+    the telemetry sampler differences to get per-window means. *)
+
 val bucket_index : t -> float -> int
 (** Index of the bucket [add] would place a sample in: 0 = underflow,
     1..[buckets] = geometric buckets (bucket [i] covers the half-open range

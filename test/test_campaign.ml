@@ -59,8 +59,8 @@ let test_unsafe_budget_small_vs_allowance () =
     (Fault_campaign.Gen.unsafe_skew_budget_s < 0.1)
 
 (* The queued-write leak: a file's queue entry must disappear once its
-   last queued write commits, so [Server.queued_files] returns to zero
-   after every burst drains. *)
+   last queued write commits, so [Server.snapshot] reports zero queued
+   files after every burst drains. *)
 
 let run_write_burst ops =
   let engine = Engine.create () in
@@ -107,7 +107,11 @@ let queued_drains_to_zero =
         (triple (int_range 1 5_000) (int_range 0 2) (int_range 0 3)))
     (fun ops ->
       let server, completed = run_write_burst ops in
-      completed = List.length ops && Leases.Server.queued_files server = 0)
+      let snap = Leases.Server.snapshot server in
+      completed = List.length ops
+      && snap.Leases.Server.queued_files = 0
+      && snap.Leases.Server.queued_writes = 0
+      && snap.Leases.Server.pending_writes = 0)
 
 let () =
   Alcotest.run "campaign"

@@ -30,6 +30,37 @@ let test_counter_listing () =
   Alcotest.(check (list (pair string int))) "reset" [ ("a", 0); ("b", 0) ]
     (Stats.Counter.Registry.to_list registry)
 
+(* Registry dumps must be deterministically ordered and byte-stable
+   regardless of registration order, including under the prefixed merge
+   the telemetry sampler uses. *)
+let test_counter_dump () =
+  let build names =
+    let registry = Stats.Counter.Registry.create () in
+    List.iteri
+      (fun i name -> Stats.Counter.add (Stats.Counter.Registry.counter registry name) (i + 1))
+      names;
+    registry
+  in
+  let a = build [ "zeta"; "alpha"; "mid" ] in
+  Alcotest.(check (list (pair string int))) "prefixed and sorted"
+    [ ("server/alpha", 2); ("server/mid", 3); ("server/zeta", 1) ]
+    (Stats.Counter.Registry.dump ~prefix:"server/" a);
+  Alcotest.(check (list (pair string int))) "no prefix = to_list"
+    (Stats.Counter.Registry.to_list a)
+    (Stats.Counter.Registry.dump a);
+  (* same counters registered in a different order dump identically *)
+  let b = build [ "mid"; "zeta"; "alpha" ] in
+  Stats.Counter.Registry.reset a;
+  Stats.Counter.Registry.reset b;
+  List.iter
+    (fun name ->
+      Stats.Counter.add (Stats.Counter.Registry.counter a name) 7;
+      Stats.Counter.add (Stats.Counter.Registry.counter b name) 7)
+    [ "alpha"; "mid"; "zeta" ];
+  Alcotest.(check (list (pair string int))) "registration order irrelevant"
+    (Stats.Counter.Registry.dump ~prefix:"x/" a)
+    (Stats.Counter.Registry.dump ~prefix:"x/" b)
+
 let test_welford () =
   let w = Stats.Welford.create () in
   Alcotest.(check int) "empty count" 0 (Stats.Welford.count w);
@@ -137,6 +168,51 @@ let test_series () =
   Alcotest.(check (option (float 1e-9))) "map_y" (Some 0.2) (Stats.Series.y_at doubled ~x:10.);
   Alcotest.(check string) "label preserved" "load" (Stats.Series.label doubled)
 
+(* Sampler-style append patterns: one point per fixed-width window, many
+   short windows, empty windows recorded as zero, and a window boundary
+   landing exactly on an event instant (duplicate x appended twice). *)
+let test_series_window_appends () =
+  let s = Stats.Series.create ~label:"msgs/s" in
+  let n = 200 in
+  let interval = 0.5 in
+  for k = 1 to n do
+    let y = if k mod 3 = 0 then 0. else float_of_int (k mod 7) in
+    Stats.Series.add s ~x:(float_of_int k *. interval) ~y
+  done;
+  Alcotest.(check int) "one point per window" n (Stats.Series.length s);
+  let xs = List.map fst (Stats.Series.points s) in
+  let sorted = List.sort compare xs in
+  Alcotest.(check (list (float 1e-12))) "insertion order is time order" sorted xs;
+  Alcotest.(check (option (float 1e-12))) "empty window recorded, not skipped" (Some 0.)
+    (Stats.Series.y_at s ~x:(3. *. interval));
+  Alcotest.(check (option (float 1e-12))) "boundary window value exact" (Some (float_of_int (199 mod 7)))
+    (Stats.Series.y_at s ~x:(199. *. interval));
+  (* a sample replayed at an already-recorded boundary instant appends
+     rather than overwrites; y_at reports the first *)
+  Stats.Series.add s ~x:(100. *. interval) ~y:42.;
+  Alcotest.(check int) "duplicate x retained" (n + 1) (Stats.Series.length s);
+  Alcotest.(check (option (float 1e-12))) "first recording wins lookup"
+    (Some (float_of_int (100 mod 7)))
+    (Stats.Series.y_at s ~x:(100. *. interval))
+
+let test_table_many_windows () =
+  let mk label f =
+    let s = Stats.Series.create ~label in
+    for k = 1 to 50 do
+      (* the second series misses every 5th window, as a gauge that was
+         not sampled during an outage would *)
+      if not (f && k mod 5 = 0) then Stats.Series.add s ~x:(float_of_int k) ~y:(float_of_int k)
+    done;
+    s
+  in
+  let table =
+    Stats.Table.of_series ~x_label:"t" ~x_format:(Printf.sprintf "%g")
+      ~y_format:(Printf.sprintf "%g")
+      [ mk "full" false; mk "gappy" true ]
+  in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' table) in
+  Alcotest.(check int) "header + rule + one row per window" 52 (List.length lines)
+
 let test_table_render () =
   let table =
     Stats.Table.render ~header:[ "a"; "bbb" ] ~rows:[ [ "1"; "2" ]; [ "10"; "20" ]; [ "x" ] ]
@@ -179,6 +255,7 @@ let () =
           Alcotest.test_case "basics" `Quick test_counter_basics;
           Alcotest.test_case "identity" `Quick test_counter_identity;
           Alcotest.test_case "listing" `Quick test_counter_listing;
+          Alcotest.test_case "dump determinism" `Quick test_counter_dump;
         ] );
       ( "welford",
         [
@@ -195,7 +272,9 @@ let () =
       ( "series+table",
         [
           Alcotest.test_case "series" `Quick test_series;
+          Alcotest.test_case "series window appends" `Quick test_series_window_appends;
           Alcotest.test_case "table render" `Quick test_table_render;
           Alcotest.test_case "table of series" `Quick test_table_of_series;
+          Alcotest.test_case "table many windows" `Quick test_table_many_windows;
         ] );
     ]

@@ -1,0 +1,257 @@
+(* Telemetry subsystem tests: window accounting against cumulative
+   counters, export determinism across identical seeded runs, the
+   steady-state residual against the Section 3.1 model, and the
+   degradation/recovery signature of a server crash in per-window
+   residuals. *)
+
+let span_sec = Simtime.Time.Span.of_sec
+
+let run_sampled ?(interval_s = 10.) ?(n_clients = 2) ?(duration = 120.) ?(seed = 7L)
+    ?(faults = []) () =
+  let trace =
+    (Experiments.V_trace.poisson ~seed ~clients:n_clients ~duration:(span_sec duration) ())
+      .Experiments.V_trace.trace
+  in
+  let setup =
+    Experiments.Runner.lease_setup ~n_clients ~term:(Analytic.Model.Finite 10.) ()
+  in
+  let sampler = Telemetry.Sampler.create ~interval_s () in
+  let instruments = ref None in
+  let setup =
+    { setup with
+      Leases.Sim.seed;
+      faults;
+      on_instruments =
+        (fun i ->
+          instruments := Some i;
+          Telemetry.Sampler.attach sampler i);
+    }
+  in
+  let outcome = Leases.Sim.run setup ~trace in
+  Telemetry.Sampler.finalize sampler;
+  (sampler, setup, outcome, Option.get !instruments)
+
+(* Every window's counter deltas must sum to the final cumulative dump, and
+   the window chain must tile the run without gaps. *)
+let test_window_accounting () =
+  let sampler, _, _, inst = run_sampled () in
+  let windows = Telemetry.Sampler.windows sampler in
+  Alcotest.(check bool) "closed several windows" true (List.length windows >= 12);
+  List.iteri
+    (fun i (w : Telemetry.Sampler.window) ->
+      Alcotest.(check int) "indices sequential" i w.Telemetry.Sampler.w_index;
+      Alcotest.(check bool) "window has positive width" true
+        (w.Telemetry.Sampler.t_end > w.Telemetry.Sampler.t_start))
+    windows;
+  List.iteri
+    (fun i (w : Telemetry.Sampler.window) ->
+      if i > 0 then
+        let prev = List.nth windows (i - 1) in
+        Alcotest.(check (float 1e-9)) "windows tile the run" prev.Telemetry.Sampler.t_end
+          w.Telemetry.Sampler.t_start)
+    windows;
+  let last = List.nth windows (List.length windows - 1) in
+  let summed = Hashtbl.create 64 in
+  List.iter
+    (fun (w : Telemetry.Sampler.window) ->
+      List.iter
+        (fun (name, d) ->
+          Hashtbl.replace summed name (d + Option.value (Hashtbl.find_opt summed name) ~default:0))
+        w.Telemetry.Sampler.deltas)
+    windows;
+  List.iter
+    (fun (name, total) ->
+      Alcotest.(check int) (Printf.sprintf "deltas sum to cumulative %s" name) total
+        (Option.value (Hashtbl.find_opt summed name) ~default:0))
+    last.Telemetry.Sampler.counters;
+  (* scalar deltas agree with the merged registry they were derived from *)
+  let total_of suffix =
+    List.fold_left
+      (fun acc (name, v) ->
+        if String.length name >= String.length suffix
+           && String.sub name (String.length name - String.length suffix) (String.length suffix)
+              = suffix
+        then acc + v
+        else acc)
+      0 last.Telemetry.Sampler.counters
+  in
+  let window_total f = List.fold_left (fun acc w -> acc + f w) 0 windows in
+  Alcotest.(check int) "hits" (total_of "/hits")
+    (window_total (fun w -> w.Telemetry.Sampler.hits));
+  Alcotest.(check int) "misses" (total_of "/misses")
+    (window_total (fun w -> w.Telemetry.Sampler.misses));
+  Alcotest.(check int) "reads = hits + misses"
+    (total_of "/hits" + total_of "/misses")
+    (window_total (fun w -> w.Telemetry.Sampler.reads));
+  (* the per-entity breakdown agrees with itself across axes: requests
+     attributed per file and per client are the same requests *)
+  let entity_total label =
+    window_total (fun w ->
+        match List.assoc_opt label w.Telemetry.Sampler.by_entity with
+        | None -> 0
+        | Some pairs -> List.fold_left (fun acc (_, d) -> acc + d) 0 pairs)
+  in
+  Alcotest.(check int) "reads by file = reads by client" (entity_total "reads/file")
+    (entity_total "reads/client");
+  Alcotest.(check bool) "breakdown saw the reads" true (entity_total "reads/client" > 0);
+  (* the breakdown attached by the sampler is the one the server used *)
+  (match Leases.Server.breakdown (Leases.Sim.(inst.i_server)) with
+  | None -> Alcotest.fail "sampler left no breakdown on the server"
+  | Some b ->
+    Alcotest.(check int) "server-side axis total matches"
+      (Leases.Breakdown.total b.Leases.Breakdown.reads_by_file)
+      (entity_total "reads/file"));
+  (* gauges at the final window: the run has drained *)
+  Alcotest.(check int) "no pending writes after drain" 0 last.Telemetry.Sampler.pending_writes;
+  Alcotest.(check int) "no in-flight messages after drain" 0
+    last.Telemetry.Sampler.in_flight_msgs
+
+(* Two identical seeded runs must export byte-identical reports. *)
+let test_export_determinism () =
+  let report kind =
+    let sampler, setup, _, _ = run_sampled () in
+    let params =
+      Telemetry.Residual.params_of_setup ~term:(Analytic.Model.Finite 10.) setup
+    in
+    match kind with
+    | `Json -> Telemetry.Report.to_json_string ~params sampler
+    | `Csv -> Telemetry.Report.to_csv_string ~params sampler
+  in
+  Alcotest.(check string) "json byte-identical" (report `Json) (report `Json);
+  Alcotest.(check string) "csv byte-identical" (report `Csv) (report `Csv);
+  (* and the JSON round-trips through the viewer's parser *)
+  match Telemetry.Report.of_string (report `Json) with
+  | Error why -> Alcotest.failf "report does not parse back: %s" why
+  | Ok view ->
+    Alcotest.(check int) "view window count"
+      (List.length view.Telemetry.Report.v_windows)
+      view.Telemetry.Report.v_summary.Telemetry.Residual.windows
+
+(* A long steady no-fault run must match the Section 3.1 prediction within
+   the documented pooled tolerance. *)
+let test_steady_residual () =
+  let sampler, setup, _, _ =
+    run_sampled ~interval_s:30. ~n_clients:1 ~duration:1500. ()
+  in
+  let params = Telemetry.Residual.params_of_setup ~term:(Analytic.Model.Finite 10.) setup in
+  let summary =
+    Telemetry.Residual.summarize params (Telemetry.Residual.evaluate params sampler)
+  in
+  let steady = summary.Telemetry.Residual.steady_load_residual in
+  if Float.abs steady > 0.25 then
+    Alcotest.failf "steady-state residual %+.1f%% exceeds 25%%" (100. *. steady);
+  Alcotest.(check bool) "measured some load" true
+    (summary.Telemetry.Residual.mean_measured_load > 0.)
+
+(* A server crash must show up as flagged degradation (no consistency
+   messages while the model still predicts load) followed by a flagged
+   recovery spike, and the tail of the run must settle back under the
+   per-window tolerance. *)
+let test_fault_degradation_and_recovery () =
+  let faults =
+    [ Leases.Sim.Crash_server { at = Simtime.Time.of_sec 60.; duration = span_sec 60. } ]
+  in
+  let sampler, setup, _, _ =
+    run_sampled ~interval_s:30. ~n_clients:4 ~duration:300. ~faults ()
+  in
+  let params = Telemetry.Residual.params_of_setup ~term:(Analytic.Model.Finite 10.) setup in
+  let evals = Telemetry.Residual.evaluate params sampler in
+  let during_fault =
+    List.filter
+      (fun (e : Telemetry.Residual.eval) ->
+        let w = e.Telemetry.Residual.e_window in
+        w.Telemetry.Sampler.t_end > 60. && w.Telemetry.Sampler.t_end <= 120.)
+      evals
+  in
+  Alcotest.(check bool) "a fault window is flagged with collapsed load" true
+    (List.exists
+       (fun (e : Telemetry.Residual.eval) ->
+         e.Telemetry.Residual.flagged && e.Telemetry.Residual.load_residual < -0.9)
+       during_fault);
+  Alcotest.(check bool) "a fault window sees the server down" true
+    (List.exists
+       (fun (e : Telemetry.Residual.eval) ->
+         not e.Telemetry.Residual.e_window.Telemetry.Sampler.server_up)
+       during_fault);
+  let after =
+    List.filter
+      (fun (e : Telemetry.Residual.eval) ->
+        e.Telemetry.Residual.e_window.Telemetry.Sampler.t_end > 120.)
+      evals
+  in
+  Alcotest.(check bool) "a recovery window is flagged with a positive spike" true
+    (List.exists
+       (fun (e : Telemetry.Residual.eval) ->
+         e.Telemetry.Residual.flagged && e.Telemetry.Residual.load_residual > 1.)
+       after);
+  Alcotest.(check bool) "the tail settles back under tolerance" true
+    (List.exists
+       (fun (e : Telemetry.Residual.eval) ->
+         (not e.Telemetry.Residual.flagged)
+         && e.Telemetry.Residual.e_window.Telemetry.Sampler.reads > 0)
+       after);
+  (* queued work builds up while the server is down and drains afterwards *)
+  let peak_blocked =
+    List.fold_left
+      (fun acc (e : Telemetry.Residual.eval) ->
+        let w = e.Telemetry.Residual.e_window in
+        Stdlib.max acc (w.Telemetry.Sampler.client_inflight + w.Telemetry.Sampler.client_queued_ops))
+      0 during_fault
+  in
+  Alcotest.(check bool) "client work piles up during the outage" true (peak_blocked > 0);
+  match List.rev evals with
+  | last :: _ ->
+    let w = last.Telemetry.Residual.e_window in
+    Alcotest.(check int) "blocked work drains by the end" 0
+      (w.Telemetry.Sampler.client_inflight + w.Telemetry.Sampler.client_queued_ops)
+  | [] -> Alcotest.fail "no windows"
+
+(* The sampler must not perturb the simulation: metrics with and without
+   telemetry attached are identical. *)
+let test_sampler_is_passive () =
+  let run attach =
+    let trace =
+      (Experiments.V_trace.poisson ~seed:5L ~clients:2 ~duration:(span_sec 90.) ())
+        .Experiments.V_trace.trace
+    in
+    let setup = Experiments.Runner.lease_setup ~n_clients:2 ~term:(Analytic.Model.Finite 10.) () in
+    let setup = { setup with Leases.Sim.seed = 5L } in
+    let setup =
+      if attach then
+        { setup with
+          Leases.Sim.on_instruments =
+            (fun i -> Telemetry.Sampler.attach (Telemetry.Sampler.create ~interval_s:7. ()) i)
+        }
+      else setup
+    in
+    Leases.Metrics.to_json (Leases.Sim.run setup ~trace).Leases.Sim.metrics
+  in
+  Alcotest.(check string) "metrics unchanged by sampling" (run false) (run true)
+
+let test_sparkline () =
+  Alcotest.(check string) "empty" "" (Telemetry.Report.sparkline []);
+  let flat = Telemetry.Report.sparkline [ 1.; 1.; 1. ] in
+  Alcotest.(check int) "flat series renders three cells" 9 (String.length flat);
+  let ramp = Telemetry.Report.sparkline [ 0.; 1.; 2.; 3. ] in
+  Alcotest.(check bool) "ramp ends higher than it starts" true
+    (String.sub ramp 0 3 <> String.sub ramp 9 3)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "sampler",
+        [
+          Alcotest.test_case "window accounting" `Quick test_window_accounting;
+          Alcotest.test_case "passive" `Quick test_sampler_is_passive;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "determinism" `Quick test_export_determinism;
+          Alcotest.test_case "sparkline" `Quick test_sparkline;
+        ] );
+      ( "residuals",
+        [
+          Alcotest.test_case "steady state" `Slow test_steady_residual;
+          Alcotest.test_case "fault degradation" `Quick test_fault_degradation_and_recovery;
+        ] );
+    ]
