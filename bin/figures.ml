@@ -93,6 +93,18 @@ let run_baselines quick =
   let r = Experiments.Baselines_cmp.run ~duration () in
   print_endline r.Experiments.Baselines_cmp.table
 
+let run_shards quick =
+  section "Sharded deployment — per-server consistency load vs client and shard count";
+  let duration = duration_of_sec (if quick then 800. else 2_000.) in
+  let r = Experiments.Shard_scale.run ~duration () in
+  Printf.printf "unsaturated regime (%.1f s term):\n" r.Experiments.Shard_scale.term_s;
+  print_endline r.Experiments.Shard_scale.table;
+  print_newline ();
+  Printf.printf "amortized regime (%.0f s term):\n" r.Experiments.Shard_scale.amortized_term_s;
+  print_endline r.Experiments.Shard_scale.table_amortized;
+  print_newline ();
+  print_endline r.Experiments.Shard_scale.note
+
 let all_experiments =
   [
     ("params", fun _quick -> run_params ());
@@ -108,6 +120,7 @@ let all_experiments =
     ("writeback", run_writeback);
     ("granularity", run_granularity);
     ("adaptive", run_adaptive);
+    ("shards", run_shards);
   ]
 
 let run_experiment quick name =
@@ -131,7 +144,7 @@ let main experiment quick =
 open Cmdliner
 
 let experiment_arg =
-  let doc = "Which experiment to regenerate: all, params, table2, fig1, fig2, fig3, claims, ablations, faults, baselines, future, writeback, granularity or adaptive." in
+  let doc = "Which experiment to regenerate: all, params, table2, fig1, fig2, fig3, claims, ablations, faults, baselines, future, writeback, granularity, adaptive or shards." in
   Arg.(value & opt string "all" & info [ "e"; "experiment" ] ~docv:"NAME" ~doc)
 
 let quick_arg =

@@ -80,10 +80,69 @@ let finish_telemetry sampler ~term ~setup ~telemetry_out ~telemetry_format ~json
       (100. *. summary.Telemetry.Residual.steady_load_residual)
   end
 
-let main protocol term_s clients duration seed loss rtt_ms workload ops_file json trace_out
-    trace_format fault_specs telemetry_s telemetry_out telemetry_format =
+(* --shards N runs the multi-server deployment: per-shard loads after the
+   aggregate metrics, and per-shard residual summaries when telemetry is
+   on. *)
+let run_sharded ~shards ~clients ~seed ~loss ~m_prop ~m_proc ~term ~faults ~tracer ~telemetry_s
+    ~json ~trace =
+  let base = Experiments.Runner.lease_setup ~n_clients:clients ~m_prop ~m_proc ~term () in
+  let setup =
+    {
+      Shard.Deploy.default_setup with
+      Shard.Deploy.seed;
+      n_clients = clients;
+      n_shards = shards;
+      config = base.Leases.Sim.config;
+      m_prop;
+      m_proc;
+      loss;
+      faults;
+      tracer;
+      telemetry_interval_s = telemetry_s;
+    }
+  in
+  let outcome = Shard.Deploy.run setup ~trace in
+  let print_extra () =
+    if not json then begin
+      Array.iter
+        (fun sl ->
+          Format.printf
+            "shard %d (host %d): consistency %d msgs (%.3f/s) = ext %d + appr %d + inst %d; \
+             total handled %d, commits %d@."
+            sl.Shard.Deploy.sl_shard sl.Shard.Deploy.sl_host sl.Shard.Deploy.sl_consistency_msgs
+            sl.Shard.Deploy.sl_consistency_rate sl.Shard.Deploy.sl_extension_msgs
+            sl.Shard.Deploy.sl_approval_msgs sl.Shard.Deploy.sl_installed_msgs
+            sl.Shard.Deploy.sl_total_msgs sl.Shard.Deploy.sl_commits)
+        outcome.Shard.Deploy.per_shard;
+      match Shard.Deploy.telemetry_report setup outcome with
+      | None -> ()
+      | Some reports ->
+        Array.iter
+          (fun r ->
+            let s = r.Shard.Shard_telemetry.sr_summary in
+            Format.printf
+              "shard %d telemetry: %d windows (%d flagged), load %.3f msg/s measured vs %.3f \
+               predicted, steady residual %+.1f%%@."
+              r.Shard.Shard_telemetry.sr_shard s.Telemetry.Residual.windows
+              s.Telemetry.Residual.flagged_windows s.Telemetry.Residual.mean_measured_load
+              s.Telemetry.Residual.mean_predicted_load
+              (100. *. s.Telemetry.Residual.steady_load_residual))
+          reports
+    end
+  in
+  (outcome.Shard.Deploy.metrics, print_extra)
+
+let rec main protocol term_s clients duration seed loss rtt_ms workload ops_file json trace_out
+    trace_format fault_specs telemetry_s telemetry_out telemetry_format shards =
   try
     let faults = List.map parse_fault fault_specs in
+    if shards < 1 then failwith "--shards must be at least 1";
+    if shards > 1 && protocol <> "leases" then
+      failwith "--shards runs the sharded lease deployment; it needs --protocol leases";
+    if shards > 1 && telemetry_out <> None then
+      failwith
+        "--telemetry-out writes a single-server report; with --shards use the printed per-shard \
+         summaries";
     if telemetry_out <> None && telemetry_s = None then
       failwith "--telemetry-out requires --telemetry INTERVAL";
     (match telemetry_s with
@@ -109,9 +168,26 @@ let main protocol term_s clients duration seed loss rtt_ms workload ops_file jso
     let m_prop = m_prop_of_rtt rtt_ms in
     let tracer, finish_trace = trace_sink trace_out trace_format in
     let term = if term_s < 0. then Analytic.Model.Infinite else Analytic.Model.Finite term_s in
-    let metrics =
-      match protocol with
-      | "leases" ->
+    let metrics, print_extra =
+      if shards > 1 then
+        run_sharded ~shards ~clients ~seed ~loss ~m_prop ~m_proc ~term ~faults ~tracer
+          ~telemetry_s ~json ~trace
+      else
+        ( run_single ~protocol ~term ~term_s ~clients ~seed ~loss ~m_prop ~m_proc ~faults ~tracer
+            ~telemetry_s ~telemetry_out ~telemetry_format ~json ~trace,
+          fun () -> () )
+    in
+    finish_trace ();
+    if json then print_endline (Leases.Metrics.to_json metrics)
+    else Format.printf "%a@." Leases.Metrics.pp metrics;
+    print_extra ();
+    `Ok ()
+  with Failure why | Sys_error why -> `Error (false, why)
+
+and run_single ~protocol ~term ~term_s ~clients ~seed ~loss ~m_prop ~m_proc ~faults ~tracer
+    ~telemetry_s ~telemetry_out ~telemetry_format ~json ~trace =
+  match protocol with
+  | "leases" ->
         let setup = Experiments.Runner.lease_setup ~n_clients:clients ~m_prop ~m_proc ~term () in
         let setup = { setup with Leases.Sim.loss; seed; tracer; faults } in
         let sampler =
@@ -149,12 +225,6 @@ let main protocol term_s clients duration seed loss rtt_ms workload ops_file jso
         (Baselines.Ttl_hints.run setup ~trace).Leases.Sim.metrics
       | other ->
         failwith (Printf.sprintf "unknown protocol %S (leases|polling|callback|ttl)" other)
-    in
-    finish_trace ();
-    if json then print_endline (Leases.Metrics.to_json metrics)
-    else Format.printf "%a@." Leases.Metrics.pp metrics;
-    `Ok ()
-  with Failure why | Sys_error why -> `Error (false, why)
 
 let protocol =
   Arg.(value & opt string "leases"
@@ -232,11 +302,20 @@ let telemetry_format =
            ~doc:"Telemetry report format: json (full report, leases-telemetry input) or csv \
                  (per-window scalars).")
 
+let shards =
+  Arg.(value & opt int 1
+       & info [ "shards" ] ~docv:"N"
+           ~doc:"Partition the file namespace across $(docv) independent lease servers \
+                 (consistent hashing; servers are hosts 0..N-1) and route every client \
+                 operation to the owning shard.  Leases protocol only.  Adds crash-shard=\
+                 SHARD,AT,DUR to the --fault vocabulary and prints per-shard load lines \
+                 after the aggregate metrics.")
+
 let cmd =
   let doc = "Simulate a distributed file cache under a chosen consistency protocol." in
   Cmd.v (Cmd.info "leases-sim" ~doc)
     Term.(ret (const main $ protocol $ term $ clients $ duration $ seed $ loss $ rtt $ workload
                $ ops_file $ json $ trace_out $ trace_format $ faults $ telemetry $ telemetry_out
-               $ telemetry_format))
+               $ telemetry_format $ shards))
 
 let () = exit (Cmd.eval cmd)

@@ -622,7 +622,7 @@ let run setup ~trace =
                    Host.Liveness.recover liveness (client_host client);
                    note (fun () ->
                        Trace.Event.Recover { host = Host_id.to_int (client_host client) }))))
-      | Leases.Sim.Crash_server { at; duration } ->
+      | Leases.Sim.Crash_server { at; duration } | Leases.Sim.Crash_shard { at; duration; _ } ->
         at_time at (fun () ->
             Host.Liveness.crash liveness server_host;
             note (fun () -> Trace.Event.Crash { host = Host_id.to_int server_host });

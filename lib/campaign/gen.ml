@@ -132,7 +132,22 @@ let gen_schedule rng ~index =
     in
     go 0 []
   in
-  { Schedule.index; sim_seed; workload; n_clients; duration_s; term_s; loss; faults }
+  (* Sharding draws come last so every field above is byte-identical to
+     what the same seed generated before sharded schedules existed —
+     extending the fault vocabulary must not reshuffle old campaigns. *)
+  let n_shards, faults =
+    if Splitmix.bool rng ~p:0.25 then begin
+      let n_shards = if Splitmix.bool rng ~p:0.5 then 2 else 4 in
+      let shard = Splitmix.int rng ~bound:n_shards in
+      let at = range rng 5. (duration_s -. 5.) in
+      let failover =
+        Sim.Crash_shard { shard; at = sec at; duration = span (range rng 2. 10.) }
+      in
+      (n_shards, faults @ [ failover ])
+    end
+    else (1, faults)
+  in
+  { Schedule.index; sim_seed; workload; n_clients; n_shards; duration_s; term_s; loss; faults }
 
 let schedules ~seed ~n =
   let root = Splitmix.create ~seed:(Int64.of_int seed) in

@@ -69,12 +69,14 @@ let pp ppf s =
     (fun r ->
       let o = r.outcome in
       let sched = o.Runner.schedule in
-      Format.fprintf ppf "  #%d %-8s %s n=%d d=%gs term=%gs loss=%g faults=%d ops=%d dropped=%d@."
+      Format.fprintf ppf "  #%d %-8s %s n=%d%s d=%gs term=%gs loss=%g faults=%d ops=%d dropped=%d@."
         sched.Schedule.index
         (Runner.classification_name o.Runner.classification)
         (Schedule.workload_name sched.Schedule.workload)
-        sched.Schedule.n_clients sched.Schedule.duration_s sched.Schedule.term_s
-        sched.Schedule.loss
+        sched.Schedule.n_clients
+        (if sched.Schedule.n_shards > 1 then Printf.sprintf " shards=%d" sched.Schedule.n_shards
+         else "")
+        sched.Schedule.duration_s sched.Schedule.term_s sched.Schedule.loss
         (List.length sched.Schedule.faults)
         o.Runner.ops_issued o.Runner.dropped_ops;
       let t = o.Runner.telemetry in

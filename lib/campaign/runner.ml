@@ -23,26 +23,10 @@ let classification_name = function
    wider than the 30 s the standalone runs use. *)
 let telemetry_interval_s duration_s = Float.max 2.5 (Float.min 30. (duration_s /. 24.))
 
-let run schedule =
-  let trace = Schedule.trace schedule in
-  let buf = Trace.Sink.buffer () in
-  let setup = Schedule.setup ~tracer:(Trace.Sink.buffer_sink buf) schedule in
-  let sampler =
-    Telemetry.Sampler.create ~interval_s:(telemetry_interval_s schedule.Schedule.duration_s) ()
-  in
-  let setup = { setup with Leases.Sim.on_instruments = Telemetry.Sampler.attach sampler } in
-  let outcome = Leases.Sim.run setup ~trace in
-  Telemetry.Sampler.finalize sampler;
-  let residual_params =
-    Telemetry.Residual.params_of_setup
-      ~term:(Analytic.Model.Finite schedule.Schedule.term_s) setup
-  in
-  let telemetry =
-    Telemetry.Residual.summarize residual_params
-      (Telemetry.Residual.evaluate residual_params sampler)
-  in
-  let m = outcome.Leases.Sim.metrics in
-  let report = Trace.Checker.check ~server:0 (Trace.Sink.buffer_contents buf) in
+(* Classification and reporting shared by the single-server and sharded
+   paths once each has produced metrics, a checker report and an oracle. *)
+let conclude ~schedule ~(m : Leases.Metrics.t) ~(report : Trace.Checker.report) ~oracle
+    ~telemetry =
   let oracle_violations = m.Leases.Metrics.oracle_violations in
   let checker_violations = List.length report.Trace.Checker.violations in
   let first_violation =
@@ -53,7 +37,7 @@ let run schedule =
         (fun (file, version, at) ->
           Format.asprintf "oracle: stale read of file %d v%d completed at %a"
             (Vstore.File_id.to_int file) (Vstore.Version.to_int version) Simtime.Time.pp at)
-        (Oracle.Register_oracle.first_violation outcome.Leases.Sim.oracle)
+        (Oracle.Register_oracle.first_violation oracle)
   in
   let classification =
     if oracle_violations > 0 || checker_violations > 0 then Safety
@@ -72,6 +56,64 @@ let run schedule =
     checked_events = report.Trace.Checker.events;
     telemetry;
   }
+
+let run_single schedule =
+  let trace = Schedule.trace schedule in
+  let buf = Trace.Sink.buffer () in
+  let setup = Schedule.setup ~tracer:(Trace.Sink.buffer_sink buf) schedule in
+  let sampler =
+    Telemetry.Sampler.create ~interval_s:(telemetry_interval_s schedule.Schedule.duration_s) ()
+  in
+  let setup = { setup with Leases.Sim.on_instruments = Telemetry.Sampler.attach sampler } in
+  let outcome = Leases.Sim.run setup ~trace in
+  Telemetry.Sampler.finalize sampler;
+  let residual_params =
+    Telemetry.Residual.params_of_setup
+      ~term:(Analytic.Model.Finite schedule.Schedule.term_s) setup
+  in
+  let telemetry =
+    Telemetry.Residual.summarize residual_params
+      (Telemetry.Residual.evaluate residual_params sampler)
+  in
+  let report = Trace.Checker.check ~server:0 (Trace.Sink.buffer_contents buf) in
+  conclude ~schedule ~m:outcome.Leases.Sim.metrics ~report ~oracle:outcome.Leases.Sim.oracle
+    ~telemetry
+
+let run_sharded schedule =
+  let trace = Schedule.trace schedule in
+  let buf = Trace.Sink.buffer () in
+  let setup = Schedule.deploy_setup ~tracer:(Trace.Sink.buffer_sink buf) schedule in
+  let setup =
+    {
+      setup with
+      Shard.Deploy.telemetry_interval_s =
+        Some (telemetry_interval_s schedule.Schedule.duration_s);
+    }
+  in
+  let outcome = Shard.Deploy.run setup ~trace in
+  (* Pool every shard's windows into one summary: each window is judged
+     against its own shard's predicted load, so the pooled worst/steady
+     residuals flag whichever shard diverges. *)
+  let telemetry =
+    let params = Shard.Deploy.residual_params setup in
+    let reports = Option.get (Shard.Deploy.telemetry_report setup outcome) in
+    Telemetry.Residual.summarize params
+      (List.concat_map
+         (fun r -> r.Shard.Shard_telemetry.sr_evals)
+         (Array.to_list reports))
+  in
+  let report =
+    Trace.Checker.check
+      ~servers:(Shard.Deploy.server_hosts setup)
+      ~owner:(fun f ->
+        Shard.Shard_map.owner outcome.Shard.Deploy.map (Vstore.File_id.of_int f))
+      (Trace.Sink.buffer_contents buf)
+  in
+  conclude ~schedule ~m:outcome.Shard.Deploy.metrics ~report ~oracle:outcome.Shard.Deploy.oracle
+    ~telemetry
+
+let run schedule =
+  if schedule.Schedule.n_shards > 1 then run_sharded schedule else run_single schedule
 
 let to_json o =
   Trace.Json.Obj

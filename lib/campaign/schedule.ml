@@ -5,6 +5,7 @@ type t = {
   sim_seed : int64;
   workload : workload;
   n_clients : int;
+  n_shards : int;
   duration_s : float;
   term_s : float;
   loss : float;
@@ -34,14 +35,31 @@ let setup ?(tracer = Trace.Sink.null) s =
   in
   { base with Leases.Sim.seed = s.sim_seed; loss = s.loss; faults = s.faults; tracer }
 
+let deploy_setup ?(tracer = Trace.Sink.null) s =
+  let base =
+    Experiments.Runner.lease_setup ~n_clients:s.n_clients
+      ~term:(Analytic.Model.Finite s.term_s) ()
+  in
+  {
+    Shard.Deploy.default_setup with
+    Shard.Deploy.seed = s.sim_seed;
+    n_clients = s.n_clients;
+    n_shards = s.n_shards;
+    config = base.Leases.Sim.config;
+    loss = s.loss;
+    faults = s.faults;
+    tracer;
+  }
+
 let num v = Printf.sprintf "%.12g" v
 
 let to_command s =
   let faults =
     List.map (fun f -> Printf.sprintf " --fault '%s'" (Leases.Sim.fault_to_spec f)) s.faults
   in
-  Printf.sprintf "leases-sim -p leases -t %s -n %d -d %s -s %Ld -w %s --loss %s%s" (num s.term_s)
-    s.n_clients (num s.duration_s) s.sim_seed (workload_name s.workload) (num s.loss)
+  let shards = if s.n_shards > 1 then Printf.sprintf " --shards %d" s.n_shards else "" in
+  Printf.sprintf "leases-sim -p leases -t %s -n %d -d %s -s %Ld -w %s --loss %s%s%s" (num s.term_s)
+    s.n_clients (num s.duration_s) s.sim_seed (workload_name s.workload) (num s.loss) shards
     (String.concat "" faults)
 
 let to_json s =
@@ -51,6 +69,7 @@ let to_json s =
       ("sim_seed", Trace.Json.Str (Int64.to_string s.sim_seed));
       ("workload", Trace.Json.Str (workload_name s.workload));
       ("clients", Trace.Json.Num (float_of_int s.n_clients));
+      ("shards", Trace.Json.Num (float_of_int s.n_shards));
       ("duration_s", Trace.Json.Num s.duration_s);
       ("term_s", Trace.Json.Num s.term_s);
       ("loss", Trace.Json.Num s.loss);

@@ -9,6 +9,9 @@ type t = {
   sim_seed : int64;  (** drives both the workload generator and the network *)
   workload : workload;
   n_clients : int;
+  n_shards : int;
+      (** 1 = the single-server harness ({!setup}); > 1 = the sharded
+          deployment ({!deploy_setup}) *)
   duration_s : float;  (** virtual seconds of workload *)
   term_s : float;
   loss : float;  (** per-delivery drop probability *)
@@ -24,11 +27,16 @@ val trace : t -> Workload.Trace.t
 
 val setup : ?tracer:Trace.Sink.t -> t -> Leases.Sim.setup
 (** The simulation setup (V LAN message times, the schedule's seed, loss
-    and faults). *)
+    and faults).  Only meaningful when [n_shards = 1]. *)
+
+val deploy_setup : ?tracer:Trace.Sink.t -> t -> Shard.Deploy.setup
+(** The sharded deployment setup for the same schedule: same seed, config,
+    loss and faults, with the namespace split across [n_shards] servers. *)
 
 val to_command : t -> string
 (** A [leases-sim] invocation reproducing this schedule exactly:
-    [-p leases -t TERM -n N -d DUR -s SEED -w KIND --loss P --fault ...]. *)
+    [-p leases -t TERM -n N -d DUR -s SEED -w KIND --loss P [--shards N]
+    --fault ...]. *)
 
 val to_json : t -> Trace.Json.t
 (** Stable field order; faults in {!Leases.Sim.fault_to_spec} form. *)

@@ -27,6 +27,13 @@ let fault_candidates fault =
         round at (fun at -> Sim.Crash_server { at; duration });
         halve duration (fun duration -> Sim.Crash_server { at; duration });
       ]
+    | Sim.Crash_shard { shard; at; duration } ->
+      [
+        (* A sharded crash that reproduces as a plain server crash is the
+           simpler repro only when one server exists; keep the shard. *)
+        round at (fun at -> Sim.Crash_shard { shard; at; duration });
+        halve duration (fun duration -> Sim.Crash_shard { shard; at; duration });
+      ]
     | Sim.Partition_clients { clients; at; duration } ->
       (match clients with
       | _ :: (_ :: _ as rest) ->

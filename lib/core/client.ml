@@ -26,6 +26,8 @@ type rpc = {
   started : Time.t;  (** engine time *)
   kind : rpc_kind;
   message : Messages.payload;  (** retransmitted verbatim *)
+  dst : Host_id.t;  (** the server this RPC targets (fixed for its lifetime) *)
+  mutable tries : int;  (** retransmissions so far; drives the backoff *)
   mutable timer : Engine.handle option;
 }
 
@@ -40,6 +42,10 @@ type t = {
   net : Messages.payload Netsim.Net.t;
   host : Host_id.t;
   server : Host_id.t;
+  route : File_id.t -> Host_id.t;
+      (** file -> owning server host; constant [server] outside sharded
+          deployments *)
+  rng : Prng.Splitmix.t option;  (** retransmission jitter; [None] = no jitter *)
   config : Config.t;
   counters : Stats.Counter.Registry.t;
   tracer : Trace.Sink.t;
@@ -50,7 +56,8 @@ type t = {
   rpcs : (Messages.req_id, rpc) Hashtbl.t;
   busy : (File_id.t, unit) Hashtbl.t;  (** files with a primary RPC in flight *)
   op_queue : (File_id.t, queued_op Queue.t) Hashtbl.t;
-  mutable renewal_in_flight : bool;
+  renewals_in_flight : (Host_id.t, unit) Hashtbl.t;
+      (** servers with an anticipatory extension outstanding *)
   mutable next_req : int;
   mutable up : bool;
 }
@@ -92,19 +99,34 @@ let queued_ops t = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.op_queue
 (* ------------------------------------------------------------------ *)
 (* RPC plumbing                                                        *)
 
-let send_to_server t payload = Netsim.Net.send t.net ~src:t.host ~dst:t.server payload
+let send_to t ~dst payload = Netsim.Net.send t.net ~src:t.host ~dst payload
+
+(* Exponential backoff with jitter.  The k-th retransmission waits
+   [retry_interval * 2^k] capped at [retry_max_interval]; when the client
+   has a PRNG the wait is scaled by a uniform factor in [0.5, 1.5), so that
+   clients whose RPCs all failed at the same instant (a server crash) do
+   not retry in lockstep forever — the recovering server sees the herd
+   spread over the backoff window instead of in one burst. *)
+let retry_delay t rpc =
+  let doublings = min rpc.tries 20 in
+  let base = Time.Span.scale (Float.of_int (1 lsl doublings)) t.config.retry_interval in
+  let capped = Time.Span.min base t.config.retry_max_interval in
+  match t.rng with
+  | Some rng -> Time.Span.scale (0.5 +. Prng.Splitmix.float rng) capped
+  | None -> capped
 
 let rec arm_retry t rpc =
   let fire () =
     if t.up && Hashtbl.mem t.rpcs rpc.req then begin
       bump t "retransmissions";
-      send_to_server t rpc.message;
+      rpc.tries <- rpc.tries + 1;
+      send_to t ~dst:rpc.dst rpc.message;
       arm_retry t rpc
     end
   in
-  rpc.timer <- Some (Engine.schedule_after t.engine t.config.retry_interval fire)
+  rpc.timer <- Some (Engine.schedule_after t.engine (retry_delay t rpc) fire)
 
-let start_rpc t kind message =
+let start_rpc t ~dst kind message =
   let req =
     match message with
     | Messages.Read_request { req; _ } | Messages.Extend_request { req; _ }
@@ -114,9 +136,9 @@ let start_rpc t kind message =
     | Messages.Approval_request _ | Messages.Approval_reply _ | Messages.Installed_refresh _ ->
       invalid_arg "Client.start_rpc: not a request"
   in
-  let rpc = { req; started = Engine.now t.engine; kind; message; timer = None } in
+  let rpc = { req; started = Engine.now t.engine; kind; message; dst; tries = 0; timer = None } in
   Hashtbl.replace t.rpcs req rpc;
-  send_to_server t message;
+  send_to t ~dst message;
   arm_retry t rpc
 
 let finish_rpc t rpc =
@@ -174,18 +196,34 @@ let cached_files t =
     t.files_sorted <- Some files;
     files
 
-(* Renew every held lease in one batched extension with no waiting read —
-   the anticipatory option of Section 4.  One renewal covers every cached
-   file, so when many per-entry timers fire at the same instant only the
-   first sends; the reply re-arms them all. *)
+(* Renew every held lease in one batched extension per owning server with
+   no waiting read — the anticipatory option of Section 4.  One renewal
+   covers every cached file routed to that server, so when many per-entry
+   timers fire at the same instant only the first sends; the reply re-arms
+   them all.  The in-flight guard is per server: a slow shard must not
+   starve renewals toward the others. *)
 let rec send_renewal t =
-  if t.up && not t.renewal_in_flight then begin
-    let files = cached_files t in
-    if files <> [] then begin
-      bump t "renewals-sent";
-      t.renewal_in_flight <- true;
-      start_rpc t Rpc_renewal (Messages.Extend_request { req = fresh_req t; files })
-    end
+  if t.up then begin
+    let groups = Hashtbl.create 4 in
+    let order = ref [] in
+    List.iter
+      (fun file ->
+        let dst = t.route file in
+        match Hashtbl.find_opt groups dst with
+        | Some files -> Hashtbl.replace groups dst (file :: files)
+        | None ->
+          order := dst :: !order;
+          Hashtbl.replace groups dst [ file ])
+      (cached_files t);
+    List.iter
+      (fun dst ->
+        if not (Hashtbl.mem t.renewals_in_flight dst) then begin
+          bump t "renewals-sent";
+          Hashtbl.replace t.renewals_in_flight dst ();
+          let files = List.rev (Hashtbl.find groups dst) in
+          start_rpc t ~dst Rpc_renewal (Messages.Extend_request { req = fresh_req t; files })
+        end)
+      (List.rev !order)
   end
 
 and arm_renewal t file entry =
@@ -201,6 +239,15 @@ and arm_renewal t file entry =
   | Some _, Lease.Never | None, _ -> ()
 
 let apply_grant t (line : Messages.grant_line) =
+  match line.g_lease, Hashtbl.find_opt t.cache line.g_file with
+  | None, None ->
+    (* The server answered but granted nothing (zero term, or a write in
+       flight on the file) and we hold no copy.  There is nothing to serve
+       and nothing to protect: inserting the entry anyway would book a
+       never-leased probe as a cached file, permanently inflating
+       [cache_size] and the telemetry occupancy series. *)
+    ()
+  | _, _ ->
   let entry = entry_for t line.g_file in
   (* Guard against resurrecting state that predates a write we already know
      about: server versions are monotone, so a grant carrying an older
@@ -272,17 +319,24 @@ let rec read t file ~k =
         emit t
           (Trace.Event.Cache_miss { host = Host_id.to_int t.host; file = File_id.to_int file });
       Hashtbl.replace t.busy file ();
+      let dst = t.route file in
       let req = fresh_req t in
       let message =
         if t.config.batch_extensions then begin
-          let others = List.filter (fun f -> not (File_id.equal f file)) (cached_files t) in
+          (* Piggyback renewals only for files the same server owns: a
+             batched extension is one RPC to one host. *)
+          let others =
+            List.filter
+              (fun f -> (not (File_id.equal f file)) && Host_id.equal (t.route f) dst)
+              (cached_files t)
+          in
           match others with
           | [] -> Messages.Read_request { req; file }
           | _ -> Messages.Extend_request { req; files = file :: others }
         end
         else Messages.Read_request { req; file }
       in
-      start_rpc t (Rpc_read { file; k }) message
+      start_rpc t ~dst (Rpc_read { file; k }) message
   end
 
 and write t file ~k =
@@ -296,7 +350,7 @@ and write t file ~k =
     invalidate t file;
     Hashtbl.replace t.busy file ();
     let req = fresh_req t in
-    start_rpc t (Rpc_write { file; k }) (Messages.Write_request { req; file })
+    start_rpc t ~dst:(t.route file) (Rpc_write { file; k }) (Messages.Write_request { req; file })
   end
 
 (* The in-flight operation on [file] finished: unblock the queue.  Queued
@@ -343,9 +397,10 @@ let complete_read t rpc (granted : Messages.grant_line list) =
          protocol staleness — so re-issue the read instead.  The file stays
          busy, so queued operations keep their order. *)
       bump t "fallback-reads";
-      start_rpc t (Rpc_read { file; k }) (Messages.Read_request { req = fresh_req t; file }))
+      start_rpc t ~dst:rpc.dst (Rpc_read { file; k })
+        (Messages.Read_request { req = fresh_req t; file }))
   | Rpc_renewal ->
-    t.renewal_in_flight <- false;
+    Hashtbl.remove t.renewals_in_flight rpc.dst;
     finish_rpc t rpc
   | Rpc_write _ -> ()
 
@@ -378,7 +433,9 @@ let handle_message t (envelope : Messages.payload Netsim.Net.envelope) =
     | Messages.Approval_request { write; file } ->
       bump t "approvals-answered";
       invalidate t file;
-      send_to_server t (Messages.Approval_reply { write; file })
+      (* Reply to whichever server asked — under sharding that is the
+         file's owner, not necessarily our default server. *)
+      send_to t ~dst:envelope.src (Messages.Approval_reply { write; file })
     | Messages.Installed_refresh { covered; term } ->
       let now = local_now t in
       List.iter
@@ -417,12 +474,14 @@ let on_crash t =
   Hashtbl.reset t.rpcs;
   Hashtbl.reset t.busy;
   Hashtbl.reset t.op_queue;
-  t.renewal_in_flight <- false
+  Hashtbl.reset t.renewals_in_flight
 
 let on_recover t = t.up <- true
 
-let create ~engine ~clock ~net ~liveness ~host ~server ~config ?(tracer = Trace.Sink.null) () =
+let create ~engine ~clock ~net ~liveness ~host ~server ?route ?rng ~config
+    ?(tracer = Trace.Sink.null) () =
   Config.validate config;
+  let route = match route with Some r -> r | None -> fun _ -> server in
   let t =
     {
       engine;
@@ -430,6 +489,8 @@ let create ~engine ~clock ~net ~liveness ~host ~server ~config ?(tracer = Trace.
       net;
       host;
       server;
+      route;
+      rng;
       config;
       counters = Stats.Counter.Registry.create ();
       tracer;
@@ -438,7 +499,7 @@ let create ~engine ~clock ~net ~liveness ~host ~server ~config ?(tracer = Trace.
       rpcs = Hashtbl.create 32;
       busy = Hashtbl.create 16;
       op_queue = Hashtbl.create 16;
-      renewal_in_flight = false;
+      renewals_in_flight = Hashtbl.create 4;
       next_req = 0;
       up = true;
     }

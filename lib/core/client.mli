@@ -20,12 +20,21 @@ val create :
   liveness:Host.Liveness.t ->
   host:Host.Host_id.t ->
   server:Host.Host_id.t ->
+  ?route:(Vstore.File_id.t -> Host.Host_id.t) ->
+  ?rng:Prng.Splitmix.t ->
   config:Config.t ->
   ?tracer:Trace.Sink.t ->
   unit ->
   t
-(** [tracer] receives the client-side protocol events (cache hits, misses
-    and invalidations, local lease records); disabled by default. *)
+(** [route] maps each file to the host of the server that owns it
+    (default: the constant [server]); every RPC, approval reply and
+    batched extension targets the owning server, with retry and renewal
+    state kept per server.  [rng] jitters the exponential retransmission
+    backoff (each retry waits [retry_interval * 2^k] capped at
+    [retry_max_interval], scaled by a uniform factor in [0.5, 1.5));
+    without it the backoff is deterministic and unjittered.  [tracer]
+    receives the client-side protocol events (cache hits, misses and
+    invalidations, local lease records); disabled by default. *)
 
 val host : t -> Host.Host_id.t
 val clock : t -> Clock.t

@@ -17,8 +17,12 @@ type t = {
       [m_prop + 2*m_proc] *)
   skew_allowance : Simtime.Time.Span.t;  (** the paper's epsilon *)
   retry_interval : Simtime.Time.Span.t;
-  (** client RPC retransmission interval; also the server's re-multicast
-      interval for unanswered approval requests *)
+  (** base client RPC retransmission interval; also the server's
+      re-multicast interval for unanswered approval requests *)
+  retry_max_interval : Simtime.Time.Span.t;
+  (** cap on the client's exponential retransmission backoff: the k-th
+      retry of an RPC waits [min (retry_interval * 2^k) retry_max_interval],
+      jittered by the client's PRNG so post-crash retry storms de-correlate *)
   batch_extensions : bool;
   (** on a miss, piggyback renewal of every other held lease *)
   anticipatory_renewal : Simtime.Time.Span.t option;

@@ -4,6 +4,9 @@ module Host_id = Host.Host_id
 type fault =
   | Crash_client of { client : int; at : Time.t; duration : Time.Span.t }
   | Crash_server of { at : Time.t; duration : Time.Span.t }
+  | Crash_shard of { shard : int; at : Time.t; duration : Time.Span.t }
+      (** crash the server owning shard [shard]; in a single-server
+          deployment this is the one server regardless of index *)
   | Partition_clients of { clients : int list; at : Time.t; duration : Time.Span.t }
   | Client_drift of { client : int; at : Time.t; drift : float }
   | Server_drift of { at : Time.t; drift : float }
@@ -27,6 +30,10 @@ let fault_to_spec = function
       (spec_num (Time.Span.to_sec duration))
   | Crash_server { at; duration } ->
     Printf.sprintf "crash-server=%s,%s" (spec_num (Time.to_sec at))
+      (spec_num (Time.Span.to_sec duration))
+  | Crash_shard { shard; at; duration } ->
+    Printf.sprintf "crash-shard=%d,%s,%s" shard
+      (spec_num (Time.to_sec at))
       (spec_num (Time.Span.to_sec duration))
   | Partition_clients { clients; at; duration } ->
     Printf.sprintf "partition=%s,%s,%s"
@@ -52,8 +59,8 @@ let fault_of_spec spec =
     Error
       (Printf.sprintf
          "bad fault spec %S: expected crash-client=CLIENT,AT,DUR | crash-server=AT,DUR | \
-          partition=C1+C2+...,AT,DUR | client-drift=CLIENT,AT,RATE | server-drift=AT,RATE | \
-          client-step=CLIENT,AT,SEC | server-step=AT,SEC"
+          crash-shard=SHARD,AT,DUR | partition=C1+C2+...,AT,DUR | client-drift=CLIENT,AT,RATE | \
+          server-drift=AT,RATE | client-step=CLIENT,AT,SEC | server-step=AT,SEC"
          spec)
   in
   let exception Bad in
@@ -74,6 +81,8 @@ let fault_of_spec spec =
         Ok (Crash_client { client = int_ c; at = sec (num at); duration = span (num dur) })
       | "crash-server", [ at; dur ] ->
         Ok (Crash_server { at = sec (num at); duration = span (num dur) })
+      | "crash-shard", [ s; at; dur ] ->
+        Ok (Crash_shard { shard = int_ s; at = sec (num at); duration = span (num dur) })
       | "partition", [ cs; at; dur ] ->
         Ok
           (Partition_clients
@@ -153,7 +162,10 @@ let schedule_faults engine liveness partition server_clock client_clocks tracer 
                    note (fun () ->
                        Trace.Event.Recover { host = Host_id.to_int (client_host client) });
                    Host.Liveness.recover liveness (client_host client))))
-      | Crash_server { at; duration } ->
+      | Crash_server { at; duration } | Crash_shard { at; duration; _ } ->
+        (* Single-server harness: whatever the shard index names, the one
+           server here owns it.  [Shard.Deploy] installs its own scheduler
+           that resolves the index to the owning host. *)
         at_time at (fun () ->
             note (fun () -> Trace.Event.Crash { host = Host_id.to_int server_host });
             Host.Liveness.crash liveness server_host;
@@ -213,9 +225,12 @@ let run setup ~trace =
       ~clients:clients_hosts ~store ~config:setup.config ~tracer:setup.tracer ()
   in
   let clients =
+    (* Split after the net's draw so adding per-client jitter streams never
+       perturbs the loss stream of existing seeds. *)
     Array.init setup.n_clients (fun i ->
         Client.create ~engine ~clock:client_clocks.(i) ~net ~liveness ~host:(client_host i)
-          ~server:server_host ~config:setup.config ~tracer:setup.tracer ())
+          ~server:server_host ~rng:(Prng.Splitmix.split rng) ~config:setup.config
+          ~tracer:setup.tracer ())
   in
   let oracle = Oracle.Register_oracle.create ~store in
   schedule_faults engine liveness partition server_clock client_clocks setup.tracer setup.faults;

@@ -10,6 +10,10 @@
 type fault =
   | Crash_client of { client : int; at : Simtime.Time.t; duration : Simtime.Time.Span.t }
   | Crash_server of { at : Simtime.Time.t; duration : Simtime.Time.Span.t }
+  | Crash_shard of { shard : int; at : Simtime.Time.t; duration : Simtime.Time.Span.t }
+      (** crash the server owning the given shard.  The single-server
+          harnesses treat this as {!Crash_server} whatever the index;
+          [Shard.Deploy] resolves the index to the owning host. *)
   | Partition_clients of { clients : int list; at : Simtime.Time.t; duration : Simtime.Time.Span.t }
       (** cut the listed clients off from the rest (server included) *)
   | Client_drift of { client : int; at : Simtime.Time.t; drift : float }

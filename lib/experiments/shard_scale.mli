@@ -1,0 +1,43 @@
+(** Scale experiment: per-server consistency load across a client-count x
+    shard-count grid.
+
+    The main grid runs a short lease term where §3.1's extension
+    amortization is negligible (r·t_C << 1): there, partitioning the
+    namespace across K servers drops each server's consistency-message
+    rate to ~1/K of the single-server rate at the same client count.  A
+    contrast sweep at the paper's 10 s term shows the amortized regime,
+    where the model predicts — and the simulator measures — a higher
+    per-server floor of (1/K)·(1 + r·t_C)/(1 + r·t_C/K).  Every row also
+    reports the worst per-shard steady residual against the §3.1 model
+    and the oracle verdict. *)
+
+type row = {
+  clients : int;
+  shards : int;
+  total_per_s : float;  (** cluster-wide consistency messages per second *)
+  per_server_per_s : float;  (** mean over the shard servers *)
+  rel_per_server : float;
+      (** mean per-server rate over the same-client-count 1-shard rate *)
+  worst_steady_residual : float;
+      (** per-shard §3.1 steady residual of largest magnitude, signed *)
+  violations : int;
+}
+
+type result = {
+  term_s : float;  (** term of the main (unsaturated) grid *)
+  rows : row list;  (** client x shard grid at [term_s] *)
+  amortized_term_s : float;
+  rows_amortized : row list;  (** one client count at the paper's term *)
+  series : Stats.Series.t list;  (** per-server load vs shard count, one per client count *)
+  table : string;
+  table_amortized : string;
+  note : string;
+}
+
+val run :
+  ?duration:Simtime.Time.Span.t ->
+  ?client_counts:int list ->
+  ?shard_counts:int list ->
+  unit ->
+  result
+(** Defaults: 2000 s of workload, clients {6, 12, 24}, shards {1, 2, 4, 8}. *)

@@ -66,7 +66,10 @@ let trace_point t ~src ~dst payload make =
          ~msg:(t.describe payload))
 
 (* One delivery attempt toward [dst]; transit time is sender processing +
-   propagation + receiver processing. *)
+   propagation + receiver processing.  Every failure mode — loss included —
+   is decided when the message would physically arrive, so drop traces
+   carry the drop instant, not the send instant, and stream order matches
+   physical order. *)
 let deliver_one t ~src ~dst payload =
   t.attempts <- t.attempts + 1;
   trace_point t ~src ~dst payload (fun ~src ~dst ~msg -> Trace.Event.Net_send { src; dst; msg });
@@ -74,7 +77,12 @@ let deliver_one t ~src ~dst payload =
     Time.Span.add t.proc_delay (Time.Span.add (delay_between t ~src ~dst) t.proc_delay)
   in
   let attempt () =
-    if not (Host.Liveness.is_up t.liveness dst) then begin
+    if lost t then begin
+      t.dropped_loss <- t.dropped_loss + 1;
+      trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
+          Trace.Event.Net_drop { src; dst; msg; cause = Trace.Event.Loss })
+    end
+    else if not (Host.Liveness.is_up t.liveness dst) then begin
       t.dropped_down <- t.dropped_down + 1;
       trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
           Trace.Event.Net_drop { src; dst; msg; cause = Trace.Event.Down })
@@ -97,12 +105,7 @@ let deliver_one t ~src ~dst payload =
         handler { src; dst; payload }
     end
   in
-  if lost t then begin
-    t.dropped_loss <- t.dropped_loss + 1;
-    trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
-        Trace.Event.Net_drop { src; dst; msg; cause = Trace.Event.Loss })
-  end
-  else ignore (Engine.schedule_after t.engine transit attempt)
+  ignore (Engine.schedule_after t.engine transit attempt)
 
 (* A crashed sender's packets die on its own interface: one [dropped_down]
    per destination, the same unit as every delivery-time drop, so
@@ -138,10 +141,15 @@ let dropped_loss t = t.dropped_loss
 let dropped_partition t = t.dropped_partition
 let dropped_down t = t.dropped_down
 
-let unicast_rtt t =
+let unicast_rtt ?src ?dst t =
   let ( + ) = Time.Span.add in
   let twice s = Time.Span.scale 2. s in
-  twice t.prop_delay + twice (twice t.proc_delay)
+  let propagation =
+    match src, dst with
+    | Some src, Some dst -> delay_between t ~src ~dst + delay_between t ~src:dst ~dst:src
+    | Some _, None | None, Some _ | None, None -> twice t.prop_delay
+  in
+  propagation + twice (twice t.proc_delay)
 
 let prop_delay t = t.prop_delay
 let proc_delay t = t.proc_delay

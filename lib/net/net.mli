@@ -13,10 +13,11 @@
 
     Failure semantics: a message is silently dropped when it is lost (with
     probability [loss]), when sender and recipient are in different
-    partition groups, or when either end is crashed.  Liveness and
-    partition are evaluated at {e delivery} time for the recipient (a host
-    that crashes while a message is in flight never sees it) and at send
-    time for the sender. *)
+    partition groups, or when either end is crashed.  Loss, liveness and
+    partition are all evaluated at {e delivery} time (a host that crashes
+    while a message is in flight never sees it, and a loss-drop trace
+    carries the instant the message would have arrived); only the sender's
+    own liveness is checked at send time. *)
 
 type 'a envelope = { src : Host.Host_id.t; dst : Host.Host_id.t; payload : 'a }
 
@@ -69,9 +70,12 @@ val dropped_down : 'a t -> int
 (** Deliveries suppressed because an endpoint was crashed, counted per
     destination (a crashed multicast sender counts once per destination). *)
 
-val unicast_rtt : 'a t -> Simtime.Time.Span.t
-(** The request/response round trip [2*m_prop + 4*m_proc] under the default
-    link delay — the quantity the analytic model calls the RPC time. *)
+val unicast_rtt : ?src:Host.Host_id.t -> ?dst:Host.Host_id.t -> 'a t -> Simtime.Time.Span.t
+(** The request/response round trip — the quantity the analytic model calls
+    the RPC time.  With both [src] and [dst] the configured [link_delay]
+    (when any) is consulted in each direction, so heterogeneous-link
+    topologies report the real per-pair RTT; without them the uniform
+    [2*m_prop + 4*m_proc] figure is returned. *)
 
 val prop_delay : 'a t -> Simtime.Time.Span.t
 val proc_delay : 'a t -> Simtime.Time.Span.t

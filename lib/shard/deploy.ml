@@ -1,0 +1,335 @@
+open Simtime
+module Host_id = Host.Host_id
+
+type setup = {
+  seed : int64;
+  n_clients : int;
+  n_shards : int;
+  vnodes : int;
+  config : Leases.Config.t;
+  m_prop : Time.Span.t;
+  m_proc : Time.Span.t;
+  loss : float;
+  faults : Leases.Sim.fault list;
+  drain : Time.Span.t;
+  tracer : Trace.Sink.t;
+  telemetry_interval_s : float option;
+}
+
+let default_setup =
+  {
+    seed = 1L;
+    n_clients = 1;
+    n_shards = 4;
+    vnodes = 64;
+    config = Leases.Config.default;
+    m_prop = Time.Span.of_ms 0.5;
+    m_proc = Time.Span.of_ms 1.;
+    loss = 0.;
+    faults = [];
+    drain = Time.Span.of_sec 120.;
+    tracer = Trace.Sink.null;
+    telemetry_interval_s = None;
+  }
+
+(* Host layout: shard s's server is host s; client i is host n_shards + i. *)
+let server_host s = Host_id.of_int s
+let client_host setup i = Host_id.of_int (setup.n_shards + i)
+let server_hosts setup = List.init setup.n_shards (fun s -> Host_id.to_int (server_host s))
+
+type shard_load = {
+  sl_shard : int;
+  sl_host : int;
+  sl_extension_msgs : int;
+  sl_approval_msgs : int;
+  sl_installed_msgs : int;
+  sl_consistency_msgs : int;
+  sl_total_msgs : int;
+  sl_commits : int;
+  sl_consistency_rate : float;  (** consistency messages per virtual second *)
+}
+
+type outcome = {
+  metrics : Leases.Metrics.t;
+  per_shard : shard_load array;
+  map : Shard_map.t;
+  oracle : Oracle.Register_oracle.t;
+  store : Vstore.Store.t;
+  telemetry : Shard_telemetry.t option;
+}
+
+(* A shard server multicasts installed-file refreshes only for the files
+   it owns; splitting the configured population keeps the global refresh
+   traffic identical to the single-server deployment. *)
+let config_for_shard setup map s =
+  match setup.config.Leases.Config.installed with
+  | None -> setup.config
+  | Some inst ->
+    let files = List.filter (fun f -> Shard_map.owner map f = s) inst.Leases.Config.files in
+    {
+      setup.config with
+      Leases.Config.installed =
+        (if files = [] then None else Some { inst with Leases.Config.files });
+    }
+
+(* Mirror of [Leases.Sim.schedule_faults] for the sharded host layout.
+   [Crash_shard] resolves the shard index to the owning server host;
+   a plain [Crash_server] (and the server clock faults) hit shard 0, so
+   single-server campaign schedules replay meaningfully on a sharded
+   cluster. *)
+let schedule_faults setup engine liveness partition server_clocks client_clocks tracer faults =
+  let at_time at f = ignore (Engine.schedule_at engine at f) in
+  let note ev =
+    if Trace.Sink.enabled tracer then
+      Trace.Sink.emit tracer (Time.to_sec (Engine.now engine)) (ev ())
+  in
+  let crash_host host at duration =
+    at_time at (fun () ->
+        note (fun () -> Trace.Event.Crash { host = Host_id.to_int host });
+        Host.Liveness.crash liveness host;
+        ignore
+          (Engine.schedule_after engine duration (fun () ->
+               note (fun () -> Trace.Event.Recover { host = Host_id.to_int host });
+               Host.Liveness.recover liveness host)))
+  in
+  List.iter
+    (fun fault ->
+      match fault with
+      | Leases.Sim.Crash_client { client; at; duration } ->
+        crash_host (client_host setup client) at duration
+      | Leases.Sim.Crash_server { at; duration } -> crash_host (server_host 0) at duration
+      | Leases.Sim.Crash_shard { shard; at; duration } ->
+        crash_host (server_host (shard mod setup.n_shards)) at duration
+      | Leases.Sim.Partition_clients { clients; at; duration } ->
+        at_time at (fun () ->
+            Netsim.Partition.isolate partition (List.map (client_host setup) clients);
+            ignore
+              (Engine.schedule_after engine duration (fun () -> Netsim.Partition.heal partition)))
+      | Leases.Sim.Client_drift { client; at; drift } ->
+        at_time at (fun () ->
+            note (fun () ->
+                Trace.Event.Clock_drift { host = Host_id.to_int (client_host setup client); drift });
+            Clock.set_drift client_clocks.(client) drift)
+      | Leases.Sim.Server_drift { at; drift } ->
+        at_time at (fun () ->
+            note (fun () ->
+                Trace.Event.Clock_drift { host = Host_id.to_int (server_host 0); drift });
+            Clock.set_drift server_clocks.(0) drift)
+      | Leases.Sim.Client_step { client; at; step } ->
+        at_time at (fun () ->
+            note (fun () ->
+                Trace.Event.Clock_step
+                  {
+                    host = Host_id.to_int (client_host setup client);
+                    step_s = Time.Span.to_sec step;
+                  });
+            Clock.step client_clocks.(client) step)
+      | Leases.Sim.Server_step { at; step } ->
+        at_time at (fun () ->
+            note (fun () ->
+                Trace.Event.Clock_step
+                  { host = Host_id.to_int (server_host 0); step_s = Time.Span.to_sec step });
+            Clock.step server_clocks.(0) step))
+    faults
+
+let run setup ~trace =
+  if setup.n_clients < 1 then invalid_arg "Deploy.run: need at least one client";
+  if setup.n_shards < 1 then invalid_arg "Deploy.run: need at least one shard";
+  let engine = Engine.create () in
+  Engine.set_tracer engine setup.tracer;
+  let liveness = Host.Liveness.create () in
+  let partition = Netsim.Partition.create () in
+  let rng = Prng.Splitmix.create ~seed:setup.seed in
+  let net =
+    Netsim.Net.create engine ~liveness ~partition ~rng:(Prng.Splitmix.split rng) ~loss:setup.loss
+      ~tracer:setup.tracer ~describe:Leases.Messages.kind_name ~prop_delay:setup.m_prop
+      ~proc_delay:setup.m_proc ()
+  in
+  let map = Shard_map.create ~vnodes:setup.vnodes ~seed:setup.seed ~shards:setup.n_shards () in
+  let server_clocks = Array.init setup.n_shards (fun _ -> Clock.create engine ()) in
+  let client_clocks = Array.init setup.n_clients (fun _ -> Clock.create engine ()) in
+  let store = Vstore.Store.create () in
+  let client_hosts = List.init setup.n_clients (client_host setup) in
+  (* One shared store, disjoint ownership: each server only ever grants and
+     commits the files the map routes to it, and each keeps its own WAL so
+     the max-term recovery wait is per shard. *)
+  let servers =
+    Array.init setup.n_shards (fun s ->
+        Leases.Server.create ~engine ~clock:server_clocks.(s) ~net ~liveness
+          ~host:(server_host s) ~clients:client_hosts ~store
+          ~config:(config_for_shard setup map s) ~tracer:setup.tracer ())
+  in
+  let route file = server_host (Shard_map.owner map file) in
+  let clients =
+    Array.init setup.n_clients (fun i ->
+        Leases.Client.create ~engine ~clock:client_clocks.(i) ~net ~liveness
+          ~host:(client_host setup i) ~server:(server_host 0) ~route
+          ~rng:(Prng.Splitmix.split rng) ~config:setup.config ~tracer:setup.tracer ())
+  in
+  let oracle = Oracle.Register_oracle.create ~store in
+  let telemetry =
+    Option.map
+      (fun interval_s -> Shard_telemetry.create ~interval_s ~n_shards:setup.n_shards ())
+      setup.telemetry_interval_s
+  in
+  Option.iter (fun c -> Shard_telemetry.attach c ~engine ~servers) telemetry;
+  schedule_faults setup engine liveness partition server_clocks client_clocks setup.tracer
+    setup.faults;
+
+  (* Drive the trace — identical semantics to [Leases.Sim.run], plus
+     per-shard attribution of every completion. *)
+  let read_latency = Stats.Histogram.create () in
+  let write_latency = Stats.Histogram.create () in
+  let ops_issued = ref 0 in
+  let completed = ref 0 in
+  let reads_completed = ref 0 in
+  let writes_completed = ref 0 in
+  let temp_ops = ref 0 in
+  List.iter
+    (fun (op : Workload.Op.t) ->
+      if op.client < 0 || op.client >= setup.n_clients then
+        invalid_arg "Deploy.run: trace uses a client index outside the cluster";
+      let issue () =
+        if op.temporary then incr temp_ops
+        else begin
+          incr ops_issued;
+          let client = clients.(op.client) in
+          match op.kind with
+          | Workload.Op.Read ->
+            let start = Engine.now engine in
+            Leases.Client.read client op.file ~k:(fun result ->
+                incr completed;
+                incr reads_completed;
+                let latency_s = Time.Span.to_sec result.Leases.Client.r_latency in
+                Stats.Histogram.add read_latency latency_s;
+                Option.iter
+                  (fun c ->
+                    Shard_telemetry.note_read c ~shard:(Shard_map.owner map op.file) ~latency_s
+                      ~hit:result.Leases.Client.r_from_cache)
+                  telemetry;
+                Oracle.Register_oracle.check_read oracle ~file:op.file
+                  ~version:result.Leases.Client.r_version ~start ~finish:(Engine.now engine))
+          | Workload.Op.Write ->
+            Leases.Client.write client op.file ~k:(fun result ->
+                incr completed;
+                incr writes_completed;
+                let latency_s = Time.Span.to_sec result.Leases.Client.w_latency in
+                Stats.Histogram.add write_latency latency_s;
+                Option.iter
+                  (fun c ->
+                    Shard_telemetry.note_write c ~shard:(Shard_map.owner map op.file) ~latency_s)
+                  telemetry)
+        end
+      in
+      ignore (Engine.schedule_at engine op.at issue))
+    (Workload.Trace.ops trace);
+
+  let horizon = Time.add Time.zero (Time.Span.add (Workload.Trace.duration trace) setup.drain) in
+  Engine.run ~until:horizon engine;
+  Trace.Sink.flush setup.tracer;
+  Option.iter Shard_telemetry.finalize telemetry;
+
+  (* Aggregate: client sums as in [Sim.run]; server-side counters summed
+     over the shard servers. *)
+  let client_sum f = Array.fold_left (fun acc c -> acc + f c) 0 clients in
+  let server_sum f = Array.fold_left (fun acc s -> acc + f s) 0 servers in
+  let hits = client_sum Leases.Client.hits in
+  let misses = client_sum Leases.Client.misses in
+  let sim_duration = Time.Span.to_sec (Time.Span.since_epoch (Engine.now engine)) in
+  let consistency = server_sum Leases.Server.consistency_messages in
+  let rtt = Time.Span.to_sec (Netsim.Net.unicast_rtt net) in
+  let mean_write_added = Float.max 0. (Stats.Histogram.mean write_latency -. rtt) in
+  let reads = Stats.Histogram.count read_latency in
+  let writes = Stats.Histogram.count write_latency in
+  let mean_op_delay =
+    if reads + writes = 0 then 0.
+    else
+      ((Stats.Histogram.mean read_latency *. float_of_int reads)
+      +. (mean_write_added *. float_of_int writes))
+      /. float_of_int (reads + writes)
+  in
+  let write_wait = Stats.Histogram.create () in
+  Array.iter (fun s -> Stats.Histogram.merge write_wait (Leases.Server.write_wait s)) servers;
+  let metrics =
+    {
+      Leases.Metrics.sim_duration;
+      ops_issued = !ops_issued;
+      reads_completed = !reads_completed;
+      writes_completed = !writes_completed;
+      temp_ops = !temp_ops;
+      dropped_ops = !ops_issued - !completed;
+      cache_hits = hits;
+      cache_misses = misses;
+      hit_ratio =
+        (if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses));
+      msgs_extension = server_sum (fun s -> Leases.Server.messages_handled s Leases.Messages.Extension);
+      msgs_approval = server_sum (fun s -> Leases.Server.messages_handled s Leases.Messages.Approval);
+      msgs_installed = server_sum (fun s -> Leases.Server.messages_handled s Leases.Messages.Installed);
+      msgs_write_transfer =
+        server_sum (fun s -> Leases.Server.messages_handled s Leases.Messages.Write_transfer);
+      consistency_msgs = consistency;
+      server_total_msgs = server_sum Leases.Server.messages_handled_total;
+      consistency_msg_rate =
+        (if sim_duration <= 0. then 0. else float_of_int consistency /. sim_duration);
+      callbacks_sent = server_sum Leases.Server.callbacks_sent;
+      commits = server_sum Leases.Server.commits;
+      wal_io = server_sum (fun s -> Vstore.Wal.io_records (Leases.Server.wal s));
+      read_latency;
+      write_latency;
+      write_wait;
+      mean_read_delay = Stats.Histogram.mean read_latency;
+      mean_write_delay_added = mean_write_added;
+      mean_op_delay;
+      retransmissions = client_sum Leases.Client.retransmissions;
+      renewals_sent = client_sum Leases.Client.renewals_sent;
+      approvals_answered = client_sum Leases.Client.approvals_answered;
+      net_sent = Netsim.Net.sent net;
+      net_dropped_loss = Netsim.Net.dropped_loss net;
+      net_dropped_partition = Netsim.Net.dropped_partition net;
+      net_dropped_down = Netsim.Net.dropped_down net;
+      oracle_reads = Oracle.Register_oracle.reads_checked oracle;
+      oracle_violations = Oracle.Register_oracle.violations oracle;
+      staleness = Oracle.Register_oracle.staleness oracle;
+    }
+  in
+  let per_shard =
+    Array.mapi
+      (fun s server ->
+        let extension = Leases.Server.messages_handled server Leases.Messages.Extension in
+        let approval = Leases.Server.messages_handled server Leases.Messages.Approval in
+        let installed = Leases.Server.messages_handled server Leases.Messages.Installed in
+        let shard_consistency = Leases.Server.consistency_messages server in
+        {
+          sl_shard = s;
+          sl_host = Host_id.to_int (server_host s);
+          sl_extension_msgs = extension;
+          sl_approval_msgs = approval;
+          sl_installed_msgs = installed;
+          sl_consistency_msgs = shard_consistency;
+          sl_total_msgs = Leases.Server.messages_handled_total server;
+          sl_commits = Leases.Server.commits server;
+          sl_consistency_rate =
+            (if sim_duration <= 0. then 0.
+             else float_of_int shard_consistency /. sim_duration);
+        })
+      servers
+  in
+  { metrics; per_shard; map; oracle; store; telemetry }
+
+let residual_params ?tolerance ?warmup_s setup =
+  let term =
+    match setup.config.Leases.Config.term_policy with
+    | Leases.Term_policy.Zero -> Analytic.Model.Finite 0.
+    | Leases.Term_policy.Fixed span -> Analytic.Model.Finite (Time.Span.to_sec span)
+    | Leases.Term_policy.Infinite -> Analytic.Model.Infinite
+    | Leases.Term_policy.Adaptive a -> Analytic.Model.Finite (Time.Span.to_sec a.Leases.Term_policy.max_term)
+  in
+  Telemetry.Residual.make_params ?tolerance ?warmup_s ~n_clients:setup.n_clients
+    ~m_prop_s:(Time.Span.to_sec setup.m_prop) ~m_proc_s:(Time.Span.to_sec setup.m_proc)
+    ~epsilon_s:(Time.Span.to_sec setup.config.Leases.Config.skew_allowance)
+    ~term ()
+
+let telemetry_report setup outcome =
+  Option.map
+    (fun collector -> Shard_telemetry.report collector ~params:(residual_params setup))
+    outcome.telemetry

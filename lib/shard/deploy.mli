@@ -1,0 +1,84 @@
+(** Sharded multi-server deployment.
+
+    Partitions the file namespace across N independent lease servers with
+    a {!Shard_map} and runs a full cluster: shard [s]'s server is host
+    [s], client [i] is host [n_shards + i], and every client routes each
+    operation to the owning server through [Leases.Client]'s [route]
+    hook — per-server retry state, per-server renewal batching, approval
+    replies to whichever server asked.  The servers share one versioned
+    store (their file sets are disjoint) but keep independent WALs, lease
+    tables and clocks, so a crashed shard runs the max-term recovery wait
+    on its own while the others keep serving.
+
+    Fault vocabulary: [Leases.Sim.Crash_shard] crashes the owning server
+    of the given shard (index taken modulo the shard count); a plain
+    [Crash_server] and the server clock faults target shard 0, so
+    single-server fault schedules replay on a sharded cluster.  The
+    consistency oracle observes the shared store exactly as in the
+    single-server harness. *)
+
+type setup = {
+  seed : int64;
+  n_clients : int;
+  n_shards : int;
+  vnodes : int;  (** virtual nodes per shard in the {!Shard_map} ring *)
+  config : Leases.Config.t;
+  m_prop : Simtime.Time.Span.t;
+  m_proc : Simtime.Time.Span.t;
+  loss : float;
+  faults : Leases.Sim.fault list;
+  drain : Simtime.Time.Span.t;
+  tracer : Trace.Sink.t;
+  telemetry_interval_s : float option;
+      (** when set, collect per-shard {!Shard_telemetry} windows at this
+          interval *)
+}
+
+val default_setup : setup
+(** Seed 1, one client, four shards, 64 vnodes, {!Leases.Config.default},
+    V LAN message times, no loss, no faults, 120 s drain, no tracing, no
+    telemetry. *)
+
+val server_host : int -> Host.Host_id.t
+(** Shard [s]'s server is host [s]. *)
+
+val client_host : setup -> int -> Host.Host_id.t
+(** Client [i] is host [n_shards + i]. *)
+
+val server_hosts : setup -> int list
+(** All server host ids, for the trace checker's [servers] argument. *)
+
+type shard_load = {
+  sl_shard : int;
+  sl_host : int;
+  sl_extension_msgs : int;
+  sl_approval_msgs : int;
+  sl_installed_msgs : int;
+  sl_consistency_msgs : int;
+  sl_total_msgs : int;
+  sl_commits : int;
+  sl_consistency_rate : float;  (** consistency messages per virtual second *)
+}
+
+type outcome = {
+  metrics : Leases.Metrics.t;
+      (** cluster-wide aggregate, field-compatible with the single-server
+          harness (server counters summed over shards) *)
+  per_shard : shard_load array;
+  map : Shard_map.t;
+  oracle : Oracle.Register_oracle.t;
+  store : Vstore.Store.t;
+  telemetry : Shard_telemetry.t option;  (** finalized when present *)
+}
+
+val run : setup -> trace:Workload.Trace.t -> outcome
+
+val residual_params :
+  ?tolerance:float -> ?warmup_s:float -> setup -> Telemetry.Residual.params
+(** §3.1 residual parameters for this deployment: total client count, the
+    configured message times and skew allowance, and the term implied by
+    the term policy (an adaptive policy evaluates at its max term). *)
+
+val telemetry_report : setup -> outcome -> Shard_telemetry.shard_report array option
+(** Per-shard windows, residual evaluations and summaries; [None] when the
+    setup collected no telemetry. *)

@@ -49,6 +49,14 @@ let add t x =
 let count t = t.total_count
 let sum t = t.sum
 
+let merge t other =
+  if t.least <> other.least || t.growth <> other.growth
+     || Array.length t.bounds <> Array.length other.bounds
+  then invalid_arg "Histogram.merge: incompatible bucket layouts";
+  Array.iteri (fun i c -> t.counts.(i) <- t.counts.(i) + c) other.counts;
+  t.total_count <- t.total_count + other.total_count;
+  t.sum <- t.sum +. other.sum
+
 let quantile t q =
   if q < 0. || q > 1. then invalid_arg "Histogram.quantile: q must be in [0, 1]";
   if t.total_count = 0 then 0.

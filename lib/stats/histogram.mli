@@ -14,6 +14,11 @@ val create : ?least:float -> ?growth:float -> ?buckets:int -> unit -> t
 val add : t -> float -> unit
 val count : t -> int
 
+val merge : t -> t -> unit
+(** [merge t other] folds [other]'s samples into [t] (bucket-wise; the
+    exact sum is carried over too).  Raises [Invalid_argument] when the
+    bucket layouts differ.  [other] is left untouched. *)
+
 val sum : t -> float
 (** Exact running sum of every sample added (not bucket-quantised) — what
     the telemetry sampler differences to get per-window means. *)

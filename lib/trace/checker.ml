@@ -11,7 +11,12 @@ let epsilon_s = 1e-5
 
 type client_entry = { cl_version : int; cl_expiry : float option }
 
-let check ?(server = 0) events =
+let check ?(server = 0) ?servers ?owner events =
+  let server_hosts = match servers with Some hosts -> hosts | None -> [ server ] in
+  let is_server host = List.mem host server_hosts in
+  (* file -> owning server host; the default (every file on [server])
+     reproduces the single-server sweep-everything semantics. *)
+  let owner = match owner with Some f -> f | None -> fun _ -> server in
   let violations = ref [] in
   let n_events = ref 0 in
   let hits = ref 0 in
@@ -98,9 +103,19 @@ let check ?(server = 0) events =
         List.iter (Hashtbl.remove server_leases) swept;
         Hashtbl.remove cover file;
         Hashtbl.replace committed file version
-      | Event.Crash { host } when host = server ->
-        Hashtbl.reset server_leases;
-        Hashtbl.reset cover;
+      | Event.Crash { host } when is_server host ->
+        (* A crashed server loses only its own lease table and coverage:
+           sweep the files it owns, leave the other shards' state intact. *)
+        let swept =
+          Hashtbl.fold
+            (fun ((f, _) as k) _ acc -> if owner f = host then k :: acc else acc)
+            server_leases []
+        in
+        List.iter (Hashtbl.remove server_leases) swept;
+        let covered =
+          Hashtbl.fold (fun f _ acc -> if owner f = host then f :: acc else acc) cover []
+        in
+        List.iter (Hashtbl.remove cover) covered;
         drop_host client_leases host
       | Event.Crash { host } -> drop_host client_leases host
       | _ -> ())

@@ -30,8 +30,12 @@ type report = {
   violations : violation list;  (** in stream order *)
 }
 
-val check : ?server:int -> Event.t list -> report
-(** [server] is the server's host id (default 0). *)
+val check : ?server:int -> ?servers:int list -> ?owner:(int -> int) -> Event.t list -> report
+(** [server] is the server's host id (default 0).  Sharded deployments pass
+    [servers] (every server host; defaults to [[server]]) and [owner]
+    (file id -> owning server host; defaults to the constant [server]):
+    a server crash then sweeps only the leases and installed coverage of
+    the files that server owns, while the other shards' state survives. *)
 
 val ok : report -> bool
 val pp_violation : Format.formatter -> violation -> unit

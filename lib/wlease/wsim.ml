@@ -73,7 +73,7 @@ let run setup ~trace =
             ignore
               (Engine.schedule_after engine duration (fun () ->
                    Host.Liveness.recover liveness (client_host client))))
-      | Leases.Sim.Crash_server { at; duration } ->
+      | Leases.Sim.Crash_server { at; duration } | Leases.Sim.Crash_shard { at; duration; _ } ->
         at_time at (fun () ->
             Host.Liveness.crash liveness server_host;
             ignore

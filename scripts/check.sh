@@ -34,6 +34,15 @@ dune exec bin/simulate.exe -- -p leases -t 10 -n 1 -d 1500 -s 7 \
 dune exec bin/tracedump.exe -- /tmp/leases_telemetry_smoke.jsonl --check-only
 dune exec bin/telemetry_view.exe -- /tmp/leases_telemetry.json --gate-residual 0.25
 
+echo "== sharded smoke sim + invariant checker =="
+# A four-shard deployment with a shard failover mid-run must replay
+# through the multi-server checker with zero violations; --map-seed
+# mirrors the run's -s so tracedump rebuilds the same shard map.
+dune exec bin/simulate.exe -- -p leases -t 10 -n 6 -d 120 -s 3 --shards 4 \
+  --fault crash-shard=1,40,8 --trace /tmp/leases_shard_smoke.jsonl > /dev/null
+dune exec bin/tracedump.exe -- /tmp/leases_shard_smoke.jsonl \
+  --shards 4 --map-seed 3 --check-only
+
 echo "== fault campaign (25 seeded schedules) =="
 # A pinned random fault campaign with the register oracle and the trace
 # invariant checker armed on every schedule; leases-campaign exits

@@ -54,6 +54,26 @@ let test_campaign_report_byte_identical () =
   let a = report () in
   Alcotest.(check string) "same seed, same bytes" a (report ())
 
+let test_sharded_schedules_generated () =
+  (* ~25% of schedules shard the namespace; each sharded schedule carries a
+     shard-failover fault and reproduces via --shards *)
+  let scheds = Fault_campaign.Gen.schedules ~seed:7 ~n:20 in
+  let sharded = List.filter (fun s -> s.Fault_campaign.Schedule.n_shards > 1) scheds in
+  Alcotest.(check bool) "some schedules are sharded" true (sharded <> []);
+  List.iter
+    (fun s ->
+      let cmd = Fault_campaign.Schedule.to_command s in
+      let has sub =
+        let n = String.length sub in
+        let rec go i =
+          i + n <= String.length cmd && (String.sub cmd i n = sub || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) ("command reproduces sharding: " ^ cmd) true (has "--shards");
+      Alcotest.(check bool) ("failover fault present: " ^ cmd) true (has "crash-shard="))
+    sharded
+
 let test_unsafe_budget_small_vs_allowance () =
   Alcotest.(check bool) "unsafe budget under the 100 ms skew allowance" true
     (Fault_campaign.Gen.unsafe_skew_budget_s < 0.1)
@@ -122,6 +142,7 @@ let () =
           Alcotest.test_case "prefix stable" `Quick test_generation_prefix_stable;
           Alcotest.test_case "pinned seed" `Quick test_pinned_seed_schedule;
           Alcotest.test_case "fault specs round-trip" `Quick test_fault_specs_round_trip;
+          Alcotest.test_case "sharded schedules generated" `Quick test_sharded_schedules_generated;
           Alcotest.test_case "unsafe budget bounded" `Quick test_unsafe_budget_small_vs_allowance;
         ] );
       ( "harness",

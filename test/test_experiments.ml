@@ -190,6 +190,43 @@ let test_adaptive_dominates () =
   Alcotest.(check int) "adaptive drops nothing" 0 adaptive.Experiments.Adaptive.dropped;
   Alcotest.(check int) "adaptive consistent" 0 adaptive.Experiments.Adaptive.violations
 
+let test_shard_scale_tracks_inverse_n () =
+  (* the acceptance gate: in the unsaturated regime per-server load falls
+     as ~1/K across the grid, and every shard's steady residual against
+     the §3.1 model stays inside the 25% telemetry gate *)
+  let r = Experiments.Shard_scale.run ~duration:(span 1_000.) ~client_counts:[ 6 ] () in
+  Alcotest.(check int) "grid size" 4 (List.length r.Experiments.Shard_scale.rows);
+  List.iter
+    (fun (row : Experiments.Shard_scale.row) ->
+      let label = Printf.sprintf "C=%d K=%d" row.Experiments.Shard_scale.clients
+          row.Experiments.Shard_scale.shards
+      in
+      Alcotest.(check int) (label ^ " consistent") 0 row.Experiments.Shard_scale.violations;
+      let rel_n =
+        row.Experiments.Shard_scale.rel_per_server
+        *. float_of_int row.Experiments.Shard_scale.shards
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s per-server load ~1/K (rel x K = %.2f)" label rel_n)
+        true
+        (Float.abs (rel_n -. 1.) < 0.3);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s residual within gate (%+.1f%%)" label
+           (100. *. row.Experiments.Shard_scale.worst_steady_residual))
+        true
+        (Float.abs row.Experiments.Shard_scale.worst_steady_residual < 0.25))
+    r.Experiments.Shard_scale.rows;
+  (* amortized contrast: per-server load still falls monotonically *)
+  let amortized = r.Experiments.Shard_scale.rows_amortized in
+  let rec monotone = function
+    | (a : Experiments.Shard_scale.row) :: (b :: _ as rest) ->
+      a.Experiments.Shard_scale.per_server_per_s > b.Experiments.Shard_scale.per_server_per_s
+      && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "amortized per-server load decreases with shards" true
+    (monotone amortized)
+
 let test_baselines_story () =
   let r = Experiments.Baselines_cmp.run ~duration:quick ~clients:4 () in
   List.iter
@@ -224,5 +261,6 @@ let () =
           Alcotest.test_case "granularity trade-off" `Slow test_granularity_tradeoff;
           Alcotest.test_case "adaptive dominates" `Slow test_adaptive_dominates;
           Alcotest.test_case "baselines story" `Slow test_baselines_story;
+          Alcotest.test_case "shard scale ~1/K" `Slow test_shard_scale_tracks_inverse_n;
         ] );
     ]

@@ -214,6 +214,70 @@ let test_link_delay_override () =
   Alcotest.(check (float 1e-7)) "wan transit" 0.052 (Time.to_sec !wan_at);
   Alcotest.(check (float 1e-7)) "lan transit" 0.0025 (Time.to_sec !lan_at)
 
+let test_per_link_rtt () =
+  (* unicast_rtt ~src ~dst must consult link_delay in each direction, not
+     report the uniform figure for heterogeneous links *)
+  let wan = host 9 in
+  let link_delay ~src:_ ~dst = if Host.Host_id.equal dst wan then ms 50. else ms 0.5 in
+  let _engine, net = rig ~link_delay () in
+  Alcotest.(check (float 1e-9)) "uniform figure without a pair" 0.005
+    (Time.Span.to_sec (Netsim.Net.unicast_rtt net));
+  Alcotest.(check (float 1e-9)) "lan pair" 0.005
+    (Time.Span.to_sec (Netsim.Net.unicast_rtt ~src:(host 0) ~dst:(host 1) net));
+  Alcotest.(check (float 1e-9)) "wan pair sums both directions" 0.0545
+    (Time.Span.to_sec (Netsim.Net.unicast_rtt ~src:(host 0) ~dst:wan net));
+  Alcotest.(check (float 1e-9)) "same rtt from the far end" 0.0545
+    (Time.Span.to_sec (Netsim.Net.unicast_rtt ~src:wan ~dst:(host 0) net))
+
+let test_loss_dropped_at_delivery_time () =
+  (* a loss drop is decided (and traced) at the instant the message would
+     have arrived, not at send time *)
+  let rng = Prng.Splitmix.create ~seed:7L in
+  let buf = Trace.Sink.buffer () in
+  let engine = Engine.create () in
+  let net =
+    Netsim.Net.create engine ~rng ~loss:1.0 ~tracer:(Trace.Sink.buffer_sink buf)
+      ~prop_delay:(ms 0.5) ~proc_delay:(ms 1.) ()
+  in
+  Netsim.Net.register net (host 1) (fun _ -> ());
+  ignore (Engine.schedule_at engine (sec 1.) (fun () ->
+      Netsim.Net.send net ~src:(host 0) ~dst:(host 1) ()));
+  Engine.run engine;
+  let drops =
+    List.filter_map
+      (fun (e : Trace.Event.t) ->
+        match e.Trace.Event.ev with
+        | Trace.Event.Net_drop { cause; _ } -> Some (e.Trace.Event.at, cause)
+        | _ -> None)
+      (Trace.Sink.buffer_contents buf)
+  in
+  match drops with
+  | [ (at, cause) ] ->
+    Alcotest.(check (float 1e-7)) "stamped at the would-be delivery instant" 1.0025 at;
+    Alcotest.(check string) "cause" "loss" (Trace.Event.drop_cause_name cause)
+  | drops -> Alcotest.failf "expected exactly one loss drop, traced %d" (List.length drops)
+
+let test_multicast_mixed_liveness_accounting () =
+  (* live sender, one of three destinations crashed: deliveries and down
+     drops must split per destination and still reconcile with attempts *)
+  let liveness = Host.Liveness.create () in
+  let engine, net = rig ~liveness () in
+  let received = ref [] in
+  List.iter
+    (fun i -> Netsim.Net.register net (host i) (fun _ -> received := i :: !received))
+    [ 1; 2; 3 ];
+  Host.Liveness.crash liveness (host 2);
+  Netsim.Net.multicast net ~src:(host 0) ~dsts:[ host 1; host 2; host 3 ] ();
+  Engine.run engine;
+  Alcotest.(check (list int)) "live destinations reached" [ 1; 3 ] (List.sort compare !received);
+  Alcotest.(check int) "one send op" 1 (Netsim.Net.sent net);
+  Alcotest.(check int) "three attempts" 3 (Netsim.Net.attempts net);
+  Alcotest.(check int) "two deliveries" 2 (Netsim.Net.deliveries net);
+  Alcotest.(check int) "one down drop" 1 (Netsim.Net.dropped_down net);
+  Alcotest.(check int) "attempts reconcile" (Netsim.Net.attempts net)
+    (Netsim.Net.deliveries net + Netsim.Net.dropped_loss net
+   + Netsim.Net.dropped_partition net + Netsim.Net.dropped_down net)
+
 let () =
   Alcotest.run "netsim"
     [
@@ -229,6 +293,11 @@ let () =
           Alcotest.test_case "accounting reconciles" `Quick test_accounting_reconciles;
           Alcotest.test_case "total loss" `Quick test_total_loss;
           Alcotest.test_case "link delay override" `Quick test_link_delay_override;
+          Alcotest.test_case "per-link rtt" `Quick test_per_link_rtt;
+          Alcotest.test_case "loss dropped at delivery time" `Quick
+            test_loss_dropped_at_delivery_time;
+          Alcotest.test_case "multicast mixed liveness" `Quick
+            test_multicast_mixed_liveness_accounting;
         ] );
       ( "partition+liveness",
         [

@@ -371,6 +371,9 @@ let fault_to_string = function
       (Time.Span.to_sec duration)
   | Leases.Sim.Crash_server { at; duration } ->
     Printf.sprintf "crash-server @%.2f for %.2f" (Time.to_sec at) (Time.Span.to_sec duration)
+  | Leases.Sim.Crash_shard { shard; at; duration } ->
+    Printf.sprintf "crash-shard %d @%.2f for %.2f" shard (Time.to_sec at)
+      (Time.Span.to_sec duration)
   | Leases.Sim.Partition_clients { clients; at; duration } ->
     Printf.sprintf "partition [%s] @%.2f for %.2f"
       (String.concat "," (List.map string_of_int clients))

