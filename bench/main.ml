@@ -159,9 +159,10 @@ let run_throughput () =
   print_endline "-------  -------  -------  ------------";
   List.iter
     (fun n_clients ->
+      let duration = Experiments.Corebench.sweep_duration_s ~base_s:200. n_clients in
       let r =
         Experiments.Corebench.lease_throughput ~timer:Unix.gettimeofday ~n_clients
-          ~duration:(span_sec 200.)
+          ~duration:(span_sec duration)
       in
       Printf.printf "%-7d  %7.0f  %7.2f  %12.0f\n" r.Experiments.Corebench.n_clients
         r.Experiments.Corebench.sim_seconds r.Experiments.Corebench.wall_seconds

@@ -1,9 +1,14 @@
 (* Emit BENCH_core.json: the simulation-core performance trajectory.
 
    Records the event-queue and lease-table microbenches and end-to-end
-   simulated-seconds-per-wallclock-second at N = 1, 10, 100 clients, so
-   future PRs touching the hot paths are held to these numbers.  The JSON
-   format is documented in DESIGN.md section 4. *)
+   simulated-seconds-per-wallclock-second across a client-count sweep
+   (default N = 1, 10, 100, 1000, 10000; override with --clients), so
+   future PRs touching the hot paths are held to these numbers.  Each
+   sweep row carries hotspot attribution from one profiled run.  With
+   --gate BASELINE the run doubles as a perf-regression gate: the fresh
+   document's end_to_end sweep is compared against the baseline's and the
+   exit status is non-zero on a regression past --tolerance.  The JSON
+   format is documented in DESIGN.md sections 4 and 12. *)
 
 let timer = Unix.gettimeofday
 
@@ -28,21 +33,68 @@ let micro_fields (m : Experiments.Corebench.micro) =
   Printf.sprintf "\"ops\": %d, \"elapsed_s\": %s, \"ops_per_sec\": %s" m.ops (fnum m.elapsed_s)
     (fnum m.ops_per_sec)
 
-let main quick out =
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Compare [current_text]'s end_to_end sweep against the baseline file;
+   prints every common point and, on failure, the worst regressing one. *)
+let run_gate ~tolerance ~baseline ~current_text =
+  match read_file baseline with
+  | exception Sys_error reason ->
+    Printf.eprintf "leases-bench-core: cannot read baseline %s: %s\n" baseline reason;
+    1
+  | baseline_text -> (
+    match
+      Experiments.Corebench.gate_compare ~tolerance ~baseline:baseline_text ~current:current_text
+    with
+    | Error e ->
+      Printf.eprintf "leases-bench-core: gate: %s\n" e;
+      1
+    | Ok g ->
+      List.iter
+        (fun (p : Experiments.Corebench.gate_point) ->
+          Printf.printf "gate: N=%-6d baseline %10.0f  current %10.0f  ratio %.3f\n" p.p_clients
+            p.p_baseline p.p_current p.p_ratio)
+        g.Experiments.Corebench.g_points;
+      if g.Experiments.Corebench.g_pass then begin
+        Printf.printf "gate: PASS (every sweep point within tolerance %.2f of %s)\n" tolerance
+          baseline;
+        0
+      end
+      else begin
+        (match g.Experiments.Corebench.g_worst with
+        | Some w ->
+          Printf.eprintf
+            "gate: FAIL — worst sweep point N=%d: %.0f -> %.0f sim-s/wall-s (ratio %.3f < \
+             tolerance %.2f)\n"
+            w.Experiments.Corebench.p_clients w.Experiments.Corebench.p_baseline
+            w.Experiments.Corebench.p_current w.Experiments.Corebench.p_ratio tolerance
+        | None -> Printf.eprintf "gate: FAIL\n");
+        1
+      end)
+
+let run_benches quick clients =
   let micro_ops = if quick then 100_000 else 1_000_000 in
-  let duration = span_sec (if quick then 200. else 1_000.) in
+  let base_s = if quick then 200. else 1_000. in
   let push_pop = Experiments.Corebench.event_queue_push_pop ~timer ~ops:micro_ops in
   let cancel_heavy = Experiments.Corebench.event_queue_cancel_heavy ~timer ~ops:micro_ops in
   let lease_table = Experiments.Corebench.lease_table_churn ~timer ~ops:micro_ops in
   let trace_sink = Experiments.Corebench.trace_emit ~timer ~ops:micro_ops in
   let telemetry = Experiments.Corebench.telemetry_bench ~timer ~ops:micro_ops in
+  let dispatch = Experiments.Corebench.engine_dispatch ~timer ~ops:micro_ops in
   (* The N=1 run lasts a couple of milliseconds, which makes a single shot
      hostage to heap warmup (the first run after the microbenches measures
      GC growth, not the simulator).  Warm up once per N and report the best
-     of three measured runs — the stable estimate of what the core can do. *)
+     of three measured runs — the stable estimate of what the core can do.
+     Hotspot attribution comes from one extra profiled run so the measured
+     rate stays free of accounting overhead. *)
   let end_to_end =
     List.map
       (fun n_clients ->
+        let duration = span_sec (Experiments.Corebench.sweep_duration_s ~base_s n_clients) in
         ignore (Experiments.Corebench.lease_throughput ~timer ~n_clients ~duration);
         let best a b =
           if a.Experiments.Corebench.sim_sec_per_wall_sec
@@ -53,8 +105,9 @@ let main quick out =
         let r0 = Experiments.Corebench.lease_throughput ~timer ~n_clients ~duration in
         let r1 = Experiments.Corebench.lease_throughput ~timer ~n_clients ~duration in
         let r2 = Experiments.Corebench.lease_throughput ~timer ~n_clients ~duration in
-        best r0 (best r1 r2))
-      Experiments.Corebench.client_counts
+        let hotspots = Experiments.Corebench.lease_hotspots ~timer ~n_clients ~duration in
+        (best r0 (best r1 r2), hotspots))
+      clients
   in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
@@ -84,26 +137,34 @@ let main quick out =
        (micro_fields telemetry.Experiments.Corebench.probe_disabled)
        (micro_fields telemetry.Experiments.Corebench.probe_enabled)
        (micro_fields telemetry.Experiments.Corebench.snapshot));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"engine_dispatch\": {\n    \"probe_disabled\": { %s },\n    \"probe_enabled\": { %s \
+        }\n  },\n"
+       (micro_fields dispatch.Experiments.Corebench.dispatch_disabled)
+       (micro_fields dispatch.Experiments.Corebench.dispatch_enabled));
   Buffer.add_string buf "  \"end_to_end\": [\n";
   List.iteri
-    (fun i (r : Experiments.Corebench.throughput) ->
+    (fun i ((r : Experiments.Corebench.throughput), hotspots) ->
+      let hs =
+        List.map
+          (fun (h : Experiments.Corebench.hotspot) ->
+            Printf.sprintf "{ \"center\": \"%s\", \"wall_pct\": %s, \"hits\": %d }"
+              (json_escape h.h_center) (fnum h.h_wall_pct) h.h_hits)
+          (match hotspots with a :: b :: c :: _ -> [ a; b; c ] | short -> short)
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "    { \"n_clients\": %d, \"sim_seconds\": %s, \"wall_seconds\": %s, \
-            \"sim_sec_per_wall_sec\": %s }%s\n"
+            \"sim_sec_per_wall_sec\": %s,\n      \"hotspots\": [ %s ] }%s\n"
            r.n_clients (fnum r.sim_seconds) (fnum r.wall_seconds) (fnum r.sim_sec_per_wall_sec)
+           (String.concat ", " hs)
            (if i = List.length end_to_end - 1 then "" else ",")))
     end_to_end;
   Buffer.add_string buf "  ]\n}\n";
-  (match open_out out with
-  | oc ->
-    output_string oc (Buffer.contents buf);
-    close_out oc
-  | exception Sys_error reason ->
-    Printf.eprintf "leases-bench-core: cannot write %s: %s\n" out reason;
-    exit 1);
-  Printf.printf "wrote %s\n" (json_escape out);
-  Printf.printf "event queue : push+pop %.2f Mops/s; cancel-heavy %.2f Mops/s, peak %d slots for %d live\n"
+  let report = Buffer.contents buf in
+  Printf.printf
+    "event queue : push+pop %.2f Mops/s; cancel-heavy %.2f Mops/s, peak %d slots for %d live\n"
     (push_pop.Experiments.Corebench.ops_per_sec /. 1e6)
     (cancel_heavy.Experiments.Corebench.g_micro.Experiments.Corebench.ops_per_sec /. 1e6)
     cancel_heavy.Experiments.Corebench.max_slots cancel_heavy.Experiments.Corebench.live_target;
@@ -117,11 +178,59 @@ let main quick out =
     (telemetry.Experiments.Corebench.probe_disabled.Experiments.Corebench.ops_per_sec /. 1e6)
     (telemetry.Experiments.Corebench.probe_enabled.Experiments.Corebench.ops_per_sec /. 1e6)
     (telemetry.Experiments.Corebench.snapshot.Experiments.Corebench.ops_per_sec /. 1e3);
+  Printf.printf "dispatch    : profiler off %.2f Mevents/s, on %.2f Mevents/s\n"
+    (dispatch.Experiments.Corebench.dispatch_disabled.Experiments.Corebench.ops_per_sec /. 1e6)
+    (dispatch.Experiments.Corebench.dispatch_enabled.Experiments.Corebench.ops_per_sec /. 1e6);
   List.iter
-    (fun (r : Experiments.Corebench.throughput) ->
-      Printf.printf "end-to-end  : N=%-3d  %.0f sim-s in %.2f s  =  %.0f sim-s/s\n" r.n_clients
-        r.sim_seconds r.wall_seconds r.sim_sec_per_wall_sec)
-    end_to_end
+    (fun ((r : Experiments.Corebench.throughput), hotspots) ->
+      let top =
+        match hotspots with
+        | (h : Experiments.Corebench.hotspot) :: _ ->
+          Printf.sprintf "  (top: %s %.0f%%)" h.h_center h.h_wall_pct
+        | [] -> ""
+      in
+      Printf.printf "end-to-end  : N=%-5d  %.0f sim-s in %.2f s  =  %.0f sim-s/s%s\n" r.n_clients
+        r.sim_seconds r.wall_seconds r.sim_sec_per_wall_sec top)
+    end_to_end;
+  report
+
+let main quick out clients gate tolerance compare =
+  match compare with
+  | Some current_path -> (
+    (* Compare-only mode: no benches run; --gate names the baseline. *)
+    match gate with
+    | None ->
+      Printf.eprintf "leases-bench-core: --compare requires --gate BASELINE\n";
+      1
+    | Some baseline -> (
+      match read_file current_path with
+      | exception Sys_error reason ->
+        Printf.eprintf "leases-bench-core: cannot read %s: %s\n" current_path reason;
+        1
+      | current_text -> run_gate ~tolerance ~baseline ~current_text))
+  | None -> (
+    if clients = [] then begin
+      Printf.eprintf "leases-bench-core: --clients needs at least one count\n";
+      1
+    end
+    else if List.exists (fun n -> n < 1) clients then begin
+      Printf.eprintf "leases-bench-core: client counts must be positive\n";
+      1
+    end
+    else begin
+      let report = run_benches quick clients in
+      (match open_out out with
+      | oc ->
+        output_string oc report;
+        close_out oc
+      | exception Sys_error reason ->
+        Printf.eprintf "leases-bench-core: cannot write %s: %s\n" out reason;
+        exit 1);
+      Printf.printf "wrote %s\n" (json_escape out);
+      match gate with
+      | None -> 0
+      | Some baseline -> run_gate ~tolerance ~baseline ~current_text:report
+    end)
 
 open Cmdliner
 
@@ -133,8 +242,40 @@ let out_arg =
   let doc = "Output path for the JSON record." in
   Arg.(value & opt string "BENCH_core.json" & info [ "o"; "output" ] ~docv:"PATH" ~doc)
 
+let clients_arg =
+  let doc =
+    "Comma-separated client counts for the end-to-end sweep.  Simulated duration scales down \
+     past 100 clients so the event count stays roughly flat."
+  in
+  Arg.(
+    value
+    & opt (list int) Experiments.Corebench.client_counts
+    & info [ "clients" ] ~docv:"N,N,..." ~doc)
+
+let gate_arg =
+  let doc =
+    "Compare the end-to-end sweep against this baseline BENCH_core.json and exit non-zero when \
+     any common sweep point regresses past the tolerance."
+  in
+  Arg.(value & opt (some string) None & info [ "gate" ] ~docv:"BASELINE" ~doc)
+
+let tolerance_arg =
+  let doc =
+    "Minimum acceptable current/baseline ratio of sim-s per wall-s at every sweep point \
+     (0.75 = fail on a >25% regression)."
+  in
+  Arg.(value & opt float 0.75 & info [ "tolerance" ] ~docv:"RATIO" ~doc)
+
+let compare_arg =
+  let doc =
+    "Skip the benchmarks and gate this existing BENCH_core.json against the --gate baseline."
+  in
+  Arg.(value & opt (some string) None & info [ "compare" ] ~docv:"PATH" ~doc)
+
 let cmd =
   let doc = "Benchmark the simulation-core hot paths and emit BENCH_core.json." in
-  Cmd.v (Cmd.info "leases-bench-core" ~doc) Term.(const main $ quick_arg $ out_arg)
+  Cmd.v
+    (Cmd.info "leases-bench-core" ~doc)
+    Term.(const main $ quick_arg $ out_arg $ clients_arg $ gate_arg $ tolerance_arg $ compare_arg)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,67 @@
+(* Render a leases-profile/1 report: top-K hotspot table on stdout, or
+   conversion to the speedscope / chrome-tracing flamegraph formats. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let main file top format out =
+  match read_file file with
+  | exception Sys_error reason -> `Error (false, reason)
+  | text -> (
+    match Profile.Report.of_json_string text with
+    | Error why -> `Error (false, Printf.sprintf "%s: %s" file why)
+    | Ok report -> (
+      match format with
+      | None ->
+        print_string (Profile.Report.hotspot_table ~top report);
+        `Ok ()
+      | Some fmt -> (
+        let render =
+          match fmt with
+          | "speedscope" -> Some (Profile.Report.to_speedscope ~name:file)
+          | "chrome" -> Some Profile.Report.to_chrome
+          | _ -> None
+        in
+        match render with
+        | None -> `Error (false, Printf.sprintf "unknown format %S (speedscope|chrome)" fmt)
+        | Some render -> (
+          match out with
+          | None -> `Error (false, "--format requires --out FILE")
+          | Some path ->
+            let oc = open_out path in
+            output_string oc (render report);
+            close_out oc;
+            Printf.printf "wrote %s\n" path;
+            `Ok ()))))
+
+let file_arg =
+  let doc = "leases-profile/1 report, as written by leases-sim --profile-out." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"REPORT" ~doc)
+
+let top_arg =
+  let doc = "Rows in the hotspot table." in
+  Arg.(value & opt int 10 & info [ "top" ] ~docv:"K" ~doc)
+
+let format_arg =
+  let doc =
+    "Convert instead of printing the table: speedscope (speedscope.app flamegraph) or chrome \
+     (chrome://tracing / Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "format" ] ~docv:"FMT" ~doc)
+
+let out_arg =
+  let doc = "Output path for the converted profile." in
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+
+let cmd =
+  let doc = "Inspect and convert leases-profile/1 reports." in
+  Cmd.v
+    (Cmd.info "leases-profile-view" ~doc)
+    Term.(ret (const main $ file_arg $ top_arg $ format_arg $ out_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -80,6 +80,26 @@ let finish_telemetry sampler ~term ~setup ~telemetry_out ~telemetry_format ~json
       (100. *. summary.Telemetry.Residual.steady_load_residual)
   end
 
+(* --profile attaches a Profile.Recorder to the engine; the report is
+   rendered after the run drains.  The hotspot table goes to stdout unless
+   --json asked for machine-readable output only. *)
+let finish_profile recorder ~profile_out ~profile_format ~json =
+  let report = Profile.Report.of_recorder recorder in
+  (match profile_out with
+  | None -> ()
+  | Some path ->
+    let data =
+      match profile_format with
+      | "json" -> Profile.Report.to_json_string report
+      | "speedscope" -> Profile.Report.to_speedscope report
+      | "chrome" -> Profile.Report.to_chrome report
+      | other -> failwith (Printf.sprintf "unknown profile format %S (json|speedscope|chrome)" other)
+    in
+    let oc = open_out path in
+    output_string oc data;
+    close_out oc);
+  if not json then print_string (Profile.Report.hotspot_table report)
+
 (* --shards N runs the multi-server deployment: per-shard loads after the
    aggregate metrics, and per-shard residual summaries when telemetry is
    on. *)
@@ -133,12 +153,21 @@ let run_sharded ~shards ~clients ~seed ~loss ~m_prop ~m_proc ~term ~faults ~trac
   (outcome.Shard.Deploy.metrics, print_extra)
 
 let rec main protocol term_s clients duration seed loss rtt_ms workload ops_file json trace_out
-    trace_format fault_specs telemetry_s telemetry_out telemetry_format shards =
+    trace_format fault_specs telemetry_s telemetry_out telemetry_format shards profile
+    profile_out profile_format =
   try
     let faults = List.map parse_fault fault_specs in
     if shards < 1 then failwith "--shards must be at least 1";
     if shards > 1 && protocol <> "leases" then
       failwith "--shards runs the sharded lease deployment; it needs --protocol leases";
+    if profile_out <> None && not profile then failwith "--profile-out requires --profile";
+    if profile && protocol <> "leases" then
+      failwith
+        (Printf.sprintf
+           "--profile instruments the lease protocol's engine; protocol %S does not expose it"
+           protocol);
+    if profile && shards > 1 then
+      failwith "--profile records the single-server engine; it does not compose with --shards";
     if shards > 1 && telemetry_out <> None then
       failwith
         "--telemetry-out writes a single-server report; with --shards use the printed per-shard \
@@ -174,7 +203,8 @@ let rec main protocol term_s clients duration seed loss rtt_ms workload ops_file
           ~telemetry_s ~json ~trace
       else
         ( run_single ~protocol ~term ~term_s ~clients ~seed ~loss ~m_prop ~m_proc ~faults ~tracer
-            ~telemetry_s ~telemetry_out ~telemetry_format ~json ~trace,
+            ~telemetry_s ~telemetry_out ~telemetry_format ~json ~trace ~profile ~profile_out
+            ~profile_format,
           fun () -> () )
     in
     finish_trace ();
@@ -185,7 +215,8 @@ let rec main protocol term_s clients duration seed loss rtt_ms workload ops_file
   with Failure why | Sys_error why -> `Error (false, why)
 
 and run_single ~protocol ~term ~term_s ~clients ~seed ~loss ~m_prop ~m_proc ~faults ~tracer
-    ~telemetry_s ~telemetry_out ~telemetry_format ~json ~trace =
+    ~telemetry_s ~telemetry_out ~telemetry_format ~json ~trace ~profile ~profile_out
+    ~profile_format =
   match protocol with
   | "leases" ->
         let setup = Experiments.Runner.lease_setup ~n_clients:clients ~m_prop ~m_proc ~term () in
@@ -198,10 +229,24 @@ and run_single ~protocol ~term ~term_s ~clients ~seed ~loss ~m_prop ~m_proc ~fau
           | None -> setup
           | Some s -> { setup with Leases.Sim.on_instruments = Telemetry.Sampler.attach s }
         in
+        let recorder =
+          if profile then
+            (* Engine-health samples share the telemetry cadence when one
+               was asked for, 10 s otherwise. *)
+            let interval_s = Option.value telemetry_s ~default:10. in
+            Some (Profile.Recorder.create ~interval_s ~timer:Unix.gettimeofday ())
+          else None
+        in
+        let setup =
+          match recorder with
+          | None -> setup
+          | Some r -> { setup with Leases.Sim.profiler = r }
+        in
         let metrics = (Leases.Sim.run setup ~trace).Leases.Sim.metrics in
         Option.iter
           (fun s -> finish_telemetry s ~term ~setup ~telemetry_out ~telemetry_format ~json)
           sampler;
+        Option.iter (fun r -> finish_profile r ~profile_out ~profile_format ~json) recorder;
         metrics
       | "polling" ->
         let setup =
@@ -311,11 +356,30 @@ let shards =
                  SHARD,AT,DUR to the --fault vocabulary and prints per-shard load lines \
                  after the aggregate metrics.")
 
+let profile =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Self-profile the run (leases protocol, single server): attribute wall time and \
+                 GC allocation to per-subsystem cost centers and sample engine health (queue \
+                 depth, live/occupied slots, cancel ratio, events per sim-second) on the \
+                 telemetry cadence.  Prints a hotspot table; see leases-profile-view.")
+
+let profile_out =
+  Arg.(value & opt (some string) None
+       & info [ "profile-out" ] ~docv:"FILE"
+           ~doc:"Write the leases-profile/1 report to $(docv); requires --profile.")
+
+let profile_format =
+  Arg.(value & opt string "json"
+       & info [ "profile-format" ] ~docv:"FMT"
+           ~doc:"Profile report format: json (leases-profile/1, leases-profile-view input), \
+                 speedscope (speedscope.app flamegraph) or chrome (chrome://tracing / Perfetto).")
+
 let cmd =
   let doc = "Simulate a distributed file cache under a chosen consistency protocol." in
   Cmd.v (Cmd.info "leases-sim" ~doc)
     Term.(ret (const main $ protocol $ term $ clients $ duration $ seed $ loss $ rtt $ workload
                $ ops_file $ json $ trace_out $ trace_format $ faults $ telemetry $ telemetry_out
-               $ telemetry_format $ shards))
+               $ telemetry_format $ shards $ profile $ profile_out $ profile_format))
 
 let () = exit (Cmd.eval cmd)

@@ -57,6 +57,70 @@ let print_stats events =
       Printf.printf "%-20s %10d %14.6f %14.6f\n" name n first last)
     rows
 
+(* --stats --shards N: attribute each event to a shard — by file owner
+   through the deterministic shard map when the event names a file, else
+   by server host id (servers are hosts 0..N-1 under sharding) — and print
+   the per-shard load, busiest first.  Client-host events with no file
+   (crash/recover/clock on a client) stay unattributed. *)
+let print_shard_stats events ~shards ~map_seed ~vnodes =
+  let map = Shard.Shard_map.create ~vnodes ~seed:map_seed ~shards () in
+  let by_file f = Some (Shard.Shard_map.owner map (Vstore.File_id.of_int f)) in
+  let by_host h = if h >= 0 && h < shards then Some h else None in
+  let totals = Array.make shards 0 in
+  let grants = Array.make shards 0 in
+  let commits = Array.make shards 0 in
+  let net = Array.make shards 0 in
+  let unattributed = ref 0 in
+  List.iter
+    (fun (ev : Trace.Event.t) ->
+      let shard =
+        match ev.ev with
+        | Trace.Event.Lease_grant { file; _ }
+        | Trace.Event.Lease_release { file; _ }
+        | Trace.Event.Wait_begin { file; _ }
+        | Trace.Event.Wait_expire { file; _ }
+        | Trace.Event.Approval_request { file; _ }
+        | Trace.Event.Approval_reply { file; _ }
+        | Trace.Event.Commit { file; _ }
+        | Trace.Event.Installed_cover { file; _ }
+        | Trace.Event.Client_lease { file; _ }
+        | Trace.Event.Cache_hit { file; _ }
+        | Trace.Event.Cache_miss { file; _ }
+        | Trace.Event.Cache_invalidate { file; _ } -> by_file file
+        | Trace.Event.Net_send { src; dst; _ }
+        | Trace.Event.Net_deliver { src; dst; _ }
+        | Trace.Event.Net_drop { src; dst; _ } -> (
+          match by_host src with Some s -> Some s | None -> by_host dst)
+        | Trace.Event.Crash { host }
+        | Trace.Event.Recover { host }
+        | Trace.Event.Clock_drift { host; _ }
+        | Trace.Event.Clock_step { host; _ } -> by_host host
+        | Trace.Event.Heartbeat _ -> None
+      in
+      match shard with
+      | None -> incr unattributed
+      | Some s ->
+        totals.(s) <- totals.(s) + 1;
+        (match ev.ev with
+        | Trace.Event.Lease_grant _ -> grants.(s) <- grants.(s) + 1
+        | Trace.Event.Commit _ -> commits.(s) <- commits.(s) + 1
+        | Trace.Event.Net_send _ | Trace.Event.Net_deliver _ | Trace.Event.Net_drop _ ->
+          net.(s) <- net.(s) + 1
+        | _ -> ()))
+    events;
+  let attributed = Array.fold_left ( + ) 0 totals in
+  Printf.printf "\n== per-shard breakdown (%d shards, %d attributed, %d unattributed) ==\n" shards
+    attributed !unattributed;
+  Printf.printf "%-6s %10s %8s %10s %10s %10s\n" "shard" "events" "share" "grants" "commits" "net";
+  List.init shards (fun s -> s)
+  |> List.sort (fun a b -> compare (totals.(b), a) (totals.(a), b))
+  |> List.iter (fun s ->
+         let share =
+           if attributed = 0 then 0. else 100. *. float_of_int totals.(s) /. float_of_int attributed
+         in
+         Printf.printf "%-6d %10d %7.1f%% %10d %10d %10d\n" s totals.(s) share grants.(s)
+           commits.(s) net.(s))
+
 let end_cause_name : Trace.Lifecycle.end_cause -> string = function
   | Active -> "active"
   | Released Approved -> "released/approved"
@@ -115,6 +179,7 @@ let main path server limit no_lifecycle stats shards map_seed vnodes =
     if events = [] then failwith (Printf.sprintf "no events decoded from %s" path);
     if stats then begin
       print_stats events;
+      if shards > 1 then print_shard_stats events ~shards ~map_seed ~vnodes;
       `Ok ()
     end
     else begin

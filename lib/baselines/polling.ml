@@ -35,6 +35,7 @@ let run setup ~trace =
       faults = setup.faults;
       drain = setup.drain;
       tracer = setup.tracer;
+      profiler = Profile.Recorder.null;
       on_instruments = ignore;
     }
     ~trace

@@ -70,6 +70,10 @@ let rec arm_timer c tm =
   tm.engine_event <- Some (Engine.schedule_at c.engine target (fun () -> fire_timer c tm))
 
 and fire_timer c tm =
+  (* Timer bookkeeping is its own cost center until the callback refines
+     it (renewal, expiry, ...). *)
+  (let p = Engine.profiler c.engine in
+   if Profile.Recorder.enabled p then Profile.Recorder.mark p Profile.Center.Timer_fire);
   tm.engine_event <- None;
   if tm.live then begin
     if Time.(now c >= tm.deadline) then begin

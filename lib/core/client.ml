@@ -73,6 +73,13 @@ let local_now t = Clock.now t.clock
    disabled path never allocates the event payload. *)
 let tracing t = Trace.Sink.enabled t.tracer
 let emit t ev = Trace.Sink.emit t.tracer (Time.to_sec (Engine.now t.engine)) ev
+
+(* Cost-center probe, guarded like [emit]: one load and one branch when the
+   engine carries no profiler. *)
+let profile_mark t center =
+  let p = Engine.profiler t.engine in
+  if Profile.Recorder.enabled p then Profile.Recorder.mark p center
+
 let expiry_sec = function Lease.At at -> Some (Time.to_sec at) | Lease.Never -> None
 
 let emit_client_lease t file (entry : entry) =
@@ -117,6 +124,7 @@ let retry_delay t rpc =
 
 let rec arm_retry t rpc =
   let fire () =
+    profile_mark t Profile.Center.Client_op;
     if t.up && Hashtbl.mem t.rpcs rpc.req then begin
       bump t "retransmissions";
       rpc.tries <- rpc.tries + 1;
@@ -203,6 +211,7 @@ let cached_files t =
    them all.  The in-flight guard is per server: a slow shard must not
    starve renewals toward the others. *)
 let rec send_renewal t =
+  profile_mark t Profile.Center.Client_renewal;
   if t.up then begin
     let groups = Hashtbl.create 4 in
     let order = ref [] in
@@ -406,6 +415,7 @@ let complete_read t rpc (granted : Messages.grant_line list) =
 
 let handle_message t (envelope : Messages.payload Netsim.Net.envelope) =
   if t.up then begin
+    profile_mark t Profile.Center.Client_handle;
     match envelope.payload with
     | Messages.Read_reply { req; granted } -> (
       match Hashtbl.find_opt t.rpcs req with

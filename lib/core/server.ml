@@ -68,6 +68,12 @@ let local_now t = Clock.now t.clock
    the disabled path never allocates the event payload. *)
 let tracing t = Trace.Sink.enabled t.tracer
 let emit t ev = Trace.Sink.emit t.tracer (Time.to_sec (Engine.now t.engine)) ev
+
+(* Cost-center probe, guarded like [emit]: one load and one branch when the
+   engine carries no profiler. *)
+let profile_mark t center =
+  let p = Engine.profiler t.engine in
+  if Profile.Recorder.enabled p then Profile.Recorder.mark p center
 let local_sec t = Time.to_sec (local_now t)
 let expiry_sec = function Lease.At at -> Some (Time.to_sec at) | Lease.Never -> None
 
@@ -249,6 +255,7 @@ and arm_expiry_timer t p =
   | Lease.Never -> p.expiry_timer <- None
   | Lease.At deadline ->
     let fire () =
+      profile_mark t Profile.Center.Server_expiry;
       if t.up && (match Hashtbl.find_opt t.pending p.p_file with Some q -> q == p | None -> false)
       then begin
         (* Every covering lease has expired on the server clock: outstanding
@@ -277,6 +284,7 @@ and send_approval_requests t p =
     if t.config.Config.approval_multicast then multicast t ~dsts:remaining request
     else List.iter (fun dst -> send t ~dst request) remaining;
     let retry () =
+      profile_mark t Profile.Center.Server_write;
       if t.up
          && (match Hashtbl.find_opt t.pending p.p_file with Some q -> q == p | None -> false)
          && not (Host_id.Set.is_empty p.waiting)
@@ -443,6 +451,7 @@ let rec run_refresh t =
   match t.config.installed with
   | None -> ()
   | Some { files; period; term } ->
+    profile_mark t Profile.Center.Server_expiry;
     if t.up then begin
       let covered =
         List.filter
@@ -475,6 +484,10 @@ let rec run_refresh t =
 
 let handle_message t (envelope : Messages.payload Netsim.Net.envelope) =
   if t.up then begin
+    profile_mark t
+      (match envelope.payload with
+      | Messages.Write_request _ | Messages.Approval_reply _ -> Profile.Center.Server_write
+      | _ -> Profile.Center.Server_grant);
     count_msg t envelope.payload;
     match envelope.payload with
     | Messages.Read_request { req; file } -> handle_read t ~src:envelope.src ~req file

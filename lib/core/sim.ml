@@ -108,6 +108,7 @@ type setup = {
   faults : fault list;
   drain : Time.Span.t;
   tracer : Trace.Sink.t;
+  profiler : Profile.Recorder.t;
   on_instruments : instruments -> unit;
 }
 
@@ -133,6 +134,7 @@ let default_setup =
     faults = [];
     drain = Time.Span.of_sec 120.;
     tracer = Trace.Sink.null;
+    profiler = Profile.Recorder.null;
     on_instruments = ignore;
   }
 
@@ -207,13 +209,25 @@ let schedule_faults engine liveness partition server_clock client_clocks tracer 
 let run setup ~trace =
   if setup.n_clients < 1 then invalid_arg "Sim.run: need at least one client";
   let engine = Engine.create () in
-  Engine.set_tracer engine setup.tracer;
+  let prof = setup.profiler in
+  Engine.set_profiler engine prof;
+  (* When both profiling and tracing are live, bracket every sink push so
+     emission cost lands in the [trace/emit] center rather than polluting
+     whichever subsystem happened to emit. *)
+  let tracer =
+    if Profile.Recorder.enabled prof then
+      Trace.Sink.observe setup.tracer
+        ~enter:(fun () -> Profile.Recorder.enter prof Profile.Center.Trace_emit)
+        ~leave:(fun () -> Profile.Recorder.exit prof)
+    else setup.tracer
+  in
+  Engine.set_tracer engine tracer;
   let liveness = Host.Liveness.create () in
   let partition = Netsim.Partition.create () in
   let rng = Prng.Splitmix.create ~seed:setup.seed in
   let net =
     Netsim.Net.create engine ~liveness ~partition ~rng:(Prng.Splitmix.split rng) ~loss:setup.loss
-      ~tracer:setup.tracer ~describe:Messages.kind_name ~prop_delay:setup.m_prop
+      ~tracer ~describe:Messages.kind_name ~prop_delay:setup.m_prop
       ~proc_delay:setup.m_proc ()
   in
   let server_clock = Clock.create engine () in
@@ -222,7 +236,7 @@ let run setup ~trace =
   let clients_hosts = List.init setup.n_clients client_host in
   let server =
     Server.create ~engine ~clock:server_clock ~net ~liveness ~host:server_host
-      ~clients:clients_hosts ~store ~config:setup.config ~tracer:setup.tracer ()
+      ~clients:clients_hosts ~store ~config:setup.config ~tracer ()
   in
   let clients =
     (* Split after the net's draw so adding per-client jitter streams never
@@ -230,10 +244,10 @@ let run setup ~trace =
     Array.init setup.n_clients (fun i ->
         Client.create ~engine ~clock:client_clocks.(i) ~net ~liveness ~host:(client_host i)
           ~server:server_host ~rng:(Prng.Splitmix.split rng) ~config:setup.config
-          ~tracer:setup.tracer ())
+          ~tracer ())
   in
   let oracle = Oracle.Register_oracle.create ~store in
-  schedule_faults engine liveness partition server_clock client_clocks setup.tracer setup.faults;
+  schedule_faults engine liveness partition server_clock client_clocks tracer setup.faults;
 
   (* Drive the trace. *)
   let read_latency = Stats.Histogram.create () in
@@ -248,6 +262,8 @@ let run setup ~trace =
       if op.client < 0 || op.client >= setup.n_clients then
         invalid_arg "Sim.run: trace uses a client index outside the cluster";
       let issue () =
+        if Profile.Recorder.enabled prof then
+          Profile.Recorder.mark prof Profile.Center.Client_op;
         if op.temporary then incr temp_ops
         else begin
           incr ops_issued;
@@ -284,8 +300,10 @@ let run setup ~trace =
     };
 
   let horizon = Time.add Time.zero (Time.Span.add (Workload.Trace.duration trace) setup.drain) in
+  if Profile.Recorder.enabled prof then Profile.Recorder.start prof;
   Engine.run ~until:horizon engine;
-  Trace.Sink.flush setup.tracer;
+  if Profile.Recorder.enabled prof then Profile.Recorder.stop prof;
+  Trace.Sink.flush tracer;
 
   (* Aggregate. *)
   let sum f = Array.fold_left (fun acc c -> acc + f c) 0 clients in

@@ -47,6 +47,12 @@ type setup = {
   (** receives the protocol event stream from every layer (engine, net,
       server, clients, fault injector); {!Trace.Sink.null} — the default —
       compiles the instrumentation down to a guarded no-op *)
+  profiler : Profile.Recorder.t;
+  (** cost-center recorder installed on the engine for the run; started
+      just before the event loop and stopped when it drains.  When enabled
+      alongside tracing, sink pushes are bracketed so emission cost lands
+      in the [trace/emit] center.  {!Profile.Recorder.null} — the default —
+      keeps the dispatch loop on its one-branch fast path. *)
   on_instruments : instruments -> unit;
   (** called once per run, after the cluster is built and the workload and
       faults are scheduled but before the engine starts — the hook a

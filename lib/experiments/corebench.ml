@@ -158,6 +158,37 @@ let telemetry_bench ~timer ~ops =
   let snapshot = telemetry_snapshot ~timer ~ops:(Stdlib.max 100 (ops / 1_000)) in
   { probe_disabled; probe_enabled; snapshot }
 
+type dispatch_bench = { dispatch_disabled : micro; dispatch_enabled : micro }
+
+(* One op = one engine dispatch of a no-op callback that schedules its
+   successor — the pure per-event cost of [Engine.step]'s single dispatch
+   site.  Disabled measures the residual left by the profiler guard (one
+   load and one branch, same shape as the trace sink and the telemetry
+   probe); enabled measures full begin/end accounting with a cadence far
+   past the run so sampling never fires. *)
+let engine_dispatch_once ~timer ~ops profiler =
+  let engine = Engine.create () in
+  (match profiler with Some p -> Engine.set_profiler engine p | None -> ());
+  let remaining = ref ops in
+  let rec event () =
+    if !remaining > 0 then begin
+      decr remaining;
+      ignore (Engine.schedule_after engine (Time.Span.of_us 1) event)
+    end
+  in
+  ignore (Engine.schedule_after engine (Time.Span.of_us 1) event);
+  let started = timer () in
+  Engine.run engine;
+  (match profiler with Some p -> Profile.Recorder.stop p | None -> ());
+  finish ~timer ~started ~ops
+
+let engine_dispatch ~timer ~ops =
+  let dispatch_disabled = engine_dispatch_once ~timer ~ops None in
+  let dispatch_enabled =
+    engine_dispatch_once ~timer ~ops (Some (Profile.Recorder.create ~interval_s:1e12 ~timer ()))
+  in
+  { dispatch_disabled; dispatch_enabled }
+
 let lease_throughput ~timer ~n_clients ~duration =
   let trace = (V_trace.poisson ~clients:n_clients ~duration ()).V_trace.trace in
   let setup = Runner.lease_setup ~n_clients ~term:(Analytic.Model.Finite 10.) () in
@@ -167,4 +198,84 @@ let lease_throughput ~timer ~n_clients ~duration =
   let sim_seconds = m.Leases.Metrics.sim_duration in
   { n_clients; sim_seconds; wall_seconds; sim_sec_per_wall_sec = sim_seconds /. wall_seconds }
 
-let client_counts = [ 1; 10; 100 ]
+type hotspot = { h_center : string; h_wall_pct : float; h_hits : int }
+
+(* Same workload as [lease_throughput], run once with a recorder attached;
+   the report's non-empty centers, hottest first, ride along in
+   BENCH_core.json so a sweep row says not just how fast but where the
+   time went. *)
+let lease_hotspots ~timer ~n_clients ~duration =
+  let trace = (V_trace.poisson ~clients:n_clients ~duration ()).V_trace.trace in
+  let recorder = Profile.Recorder.create ~timer () in
+  let setup = Runner.lease_setup ~n_clients ~term:(Analytic.Model.Finite 10.) () in
+  let setup = { setup with Leases.Sim.profiler = recorder } in
+  ignore (Runner.run_lease setup trace);
+  let report = Profile.Report.of_recorder recorder in
+  report.Profile.Report.centers
+  |> List.filter (fun (c : Profile.Report.center_row) -> c.hits > 0 || c.wall_s > 0.)
+  |> List.sort (fun (a : Profile.Report.center_row) (b : Profile.Report.center_row) ->
+         Float.compare b.wall_s a.wall_s)
+  |> List.map (fun (c : Profile.Report.center_row) ->
+         { h_center = c.center; h_wall_pct = c.wall_pct; h_hits = c.hits })
+
+let client_counts = [ 1; 10; 100; 1_000; 10_000 ]
+
+(* Simulated seconds per sweep point: the full budget up to 100 clients,
+   then inversely scaled so the event count — which grows linearly with N —
+   stays roughly constant across the big end of the axis. *)
+let sweep_duration_s ~base_s n = base_s *. 100. /. float_of_int (Stdlib.max 100 n)
+
+(* --- perf-regression gate ------------------------------------------ *)
+
+type gate_point = { p_clients : int; p_baseline : float; p_current : float; p_ratio : float }
+type gate_result = { g_points : gate_point list; g_worst : gate_point option; g_pass : bool }
+
+(* The end-to-end sweep of a BENCH_core.json document, as
+   (n_clients, sim_sec_per_wall_sec) pairs. *)
+let end_to_end_rows text =
+  let module J = Trace.Json in
+  match J.parse text with
+  | Error e -> Error e
+  | Ok doc -> (
+    match J.member "end_to_end" doc with
+    | Some (J.Arr rows) ->
+      Ok
+        (List.filter_map
+           (fun row ->
+             match (J.member "n_clients" row, J.member "sim_sec_per_wall_sec" row) with
+             | Some (J.Num n), Some (J.Num r) -> Some (int_of_float n, r)
+             | _ -> None)
+           rows)
+    | Some _ | None -> Error "no end_to_end array")
+
+let gate_compare ~tolerance ~baseline ~current =
+  if tolerance <= 0. || tolerance > 1. || not (Float.is_finite tolerance) then
+    invalid_arg "Corebench.gate_compare: tolerance must be in (0, 1]";
+  match (end_to_end_rows baseline, end_to_end_rows current) with
+  | Error e, _ -> Error ("baseline: " ^ e)
+  | _, Error e -> Error ("current: " ^ e)
+  | Ok base, Ok cur -> (
+    let points =
+      List.filter_map
+        (fun (n, b) ->
+          match List.assoc_opt n cur with
+          | Some c when b > 0. ->
+            Some { p_clients = n; p_baseline = b; p_current = c; p_ratio = c /. b }
+          | Some _ | None -> None)
+        base
+    in
+    match points with
+    | [] -> Error "no common sweep points between baseline and current"
+    | _ ->
+      let worst =
+        List.fold_left
+          (fun acc p ->
+            match acc with Some w when w.p_ratio <= p.p_ratio -> acc | Some _ | None -> Some p)
+          None points
+      in
+      Ok
+        {
+          g_points = points;
+          g_worst = worst;
+          g_pass = (match worst with Some w -> w.p_ratio >= tolerance | None -> true);
+        })

@@ -50,10 +50,64 @@ val telemetry_bench : timer:(unit -> float) -> ops:int -> telemetry_bench
     per-window sampler snapshot (run at [ops / 1000], it is ~1000x the
     probe cost and off the per-message path entirely). *)
 
+type dispatch_bench = {
+  dispatch_disabled : micro;  (** null recorder: one load + branch per event *)
+  dispatch_enabled : micro;  (** full begin/end accounting per event *)
+}
+
+val engine_dispatch : timer:(unit -> float) -> ops:int -> dispatch_bench
+(** The engine's single dispatch site driven by self-rescheduling no-op
+    events: [dispatch_disabled] is the residual the profiler guard leaves
+    on an unprofiled run (the same shape as {!trace_emit}'s null sink and
+    {!telemetry_bench}'s disabled probe) and must stay within noise of the
+    bare {!event_queue_push_pop}; [dispatch_enabled] is the full
+    per-event accounting cost. *)
+
 val lease_throughput :
   timer:(unit -> float) -> n_clients:int -> duration:Simtime.Time.Span.t -> throughput
 (** Run the standard Poisson V workload end to end and report simulated
     seconds advanced per wallclock second. *)
 
+type hotspot = {
+  h_center : string;  (** {!Profile.Center.name} slug *)
+  h_wall_pct : float;  (** share of total wall time, in percent (0–100) *)
+  h_hits : int;
+}
+
+val lease_hotspots :
+  timer:(unit -> float) -> n_clients:int -> duration:Simtime.Time.Span.t -> hotspot list
+(** One profiled run of the {!lease_throughput} workload; non-empty cost
+    centers, hottest first. *)
+
 val client_counts : int list
-(** The standard N axis: 1, 10, 100. *)
+(** The standard N axis: 1, 10, 100, 1000, 10000. *)
+
+val sweep_duration_s : base_s:float -> int -> float
+(** Simulated seconds to run at N clients: [base_s] through N = 100, then
+    scaled by [100 / N] so the event count stays roughly flat across the
+    big end of the axis. *)
+
+(** {1 Perf-regression gate} — compares the end-to-end sweep of two
+    BENCH_core.json documents. *)
+
+type gate_point = {
+  p_clients : int;
+  p_baseline : float;  (** sim-s per wall-s in the baseline document *)
+  p_current : float;
+  p_ratio : float;  (** current / baseline; < 1 is a slowdown *)
+}
+
+type gate_result = {
+  g_points : gate_point list;  (** common sweep points, baseline order *)
+  g_worst : gate_point option;  (** lowest ratio *)
+  g_pass : bool;  (** worst ratio >= tolerance *)
+}
+
+val gate_compare :
+  tolerance:float -> baseline:string -> current:string -> (gate_result, string) result
+(** [gate_compare ~tolerance ~baseline ~current] matches the [end_to_end]
+    rows of the two JSON documents on [n_clients] and fails when any
+    common point's [sim_sec_per_wall_sec] ratio drops below [tolerance]
+    (e.g. 0.75 = fail on a >25% regression).  Errors on unparsable
+    documents or when no sweep points are shared.  Raises
+    [Invalid_argument] unless [tolerance] is in (0, 1]. *)

@@ -77,6 +77,8 @@ let deliver_one t ~src ~dst payload =
     Time.Span.add t.proc_delay (Time.Span.add (delay_between t ~src ~dst) t.proc_delay)
   in
   let attempt () =
+    (let p = Engine.profiler t.engine in
+     if Profile.Recorder.enabled p then Profile.Recorder.mark p Profile.Center.Net_delivery);
     if lost t then begin
       t.dropped_loss <- t.dropped_loss + 1;
       trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->

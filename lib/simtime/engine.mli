@@ -48,3 +48,17 @@ val set_tracer : ?heartbeat:Time.span -> t -> Trace.Sink.t -> unit
 
 val tracer : t -> Trace.Sink.t
 (** The attached sink ({!Trace.Sink.null} when none). *)
+
+val set_profiler : t -> Profile.Recorder.t -> unit
+(** Attach a cost-center recorder.  While enabled, {!step} wraps its single
+    dispatch site in [event_begin]/[event_end], attributing each callback's
+    wall time and allocation to the cost center the callback marks (see
+    {!Profile.Recorder.mark}) and sampling engine health (queue depth,
+    live/occupied ratio, cancel ratio, events per sim-second) on the
+    recorder's cadence.  Disabled ({!Profile.Recorder.null}, the default),
+    the dispatch overhead is one load and one branch — the same guard
+    shape as the trace sink. *)
+
+val profiler : t -> Profile.Recorder.t
+(** The attached recorder ({!Profile.Recorder.null} when none) — probe
+    points in subsystem callbacks fetch it to refine the open event. *)

@@ -3,6 +3,7 @@
 type counts = {
   mutable live : int;  (** scheduled, not cancelled, not popped *)
   mutable dead : int;  (** cancelled entries still occupying heap slots *)
+  mutable cancelled_total : int;  (** lifetime cancellations, never reset *)
 }
 
 type state = Scheduled | Cancelled | Popped
@@ -26,7 +27,8 @@ let entry_before a b =
   | 0 -> a.seq < b.seq
   | c -> c < 0
 
-let create () = { heap = [||]; size = 0; next_seq = 0; counts = { live = 0; dead = 0 } }
+let create () =
+  { heap = [||]; size = 0; next_seq = 0; counts = { live = 0; dead = 0; cancelled_total = 0 } }
 
 let grow q dummy =
   let capacity = Array.length q.heap in
@@ -108,7 +110,8 @@ let cancel handle =
   | Scheduled ->
     handle.state <- Cancelled;
     handle.counts.live <- handle.counts.live - 1;
-    handle.counts.dead <- handle.counts.dead + 1
+    handle.counts.dead <- handle.counts.dead + 1;
+    handle.counts.cancelled_total <- handle.counts.cancelled_total + 1
   | Cancelled | Popped -> ()
 
 let cancelled handle = handle.state = Cancelled
@@ -158,3 +161,10 @@ let length q = q.counts.live
 let is_empty q = q.counts.live = 0
 
 let occupied_slots q = q.size
+
+(* Lifetime counters for the profiler's engine-health series; [next_seq]
+   already counts every push, so only cancellations need a dedicated
+   counter. *)
+let total_pushed q = q.next_seq
+
+let total_cancelled q = q.counts.cancelled_total

@@ -40,3 +40,10 @@ val occupied_slots : 'a t -> int
 (** Heap slots currently occupied, live entries plus not-yet-collected
     tombstones — for diagnostics and the cancel-heavy growth benchmark.
     Compaction keeps this below [2 * length + O(1)]. *)
+
+val total_pushed : 'a t -> int
+(** Lifetime pushes (never reset) — the profiler's engine-health series
+    derives per-window push/cancel rates from these.  O(1). *)
+
+val total_cancelled : 'a t -> int
+(** Lifetime cancellations (never reset).  O(1). *)

@@ -228,6 +228,9 @@ let attach t (inst : Leases.Sim.instruments) =
     if Time.(boundary > Engine.now engine) then
       ignore
         (Engine.schedule_at engine boundary (fun () ->
+             (let p = Engine.profiler engine in
+              if Profile.Recorder.enabled p then
+                Profile.Recorder.mark p Profile.Center.Telemetry_sample);
              take_sample t inst;
              arm (k + 1)))
     else arm (k + 1)

@@ -5,6 +5,21 @@ let enabled t = t.enabled
 let emit t at ev = if t.enabled then t.push { Event.at; ev }
 let flush t = t.flush ()
 
+(* Wrap every push in caller-supplied brackets — the profiler uses this to
+   account trace emission as a nested [trace/emit] cost-center span.  A
+   disabled sink is returned untouched so the fast path stays one branch. *)
+let observe ~enter ~leave sink =
+  if not sink.enabled then sink
+  else
+    {
+      sink with
+      push =
+        (fun e ->
+          enter ();
+          sink.push e;
+          leave ());
+    }
+
 let tee sinks =
   let live = List.filter (fun s -> s.enabled) sinks in
   match live with

@@ -25,6 +25,11 @@ val flush : t -> unit
 val tee : t list -> t
 (** Broadcasts to every enabled sink; disabled when all are. *)
 
+val observe : enter:(unit -> unit) -> leave:(unit -> unit) -> t -> t
+(** Bracket every push with [enter]/[leave] — the profiler wraps the run's
+    sink this way to account emission as a nested cost-center span.  A
+    disabled sink is returned untouched. *)
+
 (** {1 Ring buffer} — bounded, overwrites oldest. *)
 
 type ring

@@ -1,0 +1,49 @@
+#!/bin/sh
+# Perf-regression gate: re-run the end-to-end client sweep and compare
+# sim-s/wall-s at every sweep point against the committed baseline
+# (scripts/perf_baseline.json).  Fails — printing the worst regressing
+# sweep point — when any point drops below TOLERANCE x baseline.
+#
+# Usage: perf_gate.sh [--full] [--tolerance RATIO] [--compare BENCH.json]
+#
+#   --full             run the full-size sweep instead of --quick
+#   --tolerance RATIO  min acceptable current/baseline ratio (default 0.75,
+#                      i.e. fail on a >25% regression)
+#   --compare PATH     gate an existing BENCH_core.json instead of running
+#
+# Regenerate the baseline after an intentional perf change with:
+#   dune exec bin/bench_core.exe -- --quick --clients 1,100,1000 \
+#     -o scripts/perf_baseline.json
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE=scripts/perf_baseline.json
+TOLERANCE=0.75
+QUICK=--quick
+COMPARE=
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --full) QUICK= ;;
+    --tolerance) TOLERANCE="$2"; shift ;;
+    --compare) COMPARE="$2"; shift ;;
+    *) echo "perf_gate.sh: unknown argument $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+[ -f "$BASELINE" ] || { echo "perf_gate.sh: missing $BASELINE" >&2; exit 2; }
+
+if [ -n "$COMPARE" ]; then
+  exec dune exec bin/bench_core.exe -- \
+    --gate "$BASELINE" --tolerance "$TOLERANCE" --compare "$COMPARE"
+fi
+
+# Match the baseline's sweep points; the run both benches and gates in one
+# invocation (bench_core exits non-zero when the gate fails).
+OUT=$(mktemp /tmp/BENCH_core.gate.XXXXXX.json)
+trap 'rm -f "$OUT"' EXIT
+
+dune exec bin/bench_core.exe -- $QUICK --clients 1,100,1000 \
+  -o "$OUT" --gate "$BASELINE" --tolerance "$TOLERANCE"
