@@ -184,10 +184,21 @@ let run_benches quick clients =
   List.iter
     (fun ((r : Experiments.Corebench.throughput), hotspots) ->
       let top =
-        match hotspots with
-        | (h : Experiments.Corebench.hotspot) :: _ ->
-          Printf.sprintf "  (top: %s %.0f%%)" h.h_center h.h_wall_pct
+        (* every center still holding >= 2% of the wall, hottest first, so
+           a sweep line shows the whole cost distribution at a glance *)
+        match
+          List.filter
+            (fun (h : Experiments.Corebench.hotspot) -> h.h_wall_pct >= 2.)
+            hotspots
+        with
         | [] -> ""
+        | hot ->
+          Printf.sprintf "  (%s)"
+            (String.concat ", "
+               (List.map
+                  (fun (h : Experiments.Corebench.hotspot) ->
+                    Printf.sprintf "%s %.0f%%" h.h_center h.h_wall_pct)
+                  hot))
       in
       Printf.printf "end-to-end  : N=%-5d  %.0f sim-s in %.2f s  =  %.0f sim-s/s%s\n" r.n_clients
         r.sim_seconds r.wall_seconds r.sim_sec_per_wall_sec top)

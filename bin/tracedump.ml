@@ -77,6 +77,7 @@ let print_shard_stats events ~shards ~map_seed ~vnodes =
         match ev.ev with
         | Trace.Event.Lease_grant { file; _ }
         | Trace.Event.Lease_release { file; _ }
+        | Trace.Event.Lease_expire { file; _ }
         | Trace.Event.Wait_begin { file; _ }
         | Trace.Event.Wait_expire { file; _ }
         | Trace.Event.Approval_request { file; _ }
@@ -125,6 +126,7 @@ let end_cause_name : Trace.Lifecycle.end_cause -> string = function
   | Active -> "active"
   | Released Approved -> "released/approved"
   | Released Writer_self -> "released/writer-self"
+  | Expired -> "expired"
   | Commit_sweep -> "commit-sweep"
   | Regrant -> "regrant"
   | Server_crash -> "server-crash"

@@ -14,6 +14,7 @@ and timer = {
   deadline : Time.t;  (** local *)
   callback : unit -> unit;
   id : int;
+  daemon : bool;  (** carried onto every engine event this timer arms *)
   mutable engine_event : Engine.handle option;
   mutable live : bool;
 }
@@ -30,9 +31,12 @@ let create engine ?(offset = Time.Span.zero) ?(drift = 0.) () =
     next_timer = 0;
   }
 
+(* Read on every protocol action; the drift-free case (rate exactly 1, the
+   default) must not round-trip through floats. *)
 let now t =
   let elapsed = Time.diff (Engine.now t.engine) t.base_engine in
-  Time.add t.base_local (Time.Span.scale t.rate elapsed)
+  if t.rate = 1. then Time.add t.base_local elapsed
+  else Time.add t.base_local (Time.Span.scale t.rate elapsed)
 
 let drift t = t.rate -. 1.
 
@@ -47,7 +51,9 @@ let engine_time_of_local t local =
   if Time.(local <= local_now) then engine_now
   else begin
     let remaining_local = Time.diff local local_now in
-    let remaining_engine = Time.Span.scale (1. /. t.rate) remaining_local in
+    let remaining_engine =
+      if t.rate = 1. then remaining_local else Time.Span.scale (1. /. t.rate) remaining_local
+    in
     Time.add engine_now remaining_engine
   end
 
@@ -67,7 +73,8 @@ let rec arm_timer c tm =
     if Time.(target > now_e) || Time.(now c >= tm.deadline) then target
     else Time.add now_e (Time.Span.of_us 1)
   in
-  tm.engine_event <- Some (Engine.schedule_at c.engine target (fun () -> fire_timer c tm))
+  tm.engine_event <-
+    Some (Engine.schedule_at c.engine ~daemon:tm.daemon target (fun () -> fire_timer c tm))
 
 and fire_timer c tm =
   (* Timer bookkeeping is its own cost center until the callback refines
@@ -105,9 +112,17 @@ let step t span =
   t.base_local <- Time.add t.base_local span;
   reschedule_timers t
 
-let schedule_at_local t local callback =
+let schedule_at_local t ?(daemon = false) local callback =
   let tm =
-    { owner = t; deadline = local; callback; id = t.next_timer; engine_event = None; live = true }
+    {
+      owner = t;
+      deadline = local;
+      callback;
+      id = t.next_timer;
+      daemon;
+      engine_event = None;
+      live = true;
+    }
   in
   t.next_timer <- t.next_timer + 1;
   Hashtbl.replace t.timers tm.id tm;

@@ -43,8 +43,10 @@ val engine_time_of_local : t -> Simtime.Time.t -> Simtime.Time.t
     under the {e current} rate.  Readings already in the local past map to
     the current engine instant. *)
 
-val schedule_at_local : t -> Simtime.Time.t -> (unit -> unit) -> timer
+val schedule_at_local : t -> ?daemon:bool -> Simtime.Time.t -> (unit -> unit) -> timer
 (** Schedule a callback for when this clock reads the given local time.
+    [daemon] (default [false]) marks the timer's engine events as
+    background maintenance (see {!Simtime.Engine.schedule_at}).
 
     Drift-faithful: the callback runs at the engine instant at which the
     clock {e actually} reads the deadline, tracking any [set_drift] or

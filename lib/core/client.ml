@@ -36,34 +36,51 @@ type queued_op =
   | Q_read of (read_result -> unit)
   | Q_write of (write_result -> unit)
 
+(* Sentinel "nothing cached can expire" (Time is microseconds in an int63). *)
+let horizon = Time.of_us max_int
+
 type t = {
   engine : Engine.t;
   clock : Clock.t;
   net : Messages.payload Netsim.Net.t;
   host : Host_id.t;
-  server : Host_id.t;
   route : File_id.t -> Host_id.t;
       (** file -> owning server host; constant [server] outside sharded
           deployments *)
   rng : Prng.Splitmix.t option;  (** retransmission jitter; [None] = no jitter *)
   config : Config.t;
   counters : Stats.Counter.Registry.t;
+  (* Hot counters resolved once at creation: the registry stays the source
+     of truth for dumps, but per-operation sites must not pay a string-hash
+     lookup per bump. *)
+  c_hits : Stats.Counter.t;
+  c_misses : Stats.Counter.t;
+  c_retransmissions : Stats.Counter.t;
+  c_evictions : Stats.Counter.t;
+  c_renewals_sent : Stats.Counter.t;
+  c_fallback_reads : Stats.Counter.t;
+  c_approvals_answered : Stats.Counter.t;
   tracer : Trace.Sink.t;
   (* --- volatile state, reset by the crash hook --- *)
   cache : (File_id.t, entry) Hashtbl.t;
   mutable files_sorted : File_id.t list option;
       (** memoized [cached_files]; invalidated on cache membership change *)
-  rpcs : (Messages.req_id, rpc) Hashtbl.t;
+  mutable rpcs : rpc list;
+      (** in-flight RPCs, newest first.  Per-file serialisation keeps this
+          to one entry per busy file — a handful at most — so a list scan
+          on the reply path beats hashing the request id. *)
   busy : (File_id.t, unit) Hashtbl.t;  (** files with a primary RPC in flight *)
   op_queue : (File_id.t, queued_op Queue.t) Hashtbl.t;
   renewals_in_flight : (Host_id.t, unit) Hashtbl.t;
       (** servers with an anticipatory extension outstanding *)
   mutable next_req : int;
+  mutable evict_next : Time.t;
+      (** lower bound on the earliest local expiry among cached entries
+          (horizon sentinel = nothing can expire); drives amortized
+          eviction of long-dead entries from the miss path *)
   mutable up : bool;
 }
 
-let c t name = Stats.Counter.Registry.counter t.counters name
-let bump t name = Stats.Counter.incr (c t name)
 
 let host t = t.host
 let clock t = t.clock
@@ -100,7 +117,7 @@ let holds_valid_lease t file =
 
 let cached_version t file = Option.map (fun e -> e.version) (Hashtbl.find_opt t.cache file)
 let cache_size t = Hashtbl.length t.cache
-let inflight_rpcs t = Hashtbl.length t.rpcs
+let inflight_rpcs t = List.length t.rpcs
 let queued_ops t = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.op_queue 0
 
 (* ------------------------------------------------------------------ *)
@@ -125,8 +142,8 @@ let retry_delay t rpc =
 let rec arm_retry t rpc =
   let fire () =
     profile_mark t Profile.Center.Client_op;
-    if t.up && Hashtbl.mem t.rpcs rpc.req then begin
-      bump t "retransmissions";
+    if t.up && List.memq rpc t.rpcs then begin
+      Stats.Counter.incr t.c_retransmissions;
       rpc.tries <- rpc.tries + 1;
       send_to t ~dst:rpc.dst rpc.message;
       arm_retry t rpc
@@ -145,13 +162,20 @@ let start_rpc t ~dst kind message =
       invalid_arg "Client.start_rpc: not a request"
   in
   let rpc = { req; started = Engine.now t.engine; kind; message; dst; tries = 0; timer = None } in
-  Hashtbl.replace t.rpcs req rpc;
+  t.rpcs <- rpc :: t.rpcs;
   send_to t ~dst message;
   arm_retry t rpc
 
 let finish_rpc t rpc =
   (match rpc.timer with Some h -> Engine.cancel h | None -> ());
-  Hashtbl.remove t.rpcs rpc.req
+  t.rpcs <- List.filter (fun r -> not (r == rpc)) t.rpcs
+
+let find_rpc t req =
+  let rec go = function
+    | [] -> None
+    | rpc :: rest -> if rpc.req = req then Some rpc else go rest
+  in
+  go t.rpcs
 
 let fresh_req t =
   let req = t.next_req in
@@ -161,21 +185,83 @@ let fresh_req t =
 (* ------------------------------------------------------------------ *)
 (* Cache maintenance                                                   *)
 
-let entry_for t file =
-  match Hashtbl.find_opt t.cache file with
-  | Some entry -> entry
-  | None ->
-    let entry = { version = Vstore.Version.initial; expiry = Lease.At Time.zero; renewal_timer = None } in
-    Hashtbl.replace t.cache file entry;
-    t.files_sorted <- None;
-    entry
-
 let cancel_renewal entry =
   match entry.renewal_timer with
   | Some h ->
     Clock.cancel_timer h;
     entry.renewal_timer <- None
   | None -> ()
+
+(* Track the earliest local expiry anywhere in the cache.  Called at every
+   [entry.expiry] assignment; the bound only ever moves down here and is
+   recomputed exactly by an eviction pass, mirroring the server table's
+   per-file [min_next]. *)
+let note_expiry t = function
+  | Lease.At at -> if Time.(at < t.evict_next) then t.evict_next <- at
+  | Lease.Never -> ()
+
+(* Amortized eviction of long-dead cache entries, run from the miss path.
+   An entry whose lease lapsed is protocol-inert — it never serves a read —
+   but it used to live forever unless an invalidation or a crash happened
+   to remove it, so a long Zipf run grew [t.cache] without bound.  A pass
+   triggers only once the {e oldest} expiry is a full
+   [cache_eviction_grace] behind the client's clock, evicts every entry at
+   least that stale, and recomputes the bound exactly; between passes a
+   miss pays one comparison.  The grace keeps recently-lapsed versions
+   around for the common quick re-read (the server refreshes rather than
+   re-transfers), while the cache tracks the live working set.  Files with
+   an RPC in flight are skipped — their entry is about to be rewritten by
+   the reply.  Eviction rides on client activity by design: a timer-driven
+   sweep would keep the engine's event queue non-empty and drag every
+   run-to-quiescence simulation out by whole grace periods. *)
+let maybe_evict t =
+  match t.config.Config.cache_eviction_grace with
+  | None -> ()
+  | Some grace ->
+    let now = local_now t in
+    if Time.(t.evict_next < horizon) && Time.(Time.add t.evict_next grace <= now) then begin
+      let cutoff = Time.add now (Time.Span.neg grace) in
+      let min_next = ref horizon in
+      let victims =
+        Hashtbl.fold
+          (fun file entry acc ->
+            if (not (Hashtbl.mem t.busy file)) && Lease.expired entry.expiry ~now:cutoff then
+              (file, entry) :: acc
+            else begin
+              (match entry.expiry with
+              | Lease.At at -> if Time.(at < !min_next) then min_next := at
+              | Lease.Never -> ());
+              acc
+            end)
+          t.cache []
+        (* hash order must not leak into counters or the trace stream *)
+        |> List.sort (fun (a, _) (b, _) -> File_id.compare a b)
+      in
+      if victims <> [] then begin
+        List.iter
+          (fun (file, entry) ->
+            cancel_renewal entry;
+            Hashtbl.remove t.cache file;
+            Stats.Counter.incr t.c_evictions;
+            if tracing t then
+              emit t
+                (Trace.Event.Cache_invalidate
+                   { host = Host_id.to_int t.host; file = File_id.to_int file }))
+          victims;
+        t.files_sorted <- None
+      end;
+      t.evict_next <- !min_next
+    end
+
+let entry_for t file =
+  match Hashtbl.find t.cache file with
+  | entry -> entry
+  | exception Not_found ->
+    let entry = { version = Vstore.Version.initial; expiry = Lease.At Time.zero; renewal_timer = None } in
+    Hashtbl.replace t.cache file entry;
+    t.files_sorted <- None;
+    note_expiry t entry.expiry;
+    entry
 
 let invalidate t file =
   match Hashtbl.find_opt t.cache file with
@@ -227,7 +313,7 @@ let rec send_renewal t =
     List.iter
       (fun dst ->
         if not (Hashtbl.mem t.renewals_in_flight dst) then begin
-          bump t "renewals-sent";
+          Stats.Counter.incr t.c_renewals_sent;
           Hashtbl.replace t.renewals_in_flight dst ();
           let files = List.rev (Hashtbl.find groups dst) in
           start_rpc t ~dst Rpc_renewal (Messages.Extend_request { req = fresh_req t; files })
@@ -276,6 +362,7 @@ let apply_grant t (line : Messages.grant_line) =
     (* No lease came back (zero term or a write is pending): make sure we
        do not keep trusting an older one. *)
     entry.expiry <- Lease.At now);
+  note_expiry t entry.expiry;
   if tracing t then emit_client_lease t line.g_file entry;
   arm_renewal t line.g_file entry
   end
@@ -309,9 +396,9 @@ let rec read t file ~k =
   if not t.up then ()
   else if is_busy t file then enqueue_op t file (Q_read k)
   else begin
-    match Hashtbl.find_opt t.cache file with
-    | Some entry when not (Lease.expired entry.expiry ~now:(local_now t)) ->
-      bump t "hits";
+    match Hashtbl.find t.cache file with
+    | entry when not (Lease.expired entry.expiry ~now:(local_now t)) ->
+      Stats.Counter.incr t.c_hits;
       if tracing t then
         emit t
           (Trace.Event.Cache_hit
@@ -322,8 +409,11 @@ let rec read t file ~k =
                local_now = Time.to_sec (local_now t);
              });
       k { r_version = entry.version; r_latency = Time.Span.zero; r_from_cache = true }
-    | Some _ | None ->
-      bump t "misses";
+    | _ | (exception Not_found) ->
+      Stats.Counter.incr t.c_misses;
+      (* a miss is already a slow path: settle any long-overdue evictions
+         before the piggyback list below is built from [cached_files] *)
+      maybe_evict t;
       if tracing t then
         emit t
           (Trace.Event.Cache_miss { host = Host_id.to_int t.host; file = File_id.to_int file });
@@ -331,7 +421,12 @@ let rec read t file ~k =
       let dst = t.route file in
       let req = fresh_req t in
       let message =
-        if t.config.batch_extensions then begin
+        match t.config.Config.batch_extension_limit with
+        | Some 0 ->
+          (* A zero cap disables piggybacking outright; skip building (and
+             sorting) a candidate list that would only be thrown away. *)
+          Messages.Read_request { req; file }
+        | limit when t.config.batch_extensions -> begin
           (* Piggyback renewals only for files the same server owns: a
              batched extension is one RPC to one host. *)
           let others =
@@ -339,11 +434,36 @@ let rec read t file ~k =
               (fun f -> (not (File_id.equal f file)) && Host_id.equal (t.route f) dst)
               (cached_files t)
           in
+          let others =
+            (* Cap the piggyback list: a client caching F files otherwise
+               makes every miss carry O(F) renewal work to the server.
+               Soonest-to-expire first — those renewals buy the most.
+               Decorate once with the expiry so the sort does not pay a
+               cache lookup per comparison. *)
+            match limit with
+            | Some limit when List.compare_length_with others limit > 0 ->
+              let decorated =
+                List.map
+                  (fun f ->
+                    let expiry =
+                      match Hashtbl.find_opt t.cache f with
+                      | Some { expiry = Lease.At at; _ } -> Time.to_sec at
+                      | Some { expiry = Lease.Never; _ } | None -> Float.infinity
+                    in
+                    (expiry, f))
+                  others
+              in
+              (* stable over the file-id-sorted input, so ties break by id *)
+              List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) decorated
+              |> List.filteri (fun i _ -> i < limit)
+              |> List.map snd
+            | Some _ | None -> others
+          in
           match others with
           | [] -> Messages.Read_request { req; file }
           | _ -> Messages.Extend_request { req; files = file :: others }
         end
-        else Messages.Read_request { req; file }
+        | Some _ | None -> Messages.Read_request { req; file }
       in
       start_rpc t ~dst (Rpc_read { file; k }) message
   end
@@ -371,7 +491,9 @@ and release t file =
   drain_queue t file
 
 and drain_queue t file =
-  if not (is_busy t file) then begin
+  (* queues exist only while same-file operations overlap — almost never —
+     so the common release pays one length load, not a hash probe *)
+  if Hashtbl.length t.op_queue > 0 && not (is_busy t file) then begin
     match Hashtbl.find_opt t.op_queue file with
     | Some q when not (Queue.is_empty q) ->
       (match Queue.pop q with
@@ -405,7 +527,7 @@ let complete_read t rpc (granted : Messages.grant_line list) =
          version — a reply-mismatch artifact the oracle would then book as
          protocol staleness — so re-issue the read instead.  The file stays
          busy, so queued operations keep their order. *)
-      bump t "fallback-reads";
+      Stats.Counter.incr t.c_fallback_reads;
       start_rpc t ~dst:rpc.dst (Rpc_read { file; k })
         (Messages.Read_request { req = fresh_req t; file }))
   | Rpc_renewal ->
@@ -418,15 +540,15 @@ let handle_message t (envelope : Messages.payload Netsim.Net.envelope) =
     profile_mark t Profile.Center.Client_handle;
     match envelope.payload with
     | Messages.Read_reply { req; granted } -> (
-      match Hashtbl.find_opt t.rpcs req with
+      match find_rpc t req with
       | Some rpc -> complete_read t rpc [ granted ]
       | None -> apply_grant t granted (* late duplicate: still fresh info *))
     | Messages.Extend_reply { req; granted } -> (
-      match Hashtbl.find_opt t.rpcs req with
+      match find_rpc t req with
       | Some rpc -> complete_read t rpc granted
       | None -> List.iter (apply_grant t) granted)
     | Messages.Write_reply { req; file; version } -> (
-      match Hashtbl.find_opt t.rpcs req with
+      match find_rpc t req with
       | Some ({ kind = Rpc_write { file = wfile; k }; _ } as rpc) when File_id.equal file wfile ->
         finish_rpc t rpc;
         (* Our own write completed: cache the new version, but with no
@@ -434,14 +556,15 @@ let handle_message t (envelope : Messages.payload Netsim.Net.envelope) =
         let entry = entry_for t file in
         if Vstore.Version.compare version entry.version >= 0 then begin
           entry.version <- version;
-          entry.expiry <- Lease.At (local_now t)
+          entry.expiry <- Lease.At (local_now t);
+          note_expiry t entry.expiry
         end;
         if tracing t then emit_client_lease t file entry;
         k { w_version = version; w_latency = Time.diff (Engine.now t.engine) rpc.started };
         release t file
       | Some _ | None -> ())
     | Messages.Approval_request { write; file } ->
-      bump t "approvals-answered";
+      Stats.Counter.incr t.c_approvals_answered;
       invalidate t file;
       (* Reply to whichever server asked — under sharding that is the
          file's owner, not necessarily our default server. *)
@@ -458,6 +581,7 @@ let handle_message t (envelope : Messages.payload Netsim.Net.envelope) =
                 ~skew_allowance:t.config.skew_allowance
             in
             entry.expiry <- Lease.expiry_max entry.expiry refreshed;
+            note_expiry t entry.expiry;
             if tracing t then emit_client_lease t file entry;
             arm_renewal t file entry
           | Some _ ->
@@ -480,11 +604,12 @@ let on_crash t =
   Hashtbl.iter (fun _ entry -> cancel_renewal entry) t.cache;
   Hashtbl.reset t.cache;
   t.files_sorted <- None;
-  Hashtbl.iter (fun _ rpc -> match rpc.timer with Some h -> Engine.cancel h | None -> ()) t.rpcs;
-  Hashtbl.reset t.rpcs;
+  List.iter (fun rpc -> match rpc.timer with Some h -> Engine.cancel h | None -> ()) t.rpcs;
+  t.rpcs <- [];
   Hashtbl.reset t.busy;
   Hashtbl.reset t.op_queue;
-  Hashtbl.reset t.renewals_in_flight
+  Hashtbl.reset t.renewals_in_flight;
+  t.evict_next <- horizon
 
 let on_recover t = t.up <- true
 
@@ -492,25 +617,33 @@ let create ~engine ~clock ~net ~liveness ~host ~server ?route ?rng ~config
     ?(tracer = Trace.Sink.null) () =
   Config.validate config;
   let route = match route with Some r -> r | None -> fun _ -> server in
+  let counters = Stats.Counter.Registry.create () in
   let t =
     {
       engine;
       clock;
       net;
       host;
-      server;
       route;
       rng;
       config;
-      counters = Stats.Counter.Registry.create ();
+      counters;
+      c_hits = Stats.Counter.Registry.counter counters "hits";
+      c_misses = Stats.Counter.Registry.counter counters "misses";
+      c_retransmissions = Stats.Counter.Registry.counter counters "retransmissions";
+      c_evictions = Stats.Counter.Registry.counter counters "evictions";
+      c_renewals_sent = Stats.Counter.Registry.counter counters "renewals-sent";
+      c_fallback_reads = Stats.Counter.Registry.counter counters "fallback-reads";
+      c_approvals_answered = Stats.Counter.Registry.counter counters "approvals-answered";
       tracer;
-      cache = Hashtbl.create 128;
+      cache = Hashtbl.create 16;
       files_sorted = None;
-      rpcs = Hashtbl.create 32;
-      busy = Hashtbl.create 16;
-      op_queue = Hashtbl.create 16;
+      rpcs = [];
+      busy = Hashtbl.create 8;
+      op_queue = Hashtbl.create 8;
       renewals_in_flight = Hashtbl.create 4;
       next_req = 0;
+      evict_next = horizon;
       up = true;
     }
   in
@@ -524,5 +657,6 @@ let misses t = Stats.Counter.Registry.find t.counters "misses"
 let approvals_answered t = Stats.Counter.Registry.find t.counters "approvals-answered"
 let retransmissions t = Stats.Counter.Registry.find t.counters "retransmissions"
 let fallback_reads t = Stats.Counter.Registry.find t.counters "fallback-reads"
+let evictions t = Stats.Counter.Registry.find t.counters "evictions"
 let renewals_sent t = Stats.Counter.Registry.find t.counters "renewals-sent"
 let counters t = t.counters

@@ -84,4 +84,9 @@ val fallback_reads : t -> int
     retransmission raced a crash).  These never complete from fabricated
     local state, so they cannot pollute oracle staleness attribution. *)
 
+val evictions : t -> int
+(** Cache entries reclaimed by the periodic eviction sweep
+    ([Config.cache_eviction_grace]) because their lease had lapsed at
+    least a full grace earlier. *)
+
 val counters : t -> Stats.Counter.Registry.t

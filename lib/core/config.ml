@@ -19,6 +19,9 @@ type t = {
   installed : installed option;
   wal_mode : Vstore.Wal.mode;
   term_compensation : (Host.Host_id.t -> Simtime.Time.Span.t) option;
+  lease_sweep_interval : Time.Span.t option;
+  batch_extension_limit : int option;
+  cache_eviction_grace : Time.Span.t option;
 }
 
 let default =
@@ -35,6 +38,9 @@ let default =
     installed = None;
     wal_mode = Vstore.Wal.Max_term_only;
     term_compensation = None;
+    lease_sweep_interval = Some (Time.Span.of_sec 10.);
+    batch_extension_limit = None;
+    cache_eviction_grace = Some (Time.Span.of_sec 600.);
   }
 
 let with_term t term =
@@ -66,6 +72,17 @@ let validate t =
     if Time.Span.(term <= period) then
       invalid_arg "Config: installed term must exceed the refresh period"
   | None -> ());
-  match t.anticipatory_renewal with
+  (match t.anticipatory_renewal with
   | Some lead when Time.Span.is_negative lead -> invalid_arg "Config: negative renewal lead"
+  | Some _ | None -> ());
+  (match t.lease_sweep_interval with
+  | Some interval when Time.Span.(interval <= Time.Span.zero) ->
+    invalid_arg "Config: lease sweep interval must be positive"
+  | Some _ | None -> ());
+  (match t.batch_extension_limit with
+  | Some limit when limit < 0 -> invalid_arg "Config: negative batch extension limit"
+  | Some _ | None -> ());
+  match t.cache_eviction_grace with
+  | Some grace when Time.Span.is_negative grace ->
+    invalid_arg "Config: negative cache eviction grace"
   | Some _ | None -> ()

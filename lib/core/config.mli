@@ -42,6 +42,25 @@ type t = {
       compensate for the amount the lease term is reduced by the
       propagation delay".  When set, the server adds this per-client span
       to every finite term it grants that client. *)
+  lease_sweep_interval : Simtime.Time.Span.t option;
+  (** cadence of the server's periodic lease-table sweep, driven from the
+      {e server's} clock (reaping decisions always compare a server-local
+      expiry against the server's own clock, so drift cannot make a sweep
+      reap a record that a grant-path check would still count as live).
+      [None] disables the sweep; idle files then hold their expired
+      records until the next access touches them. *)
+  batch_extension_limit : int option;
+  (** when [batch_extensions] is on, renew at most this many other held
+      leases per miss (the soonest-to-expire first).  [None] (default)
+      renews all of them — faithful to the paper, but a client caching F
+      files makes every miss carry O(F) work to the server. *)
+  cache_eviction_grace : Simtime.Time.Span.t option;
+  (** how long past local expiry a client keeps a dead cache entry before
+      the miss-path eviction pass reclaims it (eviction rides on client
+      activity, never on timers, so it cannot extend a run).  An expired
+      entry is protocol-inert (it never satisfies a read), so the grace
+      only trades memory against re-read version locality; [None] disables
+      eviction, restoring grow-forever caches. *)
 }
 
 val default : t

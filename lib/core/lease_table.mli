@@ -1,10 +1,27 @@
 (** The server's volatile per-file lease-holder table.
 
-    A mutable two-level hash table: file -> (holder -> server-local expiry).
-    The per-message hot path ([record]/[remove_holder]/[drop_file]) is O(1)
-    amortized, replacing the immutable-map rebuilds that used to dominate
-    lease bookkeeping.  All aggregates are deterministic: order-independent
-    folds, or results sorted by holder id.
+    An int-keyed mutable layout: a growable array indexed by file id, each
+    slot holding a holder-id -> server-local-expiry hash table plus the
+    earliest finite expiry among its records.  Records whose expiry the
+    server clock has passed are {e reaped} — removed for good — lazily on
+    the next access to the file and in bulk by the server's periodic
+    {!sweep}, so every aggregate here costs time proportional to the
+    file's {e live} holders, never to its lifetime holder history.  The
+    per-message hot path ([record]/[remove_holder]/[drop_file]) is O(1)
+    amortized, and [live_count] — the grant path's only aggregate — is a
+    reap check plus a table length.
+
+    Reaping is semantically invisible to every query (an expired record
+    was already excluded from all of them); its one observable effect is
+    that a server clock stepped {e backwards} cannot resurrect a record
+    reaped before the step.  That direction of forgetting is the unsafe
+    fast-server-clock polarity the protocol already covers with the
+    client-side skew allowance, and the trace checker consumes the
+    [lease-expire] events emitted through {!set_on_reap} so reaps are
+    never mistaken for releases.
+
+    All aggregates are deterministic: order-independent folds, or results
+    sorted by holder id.
 
     The table is volatile server state — [clear] restores the just-crashed
     empty state (leases survive only in the WAL, as recovery deadlines). *)
@@ -12,6 +29,11 @@
 type t
 
 val create : unit -> t
+
+val set_on_reap : t -> (Vstore.File_id.t -> Host.Host_id.t -> Lease.expiry -> unit) -> unit
+(** Install the per-reaped-record hook (default: ignore).  Called inside
+    the reap pass, once per removed record; it must not re-enter the
+    table.  The server uses it to emit [lease-expire] trace events. *)
 
 val record : t -> Vstore.File_id.t -> Host.Host_id.t -> Lease.expiry -> unit
 (** Upsert one holder's lease on a file. *)
@@ -30,10 +52,12 @@ val fold_live :
   init:'a ->
   f:(Host.Host_id.t -> Lease.expiry -> 'a -> 'a) ->
   'a
-(** Fold over holders whose lease is unexpired at [now] (server clock).
-    Visit order is unspecified; [f] must be order-independent. *)
+(** Fold over holders whose lease is unexpired at [now] (server clock),
+    reaping expired records first.  Visit order is unspecified; [f] must
+    be order-independent. *)
 
 val live_count : t -> Vstore.File_id.t -> now:Simtime.Time.t -> int
+(** O(1) after the reap check: the post-reap table length. *)
 
 val live_holders : t -> Vstore.File_id.t -> now:Simtime.Time.t -> Host.Host_id.t list
 (** Sorted by holder id. *)
@@ -44,13 +68,44 @@ val live_deadline :
   t -> Vstore.File_id.t -> now:Simtime.Time.t -> init:Lease.expiry -> Lease.expiry
 (** Latest live expiry on the file, at least [init]. *)
 
+val write_snapshot :
+  t ->
+  Vstore.File_id.t ->
+  now:Simtime.Time.t ->
+  init:Lease.expiry ->
+  Lease.expiry * Host.Host_id.Set.t
+(** [live_deadline] and [live_holder_set] in one reap-and-fold pass — the
+    write path's single visit. *)
+
+val sweep : t -> now:Simtime.Time.t -> int
+(** Reap every slot whose earliest expiry has passed; returns the number
+    of records reaped.  O(files) comparisons plus the amortized reap work.
+    Driven periodically from the server clock so idle files do not hold
+    their expired records until the next access. *)
+
 type occupancy = { files : int; records : int; live_records : int }
 
 val occupancy : t -> now:Simtime.Time.t -> occupancy
-(** Whole-table occupancy: files with at least one record, total records,
-    and records unexpired at [now] (server clock).  One pass, no
-    allocation beyond the result — cheap enough for the telemetry
-    sampler's periodic snapshots. *)
+(** Whole-table occupancy after a {!sweep} at [now]: files with at least
+    one live record and the live record count ([records] =
+    [live_records] — both fields are kept so existing consumers see the
+    same shape).  O(files), not O(lifetime records). *)
+
+val next_finite_expiry : t -> Simtime.Time.t option
+(** Lower bound on the earliest finite expiry among resident records;
+    [None] when nothing resident can ever expire.  The server uses it to
+    decide whether the periodic sweep still has work coming — a sweep
+    timer that re-armed unconditionally would keep the simulation's event
+    queue alive forever. *)
+
+val resident_records : t -> int
+(** O(1): records currently resident (live plus not-yet-reaped). *)
+
+val resident_files : t -> int
+(** O(1): files with at least one resident record. *)
+
+val reaped_total : t -> int
+(** Lifetime count of reaped records; never reset. *)
 
 val clear : t -> unit
 (** Crash reset: empty the table in place. *)

@@ -26,6 +26,15 @@ type t = {
   wal : Vstore.Wal.t;
   config : Config.t;
   counters : Stats.Counter.Registry.t;
+  (* Hot counters resolved once at creation: the registry stays the source
+     of truth for dumps, but per-message sites must not pay a string
+     concatenation plus a string-hash lookup per bump. *)
+  c_msgs_extension : Stats.Counter.t;
+  c_msgs_approval : Stats.Counter.t;
+  c_msgs_installed : Stats.Counter.t;
+  c_msgs_write_transfer : Stats.Counter.t;
+  c_callbacks_sent : Stats.Counter.t;
+  c_commits : Stats.Counter.t;
   write_wait : Stats.Histogram.t;
   tracker : Term_policy.Tracker.t option;
   tracer : Trace.Sink.t;
@@ -44,13 +53,19 @@ type t = {
   mutable installed_cover : Time.t File_id.Map.t;
   (** server-local expiry of the latest installed coverage per file *)
   mutable refresh_timer : Engine.handle option;
+  mutable sweep_timer : Clock.timer option;
   mutable up : bool;
   mutable obs : Breakdown.t option;
       (** per-entity hot-counter breakdowns; attached only while telemetry
           samples, so every bump site below is guarded like a trace emit *)
 }
 
-let msg_counter t category = Stats.Counter.Registry.counter t.counters ("msgs/" ^ Messages.category_name category)
+let msg_counter t category =
+  match (category : Messages.category) with
+  | Messages.Extension -> t.c_msgs_extension
+  | Messages.Approval -> t.c_msgs_approval
+  | Messages.Installed -> t.c_msgs_installed
+  | Messages.Write_transfer -> t.c_msgs_write_transfer
 
 let count_msg t payload = Stats.Counter.incr (msg_counter t (Messages.category payload))
 
@@ -83,7 +98,7 @@ let term_sec = function
 
 let is_installed t file = File_id.Set.mem file t.installed_set
 
-let leaseholders t file = Lease_table.live_holders t.leases file ~now:(local_now t)
+let live_leases t file = Lease_table.live_holders t.leases file ~now:(local_now t)
 
 let has_pending_write t file =
   Hashtbl.mem t.pending file
@@ -111,14 +126,53 @@ let note_installed_cover t file ~until =
   if Time.(until > known) then t.installed_cover <- File_id.Map.add file until t.installed_cover
 
 (* ------------------------------------------------------------------ *)
+(* Periodic lease-table sweep                                          *)
+
+(* Reap idle files' expired records on a fixed server-clock cadence, so the
+   table's footprint tracks live leases even for files nothing touches
+   again.  The timer is a [Clock] local timer on purpose: reaping compares
+   server-local expiries against the server's own clock, so driving it from
+   the same clock keeps a sweep's verdict identical to the verdict the next
+   grant-path reap check would reach — drift or steps merely move both
+   together.  The reap itself is idempotent and semantically invisible, so
+   sweep cadence cannot perturb protocol behaviour (tested).
+
+   The timer is lazy — armed when a finite-expiry record lands in an idle
+   table, re-armed after a sweep only while something resident can still
+   expire — and its engine events are marked daemon, so background reaping
+   neither keeps a run-to-quiescence simulation alive nor extends its end
+   time past the last piece of real work. *)
+let rec run_sweep t =
+  match t.config.Config.lease_sweep_interval with
+  | None -> ()
+  | Some interval ->
+    let fire () =
+      profile_mark t Profile.Center.Server_expiry;
+      if t.up then begin
+        ignore (Lease_table.sweep t.leases ~now:(local_now t));
+        match Lease_table.next_finite_expiry t.leases with
+        | Some _ -> run_sweep t
+        | None -> t.sweep_timer <- None
+      end
+    in
+    t.sweep_timer <-
+      Some (Clock.schedule_at_local t.clock ~daemon:true (Time.add (local_now t) interval) fire)
+
+(* ------------------------------------------------------------------ *)
 (* Granting                                                            *)
 
-let record_lease t file holder expiry = Lease_table.record t.leases file holder expiry
+let record_lease t file holder expiry =
+  Lease_table.record t.leases file holder expiry;
+  match expiry, t.sweep_timer with
+  | Lease.At _, None -> run_sweep t
+  | (Lease.At _ | Lease.Never), _ -> ()
 
+(* Each branch below builds its reply line exactly once — the hot path
+   allocates one [grant_line] (plus the lease option when one is granted),
+   never a template record that a second allocation then copies. *)
 let grant_for t ~holder ~renewal file : Messages.grant_line =
   let version = Vstore.Store.current t.store file in
-  let no_lease = { Messages.g_file = file; g_version = version; g_lease = None } in
-  if has_pending_write t file then no_lease
+  if has_pending_write t file then { Messages.g_file = file; g_version = version; g_lease = None }
   else if is_installed t file then begin
     match t.config.installed with
     | Some { term; _ } when not (File_id.Set.mem file t.installed_suspended) ->
@@ -132,11 +186,12 @@ let grant_for t ~holder ~renewal file : Messages.grant_line =
           (Trace.Event.Installed_cover
              { file = File_id.to_int file; until = Time.to_sec until });
       Vstore.Wal.record_grant t.wal file ~term ~expiry:until;
-      { no_lease with g_lease = Some { Lease.term = Lease.Finite term } }
-    | Some _ | None -> no_lease
+      { Messages.g_file = file; g_version = version; g_lease = Some { Lease.term = Lease.Finite term } }
+    | Some _ | None -> { Messages.g_file = file; g_version = version; g_lease = None }
   end
   else begin
     let now = local_now t in
+    (* O(1) after the table's reap check: post-reap resident = live. *)
     let holders = Lease_table.live_count t.leases file ~now in
     let term =
       Term_policy.term_for t.config.term_policy ~tracker:t.tracker ~file ~now
@@ -149,7 +204,7 @@ let grant_for t ~holder ~renewal file : Messages.grant_line =
         Lease.Finite (Time.Span.add span (Time.Span.clamp_non_negative (compensation holder)))
       | (Lease.Finite _ | Lease.Infinite), _ -> term
     in
-    if Lease.term_is_zero term then no_lease
+    if Lease.term_is_zero term then { Messages.g_file = file; g_version = version; g_lease = None }
     else begin
       let grant = { Lease.term } in
       let expiry = Lease.server_expiry grant ~granted_at:now in
@@ -171,7 +226,7 @@ let grant_for t ~holder ~renewal file : Messages.grant_line =
         | Lease.At at -> Vstore.Wal.record_grant t.wal file ~term:span ~expiry:at
         | Lease.Never -> ())
       | Lease.Infinite -> ());
-      { no_lease with g_lease = Some grant }
+      { Messages.g_file = file; g_version = version; g_lease = Some grant }
     end
   end
 
@@ -203,8 +258,9 @@ let rec start_write t ~writer ~req file =
                holder = Host_id.to_int writer;
                cause = Trace.Event.Writer_self;
              });
-      let deadline = Lease_table.live_deadline t.leases file ~now ~init:(Lease.At recovery) in
-      let holders = Lease_table.live_holder_set t.leases file ~now in
+      let deadline, holders =
+        Lease_table.write_snapshot t.leases file ~now ~init:(Lease.At recovery)
+      in
       let waiting = if t.config.callback_on_write then holders else Host_id.Set.empty in
       (deadline, waiting, holders)
     end
@@ -271,7 +327,7 @@ and arm_expiry_timer t p =
 and send_approval_requests t p =
   let remaining = Host_id.Set.elements p.waiting in
   if remaining <> [] then begin
-    Stats.Counter.incr (Stats.Counter.Registry.counter t.counters "callbacks-sent");
+    Stats.Counter.incr t.c_callbacks_sent;
     if tracing t then
       emit t
         (Trace.Event.Approval_request
@@ -320,7 +376,7 @@ and commit_write t ~writer ~req ~write_id file ~arrived =
   Hashtbl.replace t.applied (writer, req) version;
   let waited = Time.Span.to_sec (Time.diff (Engine.now t.engine) arrived) in
   Stats.Histogram.add t.write_wait waited;
-  Stats.Counter.incr (Stats.Counter.Registry.counter t.counters "commits");
+  Stats.Counter.incr t.c_commits;
   if tracing t then
     emit t
       (Trace.Event.Commit
@@ -516,13 +572,17 @@ let on_crash t =
   t.installed_suspended <- File_id.Set.empty;
   t.installed_cover <- File_id.Map.empty;
   (match t.refresh_timer with Some h -> Engine.cancel h | None -> ());
-  t.refresh_timer <- None
+  t.refresh_timer <- None;
+  (match t.sweep_timer with Some h -> Clock.cancel_timer h | None -> ());
+  t.sweep_timer <- None
 
 let on_recover t =
   t.up <- true;
   let now = local_now t in
   t.recovered_at <- now;
   t.recovery_end <- Time.add now (Vstore.Wal.max_term t.wal);
+  (* the lease table is empty after a crash; the sweep re-arms lazily on
+     the first finite grant *)
   run_refresh t
 
 let create ~engine ~clock ~net ~liveness ~host ~clients ~store ~config
@@ -538,6 +598,7 @@ let create ~engine ~clock ~net ~liveness ~host ~clients ~store ~config
     | Some { files; _ } -> File_id.Set.of_list files
     | None -> File_id.Set.empty
   in
+  let counters = Stats.Counter.Registry.create () in
   let t =
     {
       engine;
@@ -548,7 +609,13 @@ let create ~engine ~clock ~net ~liveness ~host ~clients ~store ~config
       store;
       wal = Vstore.Wal.create config.Config.wal_mode;
       config;
-      counters = Stats.Counter.Registry.create ();
+      counters;
+      c_msgs_extension = Stats.Counter.Registry.counter counters "msgs/extension";
+      c_msgs_approval = Stats.Counter.Registry.counter counters "msgs/approval";
+      c_msgs_installed = Stats.Counter.Registry.counter counters "msgs/installed";
+      c_msgs_write_transfer = Stats.Counter.Registry.counter counters "msgs/write-transfer";
+      c_callbacks_sent = Stats.Counter.Registry.counter counters "callbacks-sent";
+      c_commits = Stats.Counter.Registry.counter counters "commits";
       write_wait = Stats.Histogram.create ();
       tracker;
       tracer;
@@ -565,10 +632,24 @@ let create ~engine ~clock ~net ~liveness ~host ~clients ~store ~config
       installed_suspended = File_id.Set.empty;
       installed_cover = File_id.Map.empty;
       refresh_timer = None;
+      sweep_timer = None;
       up = true;
       obs = None;
     }
   in
+  (* Reaps emit [lease-expire] so the trace checker can forget the record
+     exactly when the server does — without this, a backwards server-clock
+     step would leave the checker holding leases the server reaped, and
+     legitimate commits would read as commit-vs-lease violations. *)
+  Lease_table.set_on_reap t.leases (fun file holder expiry ->
+      if tracing t then
+        emit t
+          (Trace.Event.Lease_expire
+             {
+               file = File_id.to_int file;
+               holder = Host_id.to_int holder;
+               expired_at = expiry_sec expiry;
+             }));
   Netsim.Net.register net host (handle_message t);
   Host.Liveness.register liveness host ~on_crash:(fun () -> on_crash t)
     ~on_recover:(fun () -> on_recover t) ();

@@ -52,16 +52,21 @@ val clock : t -> Clock.t
 
 (** {2 Introspection for tests and metrics} *)
 
-val leaseholders : t -> Vstore.File_id.t -> Host.Host_id.t list
-(** Holders with unexpired leases right now (server clock); installed files
-    covered by multicast refresh report no holders, by design. *)
+val live_leases : t -> Vstore.File_id.t -> Host.Host_id.t list
+(** Holders with unexpired leases right now (server clock), sorted by host
+    id; installed files covered by multicast refresh report no holders, by
+    design.  Reaps the file's expired records as a side effect — this is a
+    test/metrics accessor, not a hot-path helper. *)
 
 val has_pending_write : t -> Vstore.File_id.t -> bool
 val recovering : t -> bool
 
 type snapshot = {
-  lease_files : int;  (** files with at least one lease record *)
-  lease_records : int;  (** lease records, live or expired *)
+  lease_files : int;  (** files with at least one live lease record *)
+  lease_records : int;
+      (** resident lease records; the snapshot sweeps first, so this equals
+          [lease_records_live] (the field pair is kept for consumers of the
+          old live-vs-resident split) *)
   lease_records_live : int;  (** records unexpired on the server clock *)
   pending_writes : int;  (** writes waiting on approvals or lease expiry *)
   queued_writes : int;  (** writes queued behind a pending one *)

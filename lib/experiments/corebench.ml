@@ -9,7 +9,7 @@ type micro = { ops : int; elapsed_s : float; ops_per_sec : float }
 
 type queue_growth = {
   g_micro : micro;
-  max_slots : int;  (** peak occupied heap slots (live + tombstones) *)
+  max_slots : int;  (** peak occupied heap slots — equals live under eager cancel *)
   live_target : int;  (** live events maintained throughout *)
 }
 
@@ -42,8 +42,8 @@ let event_queue_push_pop ~timer ~ops =
 
 (* The renewal/retry pattern: almost every scheduled event is cancelled and
    replaced before it fires.  One op = cancel + push (+ occasional pop).
-   Peak slot occupancy demonstrates that tombstone compaction keeps the heap
-   bounded by a small multiple of the live count. *)
+   Peak slot occupancy demonstrates that eager cancellation keeps the heap
+   at exactly the live count. *)
 let event_queue_cancel_heavy ~timer ~ops =
   let q = Event_queue.create () in
   let live_target = 1_024 in
@@ -189,9 +189,22 @@ let engine_dispatch ~timer ~ops =
   in
   { dispatch_disabled; dispatch_enabled }
 
+(* The end-to-end sweep runs with piggyback extensions disabled
+   ([batch_extension_limit = Some 0]).  Each piggybacked file multiplies a
+   miss into an extra server-side grant, so with unbounded batching (the
+   default) the sweep mostly measures how many free renewals the workload
+   generator happens to piggyback rather than the per-operation core cost
+   the sweep exists to track.  On the poisson sweep workload the batching
+   buys almost nothing anyway — 77_381 misses unbounded vs 77_507 with it
+   off at 10k clients (+0.16%) — while costing ~1.7x the wall time.
+   Protocol-quality experiments (term sweeps, Table 2) keep the default. *)
+let sweep_config = { Leases.Config.default with batch_extension_limit = Some 0 }
+
 let lease_throughput ~timer ~n_clients ~duration =
   let trace = (V_trace.poisson ~clients:n_clients ~duration ()).V_trace.trace in
-  let setup = Runner.lease_setup ~n_clients ~term:(Analytic.Model.Finite 10.) () in
+  let setup =
+    Runner.lease_setup ~config:sweep_config ~n_clients ~term:(Analytic.Model.Finite 10.) ()
+  in
   let started = timer () in
   let m = Runner.run_lease setup trace in
   let wall_seconds = Float.max 1e-9 (timer () -. started) in
@@ -207,7 +220,9 @@ type hotspot = { h_center : string; h_wall_pct : float; h_hits : int }
 let lease_hotspots ~timer ~n_clients ~duration =
   let trace = (V_trace.poisson ~clients:n_clients ~duration ()).V_trace.trace in
   let recorder = Profile.Recorder.create ~timer () in
-  let setup = Runner.lease_setup ~n_clients ~term:(Analytic.Model.Finite 10.) () in
+  let setup =
+    Runner.lease_setup ~config:sweep_config ~n_clients ~term:(Analytic.Model.Finite 10.) ()
+  in
   let setup = { setup with Leases.Sim.profiler = recorder } in
   ignore (Runner.run_lease setup trace);
   let report = Profile.Report.of_recorder recorder in

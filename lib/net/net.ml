@@ -11,7 +11,9 @@ type 'a t = {
   link_delay : (src:Host.Host_id.t -> dst:Host.Host_id.t -> Time.Span.t) option;
   prop_delay : Time.Span.t;
   proc_delay : Time.Span.t;
-  handlers : (Host.Host_id.t, 'a envelope -> unit) Hashtbl.t;
+  mutable handlers : ('a envelope -> unit) option array;
+      (** indexed by [Host_id.to_int]: one delivery lookup per message, on
+          dense host ids — an array load, not a hash probe *)
   tracer : Trace.Sink.t;
   describe : 'a -> string;
   mutable sent : int;
@@ -35,7 +37,7 @@ let create engine ?liveness ?partition ?rng ?(loss = 0.) ?link_delay ?(tracer = 
     link_delay;
     prop_delay;
     proc_delay;
-    handlers = Hashtbl.create 32;
+    handlers = [||];
     tracer;
     describe;
     sent = 0;
@@ -46,7 +48,20 @@ let create engine ?liveness ?partition ?rng ?(loss = 0.) ?link_delay ?(tracer = 
     dropped_down = 0;
   }
 
-let register t host handler = Hashtbl.replace t.handlers host handler
+let register t host handler =
+  let idx = Host.Host_id.to_int host in
+  let cap = Array.length t.handlers in
+  if idx >= cap then begin
+    let cap' = Stdlib.max 16 (Stdlib.max (idx + 1) (2 * cap)) in
+    let handlers' = Array.make cap' None in
+    Array.blit t.handlers 0 handlers' 0 cap;
+    t.handlers <- handlers'
+  end;
+  t.handlers.(idx) <- Some handler
+
+let handler_for t host =
+  let idx = Host.Host_id.to_int host in
+  if idx < Array.length t.handlers then Array.unsafe_get t.handlers idx else None
 
 let delay_between t ~src ~dst =
   match t.link_delay with
@@ -95,7 +110,7 @@ let deliver_one t ~src ~dst payload =
           Trace.Event.Net_drop { src; dst; msg; cause = Trace.Event.Partition })
     end
     else begin
-      match Hashtbl.find_opt t.handlers dst with
+      match handler_for t dst with
       | None ->
         t.dropped_down <- t.dropped_down + 1;
         trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->

@@ -4,21 +4,27 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create ~seed = { state = seed }
 
-(* The splitmix64 output function (Steele, Lea & Flood 2014). *)
-let mix z =
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+(* The splitmix64 output function (Steele, Lea & Flood 2014) appears as a
+   straight-line chain inside each caller: without flambda, Int64
+   intermediates are only unboxed within one function body, so routing
+   them through a [mix] helper would box every step. *)
+let next_int64 t =
+  let s = Int64.add t.state golden_gamma in
+  t.state <- s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
-
-let next_int64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
 
 let split t = { state = next_int64 t }
 
 let float t =
   (* 53 uniform bits mapped to [0, 1). *)
-  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  let s = Int64.add t.state golden_gamma in
+  t.state <- s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let bits = Int64.shift_right_logical z 11 in
   Int64.to_float bits *. 0x1.0p-53
 
 let int t ~bound =

@@ -7,7 +7,7 @@ type t = {
   mutable profiler : Profile.Recorder.t;
 }
 
-type handle = Event_queue.handle
+type handle = (unit -> unit) Event_queue.handle
 
 let create () =
   {
@@ -36,24 +36,26 @@ let profiler t = t.profiler
 
 let now t = t.now
 
-let schedule_at t at callback =
+let schedule_at t ?daemon at callback =
   if Time.(at < t.now) then
     invalid_arg
       (Format.asprintf "Engine.schedule_at: %a is in the past (now %a)" Time.pp at Time.pp t.now);
-  Event_queue.push t.queue ~at callback
+  Event_queue.push t.queue ?daemon ~at callback
 
-let schedule_after t delay callback =
+let schedule_after t ?daemon delay callback =
   if Time.Span.is_negative delay then
     invalid_arg
       (Format.asprintf "Engine.schedule_after: negative delay %a" Time.Span.pp delay);
-  schedule_at t (Time.add t.now delay) callback
+  schedule_at t ?daemon (Time.add t.now delay) callback
 
 let cancel = Event_queue.cancel
 
 let step t =
-  match Event_queue.pop t.queue with
+  match Event_queue.pop_event t.queue with
   | None -> false
-  | Some (at, callback) ->
+  | Some entry ->
+    let at = Event_queue.event_at entry in
+    let callback = Event_queue.event_payload entry in
     t.now <- at;
     (* Bounded-rate engine sample: at most one heartbeat per [heartbeat]
        interval of sim time, emitted piggyback on a real event so the
@@ -80,15 +82,24 @@ let step t =
     true
 
 let run ?until t =
-  let continue () =
-    match until, Event_queue.peek_time t.queue with
-    | _, None -> false
-    | None, Some _ -> true
-    | Some limit, Some next -> Time.(next <= limit)
-  in
-  while continue () do
-    ignore (step t)
-  done;
+  (* The continue checks are non-allocating — [next_us] rather than the
+     option-boxing [peek_time] — because they run once per event. *)
+  (match until with
+  | None ->
+    (* Unbounded runs drain the *work*: daemon maintenance events (lease
+       sweeps and the like) still fire while real events remain ahead of
+       them, but never extend the run on their own — otherwise a
+       run-to-quiescence simulation would end at the whim of whatever
+       background cadence happened to be armed.  A live non-daemon event
+       implies a non-empty queue, so [step] always pops. *)
+    while Event_queue.live_nondaemon t.queue > 0 do
+      ignore (step t)
+    done
+  | Some limit ->
+    let limit_us = Time.to_us limit in
+    while Event_queue.next_us t.queue <= limit_us do
+      ignore (step t)
+    done);
   (* When bounded, land exactly on the limit so callers can resume cleanly. *)
   match until with
   | Some limit when Time.(t.now < limit) -> t.now <- limit

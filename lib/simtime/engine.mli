@@ -11,7 +11,7 @@
 
 type t
 
-type handle = Event_queue.handle
+type handle = (unit -> unit) Event_queue.handle
 
 val create : unit -> t
 
@@ -19,19 +19,25 @@ val now : t -> Time.t
 (** Current virtual time.  Inside a callback, this is the instant the
     callback was scheduled for. *)
 
-val schedule_at : t -> Time.t -> (unit -> unit) -> handle
+val schedule_at : t -> ?daemon:bool -> Time.t -> (unit -> unit) -> handle
 (** Schedule a callback at an absolute instant.  Scheduling in the past
-    raises [Invalid_argument]. *)
+    raises [Invalid_argument].  [daemon] (default [false]) marks background
+    maintenance: the callback fires normally while real work remains ahead
+    of it, but an unbounded {!run} never stays alive for daemon events
+    alone. *)
 
-val schedule_after : t -> Time.span -> (unit -> unit) -> handle
+val schedule_after : t -> ?daemon:bool -> Time.span -> (unit -> unit) -> handle
 (** Schedule a callback after a delay from [now].  Negative delays raise
     [Invalid_argument]. *)
 
 val cancel : handle -> unit
 
 val run : ?until:Time.t -> t -> unit
-(** Run events in timestamp order until the queue is empty, or until the
-    first event strictly after [until] (which remains queued). *)
+(** Run events in timestamp order until no non-daemon event is pending, or
+    until the first event strictly after [until] (which remains queued).
+    A bounded run executes daemon events up to the limit like any other
+    event; an unbounded run executes them only while real work remains
+    scheduled at or after them. *)
 
 val step : t -> bool
 (** Run the single earliest event.  Returns [false] if none was pending. *)

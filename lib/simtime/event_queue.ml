@@ -1,164 +1,194 @@
-(* Shared between the queue and its handles so that [cancel], which only
-   receives a handle, can keep the queue's counters exact. *)
-type counts = {
-  mutable live : int;  (** scheduled, not cancelled, not popped *)
-  mutable dead : int;  (** cancelled entries still occupying heap slots *)
+type state = Scheduled | Cancelled | Popped
+
+(* The heap entry IS the handle: one allocation per push carries the key,
+   the payload, the cancellation state, and the entry's current heap index.
+   Tracking the index makes [cancel] an eager O(log n) heap delete instead
+   of a tombstone: the simulator cancels almost every retransmission timer
+   it arms (the reply usually wins the race), and with tombstones those
+   dead timers kept the heap thousands of entries deep — every sift paid
+   for them until a compaction pass threw them out.  Eager removal keeps
+   the heap exactly the live events. *)
+type 'a handle = {
+  at : Time.t;
+  seq : int;
+  daemon : bool;
+  payload : 'a;
+  q : 'a t;
+  mutable state : state;
+  mutable pos : int;  (** index in [q.heap] while [state = Scheduled] *)
+}
+
+(* The heap keys — (at, seq) — are mirrored into two plain [int array]s
+   alongside the entry array.  A sift compare then reads only unboxed ints
+   from two dense arrays instead of chasing two entry pointers into the
+   major heap. *)
+and 'a t = {
+  mutable heap : 'a handle array;
+  mutable ats : int array;  (** [Time.to_us heap.(i).at] *)
+  mutable seqs : int array;  (** [heap.(i).seq] *)
+  mutable size : int;
+  mutable next_seq : int;
+  mutable daemon_live : int;  (** the subset of [size] marked daemon *)
   mutable cancelled_total : int;  (** lifetime cancellations, never reset *)
 }
 
-type state = Scheduled | Cancelled | Popped
-
-type handle = { mutable state : state; counts : counts }
-
-type 'a entry = { at : Time.t; seq : int; handle : handle; payload : 'a }
-
-type 'a t = {
-  mutable heap : 'a entry array;
-  mutable size : int;
-  mutable next_seq : int;
-  counts : counts;
-}
-
 (* Min-heap ordered by (at, seq); seq breaks ties in insertion order.  The
-   order is total, so pop order is independent of heap layout and rebuilding
-   the heap (compaction) cannot perturb determinism. *)
-let entry_before a b =
-  match Time.compare a.at b.at with
-  | 0 -> a.seq < b.seq
-  | c -> c < 0
+   order is total, so pop order is independent of heap layout and an eager
+   delete (which only moves the unrelated last entry) cannot perturb
+   determinism. *)
+let key_before q i j =
+  let ai = Array.unsafe_get q.ats i and aj = Array.unsafe_get q.ats j in
+  ai < aj || (ai = aj && Array.unsafe_get q.seqs i < Array.unsafe_get q.seqs j)
 
 let create () =
-  { heap = [||]; size = 0; next_seq = 0; counts = { live = 0; dead = 0; cancelled_total = 0 } }
+  {
+    heap = [||];
+    ats = [||];
+    seqs = [||];
+    size = 0;
+    next_seq = 0;
+    daemon_live = 0;
+    cancelled_total = 0;
+  }
 
 let grow q dummy =
   let capacity = Array.length q.heap in
   if q.size >= capacity then begin
     let capacity' = Stdlib.max 16 (2 * capacity) in
     let heap' = Array.make capacity' dummy in
+    let ats' = Array.make capacity' 0 in
+    let seqs' = Array.make capacity' 0 in
     Array.blit q.heap 0 heap' 0 q.size;
-    q.heap <- heap'
+    Array.blit q.ats 0 ats' 0 q.size;
+    Array.blit q.seqs 0 seqs' 0 q.size;
+    q.heap <- heap';
+    q.ats <- ats';
+    q.seqs <- seqs'
   end
+
+(* Heap indices below [q.size] are in bounds by construction, so the sift
+   path reads and writes the arrays unchecked. *)
+let swap q i j =
+  let ei = Array.unsafe_get q.heap i and ej = Array.unsafe_get q.heap j in
+  Array.unsafe_set q.heap i ej;
+  Array.unsafe_set q.heap j ei;
+  ei.pos <- j;
+  ej.pos <- i;
+  let tmp = Array.unsafe_get q.ats i in
+  Array.unsafe_set q.ats i (Array.unsafe_get q.ats j);
+  Array.unsafe_set q.ats j tmp;
+  let tmp = Array.unsafe_get q.seqs i in
+  Array.unsafe_set q.seqs i (Array.unsafe_get q.seqs j);
+  Array.unsafe_set q.seqs j tmp
 
 let rec sift_up q i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_before q.heap.(i) q.heap.(parent) then begin
-      let tmp = q.heap.(i) in
-      q.heap.(i) <- q.heap.(parent);
-      q.heap.(parent) <- tmp;
+    if key_before q i parent then begin
+      swap q i parent;
       sift_up q parent
     end
   end
 
 let rec sift_down q i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
-  let smallest = if left < q.size && entry_before q.heap.(left) q.heap.(i) then left else i in
-  let smallest =
-    if right < q.size && entry_before q.heap.(right) q.heap.(smallest) then right else smallest
-  in
+  let smallest = if left < q.size && key_before q left i then left else i in
+  let smallest = if right < q.size && key_before q right smallest then right else smallest in
   if smallest <> i then begin
-    let tmp = q.heap.(i) in
-    q.heap.(i) <- q.heap.(smallest);
-    q.heap.(smallest) <- tmp;
+    swap q i smallest;
     sift_down q smallest
   end
 
-(* Threshold-triggered compaction: when over half the occupied slots are
-   tombstones, rebuild the heap from the live entries alone.  Each dead slot
-   is removed at most once here (or once by a lazy pop), so cancel-heavy
-   workloads stay O(log n) amortized and the heap never holds more than
-   2x the live entries for long. *)
-let compact q =
-  let live = ref 0 in
-  for i = 0 to q.size - 1 do
-    let entry = q.heap.(i) in
-    if entry.handle.state = Scheduled then begin
-      q.heap.(!live) <- entry;
-      incr live
-    end
-  done;
-  (* Release tombstoned payloads so cancelled events don't pin memory. *)
-  if !live > 0 then
-    for i = !live to q.size - 1 do
-      q.heap.(i) <- q.heap.(0)
-    done;
-  q.size <- !live;
-  q.counts.dead <- 0;
-  (* Floyd heapify: O(n). *)
-  for i = (q.size / 2) - 1 downto 0 do
+(* Move the entry at [src] into slot [dst], keeping the key mirrors and the
+   entry's back-index in step. *)
+let move q ~dst ~src =
+  let e = Array.unsafe_get q.heap src in
+  Array.unsafe_set q.heap dst e;
+  e.pos <- dst;
+  Array.unsafe_set q.ats dst (Array.unsafe_get q.ats src);
+  Array.unsafe_set q.seqs dst (Array.unsafe_get q.seqs src)
+
+(* Delete the entry at index [i]: standard indexed-heap removal — the last
+   entry takes its slot and sifts whichever way restores the invariant.
+   The freed tail slot must not go on referencing the deleted entry (a
+   cancelled payload would stay pinned until a push overwrote it), so it is
+   pointed at a live entry, or the arrays are dropped when nothing lives. *)
+let remove_at q i =
+  let last = q.size - 1 in
+  q.size <- last;
+  if i < last then begin
+    (* the freed tail slot ends up referencing the moved (live) entry *)
+    move q ~dst:i ~src:last;
+    sift_up q i;
     sift_down q i
-  done
+  end
+  else if last = 0 then begin
+    q.heap <- [||];
+    q.ats <- [||];
+    q.seqs <- [||]
+  end
+  else q.heap.(last) <- q.heap.(0)
 
-let maybe_compact q = if q.counts.dead > 16 && 2 * q.counts.dead > q.size then compact q
-
-let push q ~at payload =
-  maybe_compact q;
-  let handle = { state = Scheduled; counts = q.counts } in
-  let entry = { at; seq = q.next_seq; handle; payload } in
+let push q ?(daemon = false) ~at payload =
+  let entry = { at; seq = q.next_seq; daemon; payload; q; state = Scheduled; pos = q.size } in
   q.next_seq <- q.next_seq + 1;
   grow q entry;
   q.heap.(q.size) <- entry;
+  Array.unsafe_set q.ats q.size (Time.to_us at);
+  Array.unsafe_set q.seqs q.size entry.seq;
   q.size <- q.size + 1;
-  q.counts.live <- q.counts.live + 1;
+  if daemon then q.daemon_live <- q.daemon_live + 1;
   sift_up q (q.size - 1);
-  handle
+  entry
 
-(* Idempotent: only a Scheduled handle moves the counters, so cancelling
-   twice (or cancelling an already-popped event) never double-counts. *)
+(* Idempotent: only a Scheduled handle touches the heap and counters, so
+   cancelling twice (or cancelling an already-popped event) is a no-op. *)
 let cancel handle =
   match handle.state with
   | Scheduled ->
     handle.state <- Cancelled;
-    handle.counts.live <- handle.counts.live - 1;
-    handle.counts.dead <- handle.counts.dead + 1;
-    handle.counts.cancelled_total <- handle.counts.cancelled_total + 1
+    let q = handle.q in
+    if handle.daemon then q.daemon_live <- q.daemon_live - 1;
+    q.cancelled_total <- q.cancelled_total + 1;
+    remove_at q handle.pos
   | Cancelled | Popped -> ()
 
 let cancelled handle = handle.state = Cancelled
 
-let pop_entry q =
+let pop_event q =
   if q.size = 0 then None
   else begin
     let top = q.heap.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
+    let last = q.size - 1 in
+    q.size <- last;
+    if last > 0 then begin
+      (* the freed tail slot ends up referencing the moved (live) entry *)
+      move q ~dst:0 ~src:last;
       sift_down q 0
     end;
+    top.state <- Popped;
+    if top.daemon then q.daemon_live <- q.daemon_live - 1;
     Some top
   end
 
-let rec pop q =
-  match pop_entry q with
-  | None -> None
-  | Some entry -> (
-    match entry.handle.state with
-    | Scheduled ->
-      entry.handle.state <- Popped;
-      q.counts.live <- q.counts.live - 1;
-      Some (entry.at, entry.payload)
-    | Cancelled ->
-      (* The tombstone has left the heap. *)
-      q.counts.dead <- q.counts.dead - 1;
-      pop q
-    | Popped -> assert false)
+let event_at (h : _ handle) = h.at
+let event_payload (h : _ handle) = h.payload
 
-let rec peek_time q =
-  if q.size = 0 then None
-  else begin
-    let top = q.heap.(0) in
-    if top.handle.state = Scheduled then Some top.at
-    else begin
-      (* Discard the cancelled top so repeated peeks stay cheap. *)
-      ignore (pop_entry q);
-      q.counts.dead <- q.counts.dead - 1;
-      peek_time q
-    end
-  end
+let pop q =
+  match pop_event q with None -> None | Some entry -> Some (entry.at, entry.payload)
 
-let length q = q.counts.live
+(* The top of the heap is always live — cancellation removes eagerly. *)
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).at
 
-let is_empty q = q.counts.live = 0
+(* Non-allocating peek for the engine's run loop: [peek_time] boxes an
+   option per event, which the bounded-run loop would pay on every step. *)
+let next_us q = if q.size = 0 then max_int else Array.unsafe_get q.ats 0
+
+let length q = q.size
+
+let is_empty q = q.size = 0
+
+let live_nondaemon q = q.size - q.daemon_live
 
 let occupied_slots q = q.size
 
@@ -167,4 +197,4 @@ let occupied_slots q = q.size
    counter. *)
 let total_pushed q = q.next_seq
 
-let total_cancelled q = q.counts.cancelled_total
+let total_cancelled q = q.cancelled_total

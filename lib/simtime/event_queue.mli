@@ -1,34 +1,53 @@
 (** A priority queue of timestamped events.
 
     Events with equal timestamps are dequeued in insertion order, which makes
-    simulation runs fully deterministic.  Cancellation is O(1) (a tombstone
-    flag plus exact counter maintenance); cancelled events are dropped lazily
-    on [pop], and when tombstones exceed half the occupied heap slots the
-    heap is compacted in one O(n) pass, so cancel-heavy workloads
-    (anticipatory renewals, retry timers) stay O(log n) amortized with no
-    unbounded growth. *)
+    simulation runs fully deterministic.  Cancellation is an eager O(log n)
+    indexed-heap delete: the heap holds exactly the live events, so
+    cancel-heavy workloads (anticipatory renewals, retry timers whose reply
+    wins the race) neither deepen the sifts for everyone else nor pin
+    cancelled payloads. *)
 
 type 'a t
 
-type handle
-(** Identifies a scheduled event so it can be cancelled. *)
+type 'a handle
+(** Identifies a scheduled event so it can be cancelled.  The handle is the
+    heap entry itself — one allocation per push — so holding a handle keeps
+    its payload reachable; the queue itself releases the payload the moment
+    the event pops or is cancelled. *)
 
 val create : unit -> 'a t
 
-val push : 'a t -> at:Time.t -> 'a -> handle
-(** Schedule an event at the given instant. *)
+val push : 'a t -> ?daemon:bool -> at:Time.t -> 'a -> 'a handle
+(** Schedule an event at the given instant.  [daemon] (default [false])
+    marks background maintenance — a daemon event fires normally but does
+    not count as pending {e work}, so a consumer draining the queue until
+    the work is done ({!Engine.run} without [~until]) stops even while
+    daemon events remain. *)
 
-val cancel : handle -> unit
+val cancel : _ handle -> unit
 (** Cancelling an already-popped or already-cancelled event is a no-op. *)
 
-val cancelled : handle -> bool
+val cancelled : _ handle -> bool
 
 val pop : 'a t -> (Time.t * 'a) option
 (** Remove and return the earliest live event, or [None] if the queue holds
     no live events. *)
 
+val pop_event : 'a t -> 'a handle option
+(** Like {!pop} but returns the popped entry itself, avoiding the tuple
+    allocation — the engine's per-event fast path.  Read it with
+    {!event_at} and {!event_payload}. *)
+
+val event_at : 'a handle -> Time.t
+
+val event_payload : 'a handle -> 'a
+
 val peek_time : 'a t -> Time.t option
 (** Timestamp of the earliest live event, without removing it. *)
+
+val next_us : 'a t -> int
+(** [Time.to_us] of the earliest live event, or [max_int] when empty —
+    the non-allocating form of {!peek_time} for per-event run loops. *)
 
 val length : 'a t -> int
 (** Number of live (non-cancelled) events.  O(1). *)
@@ -36,10 +55,13 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 (** O(1). *)
 
+val live_nondaemon : 'a t -> int
+(** Live events not marked daemon — the queue's pending {e work}.  O(1). *)
+
 val occupied_slots : 'a t -> int
-(** Heap slots currently occupied, live entries plus not-yet-collected
-    tombstones — for diagnostics and the cancel-heavy growth benchmark.
-    Compaction keeps this below [2 * length + O(1)]. *)
+(** Heap slots currently occupied — with eager cancellation this equals
+    {!length}; kept distinct for diagnostics and the cancel-heavy growth
+    benchmark, which asserts exactly that bound. *)
 
 val total_pushed : 'a t -> int
 (** Lifetime pushes (never reset) — the profiler's engine-health series

@@ -66,6 +66,11 @@ let check ?(server = 0) ?servers ?owner events =
       | Event.Lease_grant { file; holder; server_expiry; _ } ->
         Hashtbl.replace server_leases (file, holder) server_expiry
       | Event.Lease_release { file; holder; _ } -> Hashtbl.remove server_leases (file, holder)
+      (* A reap means the server genuinely forgot the record: the lease
+         expired on the server clock, so it can no longer block a commit.
+         Client-side staleness is still caught by local-read-validity and
+         stale-hit, which do not depend on the server's table. *)
+      | Event.Lease_expire { file; holder; _ } -> Hashtbl.remove server_leases (file, holder)
       | Event.Installed_cover { file; until } ->
         let prev = Option.value (Hashtbl.find_opt cover file) ~default:neg_infinity in
         Hashtbl.replace cover file (Float.max prev until)

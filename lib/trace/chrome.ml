@@ -33,6 +33,7 @@ let counter ~name ~pid ~ts ~values =
 let end_cause_name : Lifecycle.end_cause -> string = function
   | Lifecycle.Active -> "active"
   | Lifecycle.Released c -> "released-" ^ Event.release_cause_name c
+  | Lifecycle.Expired -> "expired"
   | Lifecycle.Commit_sweep -> "commit-sweep"
   | Lifecycle.Regrant -> "regrant"
   | Lifecycle.Server_crash -> "server-crash"

@@ -17,6 +17,8 @@ let payload = function
     ]
   | Lease_release { file; holder; cause } ->
     [ ("file", int file); ("holder", int holder); ("cause", Json.Str (release_cause_name cause)) ]
+  | Lease_expire { file; holder; expired_at } ->
+    [ ("file", int file); ("holder", int holder); ("expired", num_opt expired_at) ]
   | Wait_begin { write; file; writer; waiting; deadline; server_now } ->
     [
       ("write", int write);
@@ -155,6 +157,13 @@ let kind_of_json tag obj =
         file = int_f "file" obj;
         holder = int_f "holder" obj;
         cause = release_cause_of_string (str "cause" obj);
+      }
+  | "lease-expire" ->
+    Lease_expire
+      {
+        file = int_f "file" obj;
+        holder = int_f "holder" obj;
+        expired_at = num_opt_f "expired" obj;
       }
   | "wait-begin" ->
     Wait_begin

@@ -11,6 +11,13 @@ type kind =
       renewal : bool;
     }
   | Lease_release of { file : int; holder : int; cause : release_cause }
+  | Lease_expire of { file : int; holder : int; expired_at : float option }
+      (** the server reaped an expired record: the lease lapsed on the
+          server clock ([expired_at], server-local; [None] = never, which
+          cannot expire and so never appears in practice).  Emitted at the
+          reap instant — lazily on access or from the periodic sweep —
+          which may be well after [expired_at].  Distinct from
+          {!Lease_release}: nobody approved anything. *)
   | Wait_begin of {
       write : int;
       file : int;
@@ -55,6 +62,7 @@ type t = { at : float; ev : kind }
 let kind_name = function
   | Lease_grant _ -> "lease-grant"
   | Lease_release _ -> "lease-release"
+  | Lease_expire _ -> "lease-expire"
   | Wait_begin _ -> "wait-begin"
   | Wait_expire _ -> "wait-expire"
   | Approval_request _ -> "approval-request"
@@ -97,6 +105,8 @@ let pp_kind ppf = function
   | Lease_release { file; holder; cause } ->
     Format.fprintf ppf "lease-release file=%d holder=%d cause=%s" file holder
       (release_cause_name cause)
+  | Lease_expire { file; holder; expired_at } ->
+    Format.fprintf ppf "lease-expire file=%d holder=%d expired=%a" file holder pp_opt expired_at
   | Wait_begin { write; file; writer; waiting; deadline; server_now } ->
     Format.fprintf ppf "wait-begin write=%d file=%d writer=%d waiting=[%a] deadline=%a now=%g"
       write file writer

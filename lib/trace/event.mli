@@ -30,6 +30,13 @@ type kind =
       renewal : bool;  (** granted on an extension rather than a read *)
     }
   | Lease_release of { file : int; holder : int; cause : release_cause }
+  | Lease_expire of { file : int; holder : int; expired_at : float option }
+      (** the server reaped an expired holder record: the lease lapsed on
+          the server clock at [expired_at] (server-local).  Emitted at the
+          reap instant — lazily on the next access to the file or from the
+          periodic sweep — which may be well after [expired_at].  Distinct
+          from {!Lease_release}: nobody approved anything, the term simply
+          ran out and the server forgot the record. *)
   | Wait_begin of {
       write : int;
       file : int;

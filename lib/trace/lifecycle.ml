@@ -1,6 +1,7 @@
 type end_cause =
   | Active
   | Released of Event.release_cause
+  | Expired
   | Commit_sweep
   | Regrant
   | Server_crash
@@ -76,6 +77,8 @@ let build ?(server = 0) events =
         Option.iter
           (close_lease at (Released cause))
           (Hashtbl.find_opt active (file, holder))
+      | Event.Lease_expire { file; holder; _ } ->
+        Option.iter (close_lease at Expired) (Hashtbl.find_opt active (file, holder))
       | Event.Wait_begin { write; file; writer; waiting; _ } ->
         let w =
           {

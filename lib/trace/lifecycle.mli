@@ -9,6 +9,7 @@
 type end_cause =
   | Active  (** still live when the trace ended *)
   | Released of Event.release_cause
+  | Expired  (** reaped by the server after the term lapsed on its clock *)
   | Commit_sweep  (** swept when a write to the file committed *)
   | Regrant  (** replaced by a fresh non-renewal grant to the same holder *)
   | Server_crash

@@ -1,32 +1,49 @@
 open Simtime
 
 (* Per-file history: newest first, as (version, commit instant).  Version
-   [initial] is implicit with commit instant [Time.zero]. *)
-type t = { histories : (File_id.t, (Version.t * Time.t) list ref) Hashtbl.t; mutable commits : int }
+   [initial] is implicit with commit instant [Time.zero].  File ids are
+   dense small ints, so histories live in a growable array indexed by
+   [File_id.to_int] — the grant path reads [current] on every miss, and an
+   array load beats hashing on a table with one bucket chain per file. *)
+type t = {
+  mutable histories : (Version.t * Time.t) list array;  (** indexed by [File_id.to_int] *)
+  mutable commits : int;
+}
 
-let create () = { histories = Hashtbl.create 64; commits = 0 }
+let create () = { histories = [||]; commits = 0 }
 
-let history t file =
-  match Hashtbl.find_opt t.histories file with
-  | Some h -> h
-  | None ->
-    let h = ref [] in
-    Hashtbl.add t.histories file h;
-    h
+let ensure t idx =
+  let cap = Array.length t.histories in
+  if idx >= cap then begin
+    let cap' = Stdlib.max 64 (Stdlib.max (idx + 1) (2 * cap)) in
+    let histories' = Array.make cap' [] in
+    Array.blit t.histories 0 histories' 0 cap;
+    t.histories <- histories'
+  end
+
+(* Read-only history lookup: never-written files (and never-seen ids) read
+   as the empty history — no allocation, no slot creation. *)
+let history_ro t file =
+  let idx = File_id.to_int file in
+  if idx < Array.length t.histories then Array.unsafe_get t.histories idx else []
 
 let current t file =
-  match !(history t file) with
+  match history_ro t file with
   | (version, _) :: _ -> version
   | [] -> Version.initial
 
 let commit t file ~at =
-  let h = history t file in
-  (match !h with
+  let idx = File_id.to_int file in
+  ensure t idx;
+  let h = t.histories.(idx) in
+  (match h with
   | (_, last) :: _ when Time.(at < last) ->
     invalid_arg "Store.commit: commit instants must be non-decreasing"
   | _ -> ());
-  let version = Version.next (current t file) in
-  h := (version, at) :: !h;
+  let version =
+    Version.next (match h with (v, _) :: _ -> v | [] -> Version.initial)
+  in
+  t.histories.(idx) <- (version, at) :: h;
   t.commits <- t.commits + 1;
   version
 
@@ -37,7 +54,7 @@ let current_at t file at =
     | [] -> Version.initial
     | (version, committed) :: older -> if Time.(committed <= at) then version else find older
   in
-  find !(history t file)
+  find (history_ro t file)
 
 (* The validity interval of [version] is [its commit instant, the next
    version's commit instant).  A read is atomic if that interval intersects
@@ -49,7 +66,7 @@ let validity_interval t file version =
     | (v, committed) :: older ->
       if Version.equal v version then Some (committed, next) else find (Some committed) older
   in
-  find None !(history t file)
+  find None (history_ro t file)
 
 let was_current_during t file version ~start ~finish =
   if Time.(finish < start) then invalid_arg "Store.was_current_during: empty window";

@@ -12,7 +12,7 @@
 #   --compare PATH     gate an existing BENCH_core.json instead of running
 #
 # Regenerate the baseline after an intentional perf change with:
-#   dune exec bin/bench_core.exe -- --quick --clients 1,100,1000 \
+#   dune exec bin/bench_core.exe -- --quick --clients 1,100,1000,10000 \
 #     -o scripts/perf_baseline.json
 set -eu
 
@@ -45,5 +45,5 @@ fi
 OUT=$(mktemp /tmp/BENCH_core.gate.XXXXXX.json)
 trap 'rm -f "$OUT"' EXIT
 
-dune exec bin/bench_core.exe -- $QUICK --clients 1,100,1000 \
+dune exec bin/bench_core.exe -- $QUICK --clients 1,100,1000,10000 \
   -o "$OUT" --gate "$BASELINE" --tolerance "$TOLERANCE"

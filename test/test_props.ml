@@ -107,6 +107,81 @@ let prop_event_queue_interleaved =
       in
       !ok && drained = expected && Event_queue.is_empty q)
 
+(* --- lease table: reaping layout == naive live-filtered model ---------- *)
+
+(* The reworked [Lease_table] reaps expired records for good — lazily on
+   access and in bulk from sweeps — instead of filtering an append-only
+   table at every query.  Reaping must be semantically invisible: every
+   live-filtered aggregate has to agree with a naive model that never
+   forgets a record and filters by expiry at query time, under arbitrary
+   interleavings of record / remove / drop-file / sweep and a monotone
+   query clock.  (Backwards server steps, where the reaping table
+   {e deliberately} diverges by staying forgetful, are exercised by the
+   fault campaign and documented in the interface.) *)
+let prop_lease_table_model =
+  QCheck.Test.make ~name:"lease table: reaping invisible to live queries" ~count:300
+    QCheck.(list (quad (int_bound 5) (int_bound 3) (int_bound 4) (int_bound 60)))
+    (fun script ->
+      let open Leases in
+      let t = Lease_table.create () in
+      (* model: ((file, holder), expiry) assoc list, one entry per pair *)
+      let model = ref [] in
+      let now = ref (sec 0.) in
+      let ok = ref true in
+      let file i = Vstore.File_id.of_int i in
+      let host i = Host.Host_id.of_int i in
+      let model_live f =
+        List.filter_map
+          (fun ((f', h), e) ->
+            if f' = f && not (Lease.expired e ~now:!now) then Some (h, e) else None)
+          !model
+      in
+      let check_file f =
+        let live = model_live f in
+        let holders = List.sort compare (List.map fst live) in
+        if Lease_table.live_count t (file f) ~now:!now <> List.length holders then ok := false;
+        if List.map Host.Host_id.to_int (Lease_table.live_holders t (file f) ~now:!now) <> holders
+        then ok := false;
+        let deadline =
+          List.fold_left (fun acc (_, e) -> Lease.expiry_max acc e) (Lease.At !now) live
+        in
+        if Lease_table.live_deadline t (file f) ~now:!now ~init:(Lease.At !now) <> deadline then
+          ok := false
+      in
+      let check_occupancy () =
+        let live_by_file = List.map (fun f -> List.length (model_live f)) [ 0; 1; 2; 3 ] in
+        let { Lease_table.files; records; live_records } = Lease_table.occupancy t ~now:!now in
+        if files <> List.length (List.filter (fun n -> n > 0) live_by_file) then ok := false;
+        if records <> List.fold_left ( + ) 0 live_by_file then ok := false;
+        if live_records <> records then ok := false
+      in
+      let step (op, f, h, x) =
+        (match op with
+        | 0 | 1 ->
+          (* record (weighted: the common operation); occasionally Never *)
+          let e = if x mod 7 = 0 then Lease.Never else Lease.At (sec (float_of_int x)) in
+          Lease_table.record t (file f) (host h) e;
+          model := ((f, h), e) :: List.remove_assoc (f, h) !model
+        | 2 ->
+          Lease_table.remove_holder t (file f) (host h);
+          model := List.remove_assoc (f, h) !model
+        | 3 ->
+          Lease_table.drop_file t (file f);
+          model := List.filter (fun ((f', _), _) -> f' <> f) !model
+        | 4 -> ignore (Lease_table.sweep t ~now:!now)
+        | _ ->
+          (* advance the server clock (monotone) *)
+          now := Time.add !now (span (float_of_int x /. 10.)));
+        List.iter check_file [ 0; 1; 2; 3 ];
+        (* [occupancy] sweeps as a side effect; checking it after every op
+           would keep the table freshly swept and starve the lazy
+           reap-on-access path, so only audit it where a sweep happened *)
+        if op = 4 then check_occupancy ()
+      in
+      List.iter step script;
+      check_occupancy ();
+      !ok)
+
 (* --- the lease safety inequality --------------------------------------- *)
 
 let prop_client_never_outlives_server =
@@ -444,6 +519,7 @@ let () =
         List.map to_alcotest
           [ prop_event_queue_sorted; prop_event_queue_cancel; prop_event_queue_interleaved ] );
       ("lease", List.map to_alcotest [ prop_client_never_outlives_server ]);
+      ("lease-table", List.map to_alcotest [ prop_lease_table_model ]);
       ( "store",
         List.map to_alcotest
           [ prop_store_current_at_implies_was_current; prop_store_stale_version_rejected ] );

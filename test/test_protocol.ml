@@ -31,7 +31,7 @@ let make_rig ?(n = 2) ?(config = Leases.Config.default) ?loss ?seed ?jitter_seed
   let store = Vstore.Store.create () in
   let server =
     Leases.Server.create ~engine ~clock:(Clock.create engine ()) ~net ~liveness ~host:server_host
-      ~clients:client_hosts ~store ~config ()
+      ~clients:client_hosts ~store ~config ?tracer ()
   in
   let clients =
     Array.of_list
@@ -43,7 +43,7 @@ let make_rig ?(n = 2) ?(config = Leases.Config.default) ?loss ?seed ?jitter_seed
                jitter_seed
            in
            Leases.Client.create ~engine ~clock:(Clock.create engine ()) ~net ~liveness ~host
-             ~server:server_host ?rng ~config ())
+             ~server:server_host ?rng ~config ?tracer ())
          client_hosts)
   in
   { engine; liveness; partition; net; server; clients; store }
@@ -67,7 +67,7 @@ let test_read_grants_lease () =
   Alcotest.(check bool) "client holds a lease" true
     (Leases.Client.holds_valid_lease rig.clients.(0) (file 0));
   Alcotest.(check int) "server records the holder" 1
-    (List.length (Leases.Server.leaseholders rig.server (file 0)))
+    (List.length (Leases.Server.live_leases rig.server (file 0)))
 
 let test_cache_hit_within_term () =
   let rig = make_rig () in
@@ -143,7 +143,7 @@ let test_write_approval_round () =
   Alcotest.(check bool) "holder's copy invalidated" false
     (Leases.Client.holds_valid_lease rig.clients.(1) (file 0));
   Alcotest.(check int) "lease table cleared" 0
-    (List.length (Leases.Server.leaseholders rig.server (file 0)))
+    (List.length (Leases.Server.live_leases rig.server (file 0)))
 
 let test_writer_implicit_approval () =
   (* the writer being the only leaseholder: single round trip, no callbacks *)
@@ -338,7 +338,7 @@ let test_installed_refresh () =
   Alcotest.(check int) "the rest free" 3 (Leases.Client.hits rig.clients.(0));
   (* no per-client record for installed files *)
   Alcotest.(check int) "no holder tracking" 0
-    (List.length (Leases.Server.leaseholders rig.server (file 0)))
+    (List.length (Leases.Server.live_leases rig.server (file 0)))
 
 let test_installed_write_delayed_update () =
   let config =
@@ -501,6 +501,73 @@ let test_messages_counted_at_server_both_directions () =
   Alcotest.(check int) "consistency counts extension + approval only" 2
     (Leases.Server.consistency_messages rig.server)
 
+let test_cache_eviction_reclaims_expired_entries () =
+  (* Regression: expired entries used to sit in the client cache forever —
+     a long-lived client touching many files grew its cache (and every
+     O(cache) walk) without bound.  With an eviction grace configured, a
+     later miss reclaims every entry whose term lapsed more than the grace
+     ago. *)
+  let config =
+    { Leases.Config.default with Leases.Config.cache_eviction_grace = Some (span 2.) }
+  in
+  let rig = make_rig ~config () in
+  let results = ref [] in
+  at rig 1. (fun () ->
+      for i = 0 to 4 do
+        read_into rig 0 (file i) results
+      done);
+  at rig 2. (fun () ->
+      Alcotest.(check int) "five entries cached while live" 5
+        (Leases.Client.cache_size rig.clients.(0)));
+  (* default term 10 s: everything granted at ~1 lapses by ~11; grace 2 s
+     makes the entries reclaimable from ~13; the next miss is at 30 *)
+  at rig 30. (fun () -> read_into rig 0 (file 9) results);
+  Engine.run rig.engine;
+  Alcotest.(check int) "all reads completed" 6 (List.length !results);
+  Alcotest.(check int) "the miss evicted every lapsed entry" 1
+    (Leases.Client.cache_size rig.clients.(0));
+  Alcotest.(check int) "evictions counted" 5 (Leases.Client.evictions rig.clients.(0))
+
+let test_sweep_cadence_never_perturbs_trace () =
+  (* The server's periodic lease-table sweep only reaps records every
+     query already excluded, and its timer events are daemon events; so
+     the sweep cadence — including no sweep at all — must leave a seeded
+     run's observable trace byte-identical once the sweep's own
+     [lease-expire] events are filtered out. *)
+  let run_traced ~sweep () =
+    let buf = Trace.Sink.buffer () in
+    let config =
+      { Leases.Config.default with Leases.Config.lease_sweep_interval = sweep }
+    in
+    let rig =
+      make_rig ~n:3 ~config ~seed:5L ~jitter_seed:7L ~loss:0.05
+        ~tracer:(Trace.Sink.buffer_sink buf) ()
+    in
+    for c = 0 to 2 do
+      at rig (1. +. (0.1 *. float_of_int c)) (fun () -> read_into rig c (file 0) (ref []));
+      at rig (2. +. (0.3 *. float_of_int c)) (fun () -> read_into rig c (file (c + 1)) (ref []))
+    done;
+    at rig 6. (fun () -> Leases.Client.write rig.clients.(0) (file 0) ~k:(fun _ -> ()));
+    at rig 25. (fun () -> read_into rig 1 (file 0) (ref []));
+    at rig 40. (fun () -> read_into rig 2 (file 2) (ref []));
+    Engine.run rig.engine;
+    List.filter_map
+      (fun (e : Trace.Event.t) ->
+        match e.Trace.Event.ev with
+        | Trace.Event.Lease_expire _ -> None
+        | _ -> Some (Trace.Codec.encode e))
+      (Trace.Sink.buffer_contents buf)
+  in
+  let base = run_traced ~sweep:None () in
+  Alcotest.(check bool) "scenario produced traffic" true (List.length base > 20);
+  List.iter
+    (fun interval ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "sweep every %gs leaves the trace unchanged" interval)
+        base
+        (run_traced ~sweep:(Some (span interval)) ()))
+    [ 0.5; 2.; 10. ]
+
 let () =
   Alcotest.run "protocol"
     [
@@ -539,6 +606,10 @@ let () =
           Alcotest.test_case "backoff jitter spreads retries" `Quick
             test_backoff_jitter_spreads_retries;
           Alcotest.test_case "client crash clears cache" `Quick test_client_crash_clears_cache;
+          Alcotest.test_case "cache eviction reclaims expired entries" `Quick
+            test_cache_eviction_reclaims_expired_entries;
+          Alcotest.test_case "sweep cadence never perturbs trace" `Quick
+            test_sweep_cadence_never_perturbs_trace;
           Alcotest.test_case "server crash recovery wait" `Quick test_server_crash_recovery_wait;
         ] );
       ( "accounting",

@@ -107,8 +107,8 @@ let test_queue_length_accounting () =
 
 let test_queue_compaction_bounded () =
   (* the anticipatory-renewal pattern: every timer is cancelled and
-     replaced before it fires.  Tombstone compaction must keep heap
-     occupancy within a small multiple of the live population. *)
+     replaced before it fires.  Eager cancellation must keep heap
+     occupancy exactly at the live population. *)
   let q = Event_queue.create () in
   let live = 256 in
   let handles = Array.init live (fun i -> Event_queue.push q ~at:(Time.of_us i) i) in
@@ -120,10 +120,48 @@ let test_queue_compaction_bounded () =
     if Event_queue.occupied_slots q > !max_slots then max_slots := Event_queue.occupied_slots q
   done;
   Alcotest.(check int) "live count exact under churn" live (Event_queue.length q);
-  if !max_slots > (2 * live) + 64 then
-    Alcotest.failf "heap grew unboundedly: %d slots for %d live events" !max_slots live;
+  Alcotest.(check int) "heap holds exactly the live events" live !max_slots;
   let rec drain n = match Event_queue.pop q with Some _ -> drain (n + 1) | None -> n in
   Alcotest.(check int) "exactly the live events pop" live (drain 0)
+
+let test_queue_compaction_releases_payloads () =
+  (* The original tombstone design pinned every cancelled payload until a
+     later compaction pass happened to run (and skipped the clearing loop
+     entirely when zero live entries survived).  Eager cancellation must
+     release cancelled payloads immediately: after cancelling everything,
+     the heap is empty and the payloads are collectable with no pop. *)
+  let q = Event_queue.create () in
+  let n = 24 in
+  let w = Weak.create n in
+  let handles =
+    Array.init n (fun i ->
+        let payload = ref i in
+        Weak.set w i (Some payload);
+        Event_queue.push q ~at:(Time.of_us i) payload)
+  in
+  Array.iter Event_queue.cancel handles;
+  Alcotest.(check int) "cancel-all empties the heap immediately" 0
+    (Event_queue.occupied_slots q);
+  (match Event_queue.pop q with
+  | None -> ()
+  | Some _ -> Alcotest.fail "nothing live should pop");
+  Gc.full_major ();
+  for i = 0 to n - 1 do
+    match Weak.get w i with
+    | Some _ -> Alcotest.failf "payload %d still pinned after cancellation" i
+    | None -> ()
+  done;
+  (* partial cancellation: the heap tracks the live population exactly *)
+  let handles = Array.init 64 (fun i -> Event_queue.push q ~at:(Time.of_us i) (ref i)) in
+  for i = 16 to 63 do
+    Event_queue.cancel handles.(i)
+  done;
+  Alcotest.(check int) "cancelled entries leave no slot behind" 16
+    (Event_queue.occupied_slots q);
+  (match Event_queue.pop q with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected a live event");
+  Alcotest.(check int) "pop shrinks the heap by one" 15 (Event_queue.occupied_slots q)
 
 let test_queue_interleaved () =
   (* push/pop interleaving never violates ordering *)
@@ -147,6 +185,27 @@ let test_queue_interleaved () =
   Alcotest.(check (list int)) "order across interleaving" [ 1; 0; 2; 5 ] (List.rev !popped)
 
 (* --- Engine ----------------------------------------------------------- *)
+
+let test_engine_daemon_events_do_not_extend_run () =
+  (* Background maintenance (the server's lease sweep) is scheduled as
+     daemon events: they fire normally while real work remains ahead of
+     them, but a run-to-quiescence never stays alive for them alone — so a
+     periodic sweep cannot drag a run's end time past its last real event. *)
+  let engine = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule_at engine (sec 1.) (fun () -> fired := "work" :: !fired));
+  ignore (Engine.schedule_at engine ~daemon:true (sec 0.5) (fun () -> fired := "d1" :: !fired));
+  ignore (Engine.schedule_at engine ~daemon:true (sec 2.) (fun () -> fired := "d2" :: !fired));
+  Engine.run engine;
+  Alcotest.(check (list string))
+    "daemon fires only ahead of real work" [ "d1"; "work" ] (List.rev !fired);
+  Alcotest.(check (float 1e-9)) "run ends on the last non-daemon event" 1.
+    (Time.to_sec (Engine.now engine));
+  Alcotest.(check int) "the tail daemon event stays queued" 1 (Engine.pending engine);
+  (* a bounded run executes the remaining daemon event like any other *)
+  Engine.run ~until:(sec 3.) engine;
+  Alcotest.(check (list string))
+    "bounded run executes daemons" [ "d1"; "work"; "d2" ] (List.rev !fired)
 
 let test_engine_runs_in_order () =
   let engine = Engine.create () in
@@ -244,11 +303,15 @@ let () =
           Alcotest.test_case "peek" `Quick test_queue_peek;
           Alcotest.test_case "length accounting" `Quick test_queue_length_accounting;
           Alcotest.test_case "compaction bounded" `Quick test_queue_compaction_bounded;
+          Alcotest.test_case "compaction releases payloads" `Quick
+            test_queue_compaction_releases_payloads;
           Alcotest.test_case "interleaved" `Quick test_queue_interleaved;
         ] );
       ( "engine",
         [
           Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "daemon events do not extend a run" `Quick
+            test_engine_daemon_events_do_not_extend_run;
           Alcotest.test_case "now inside callback" `Quick test_engine_now_inside_callback;
           Alcotest.test_case "schedule from callback" `Quick test_engine_schedule_from_callback;
           Alcotest.test_case "bounded run" `Quick test_engine_until;
