@@ -83,6 +83,7 @@ let run_benches quick clients =
   let cancel_heavy = Experiments.Corebench.event_queue_cancel_heavy ~timer ~ops:micro_ops in
   let lease_table = Experiments.Corebench.lease_table_churn ~timer ~ops:micro_ops in
   let trace_sink = Experiments.Corebench.trace_emit ~timer ~ops:micro_ops in
+  let classify = Experiments.Corebench.classify_bench ~timer ~ops:micro_ops in
   let telemetry = Experiments.Corebench.telemetry_bench ~timer ~ops:micro_ops in
   let dispatch = Experiments.Corebench.engine_dispatch ~timer ~ops:micro_ops in
   (* The N=1 run lasts a couple of milliseconds, which makes a single shot
@@ -132,6 +133,12 @@ let run_benches quick clients =
        trace_sink.Experiments.Corebench.ring_dropped);
   Buffer.add_string buf
     (Printf.sprintf
+       "  \"msg_classify\": {\n    \"probe_disabled\": { %s },\n    \"probe_enabled\": { %s }\n\
+       \  },\n"
+       (micro_fields classify.Experiments.Corebench.classify_disabled)
+       (micro_fields classify.Experiments.Corebench.classify_enabled));
+  Buffer.add_string buf
+    (Printf.sprintf
        "  \"telemetry\": {\n    \"probe_disabled\": { %s },\n    \"probe_enabled\": { %s },\n\
        \    \"snapshot\": { %s }\n  },\n"
        (micro_fields telemetry.Experiments.Corebench.probe_disabled)
@@ -173,6 +180,9 @@ let run_benches quick clients =
   Printf.printf "trace sink  : null %.2f Mops/s; ring %.2f Mops/s\n"
     (trace_sink.Experiments.Corebench.null_sink.Experiments.Corebench.ops_per_sec /. 1e6)
     (trace_sink.Experiments.Corebench.ring_sink.Experiments.Corebench.ops_per_sec /. 1e6);
+  Printf.printf "msg classify: tracing off %.2f Mops/s, on %.2f Mops/s\n"
+    (classify.Experiments.Corebench.classify_disabled.Experiments.Corebench.ops_per_sec /. 1e6)
+    (classify.Experiments.Corebench.classify_enabled.Experiments.Corebench.ops_per_sec /. 1e6);
   Printf.printf
     "telemetry   : probe off %.2f Mops/s, on %.2f Mops/s; snapshot %.1f Kops/s\n"
     (telemetry.Experiments.Corebench.probe_disabled.Experiments.Corebench.ops_per_sec /. 1e6)

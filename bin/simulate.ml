@@ -80,6 +80,19 @@ let finish_telemetry sampler ~term ~setup ~telemetry_out ~telemetry_format ~json
       (100. *. summary.Telemetry.Residual.steady_load_residual)
   end
 
+(* --latency tees a live critical-path analyzer next to the tracer; the
+   report is rendered (and optionally exported) after the run drains so
+   still-open operations are counted as incomplete, not lost. *)
+let finish_latency analyzer ~latency_out ~latency_k ~json =
+  let report = Trace.Critical_path.report ~k:latency_k analyzer in
+  (match latency_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Trace.Critical_path.export report);
+    close_out oc);
+  if not json then Format.printf "%a@." Trace.Critical_path.pp_report report
+
 (* --profile attaches a Profile.Recorder to the engine; the report is
    rendered after the run drains.  The hotspot table goes to stdout unless
    --json asked for machine-readable output only. *)
@@ -104,7 +117,7 @@ let finish_profile recorder ~profile_out ~profile_format ~json =
    aggregate metrics, and per-shard residual summaries when telemetry is
    on. *)
 let run_sharded ~shards ~clients ~seed ~loss ~m_prop ~m_proc ~term ~faults ~tracer ~telemetry_s
-    ~json ~trace =
+    ~analyzer ~json ~trace =
   let base = Experiments.Runner.lease_setup ~n_clients:clients ~m_prop ~m_proc ~term () in
   let setup =
     {
@@ -119,6 +132,7 @@ let run_sharded ~shards ~clients ~seed ~loss ~m_prop ~m_proc ~term ~faults ~trac
       faults;
       tracer;
       telemetry_interval_s = telemetry_s;
+      latency = analyzer;
     }
   in
   let outcome = Shard.Deploy.run setup ~trace in
@@ -154,10 +168,18 @@ let run_sharded ~shards ~clients ~seed ~loss ~m_prop ~m_proc ~term ~faults ~trac
 
 let rec main protocol term_s clients duration seed loss rtt_ms workload ops_file json trace_out
     trace_format fault_specs telemetry_s telemetry_out telemetry_format shards profile
-    profile_out profile_format =
+    profile_out profile_format latency latency_out latency_k =
   try
     let faults = List.map parse_fault fault_specs in
     if shards < 1 then failwith "--shards must be at least 1";
+    if latency_out <> None && not latency then failwith "--latency-out requires --latency";
+    if latency_k < 1 then failwith "--latency-k must be at least 1";
+    if latency && protocol <> "leases" then
+      failwith
+        (Printf.sprintf
+           "--latency attributes the lease protocol's phases; protocol %S does not emit the \
+            correlated events it needs"
+           protocol);
     if shards > 1 && protocol <> "leases" then
       failwith "--shards runs the sharded lease deployment; it needs --protocol leases";
     if profile_out <> None && not profile then failwith "--profile-out requires --profile";
@@ -196,26 +218,33 @@ let rec main protocol term_s clients duration seed loss rtt_ms workload ops_file
     let m_proc = Simtime.Time.Span.of_ms 1. in
     let m_prop = m_prop_of_rtt rtt_ms in
     let tracer, finish_trace = trace_sink trace_out trace_format in
+    let analyzer = if latency then Some (Trace.Critical_path.create ()) else None in
+    let tracer =
+      match analyzer with
+      | None -> tracer
+      | Some a -> Trace.Sink.tee [ tracer; Trace.Critical_path.sink a ]
+    in
     let term = if term_s < 0. then Analytic.Model.Infinite else Analytic.Model.Finite term_s in
     let metrics, print_extra =
       if shards > 1 then
         run_sharded ~shards ~clients ~seed ~loss ~m_prop ~m_proc ~term ~faults ~tracer
-          ~telemetry_s ~json ~trace
+          ~telemetry_s ~analyzer ~json ~trace
       else
         ( run_single ~protocol ~term ~term_s ~clients ~seed ~loss ~m_prop ~m_proc ~faults ~tracer
-            ~telemetry_s ~telemetry_out ~telemetry_format ~json ~trace ~profile ~profile_out
-            ~profile_format,
+            ~telemetry_s ~telemetry_out ~telemetry_format ~analyzer ~json ~trace ~profile
+            ~profile_out ~profile_format,
           fun () -> () )
     in
     finish_trace ();
     if json then print_endline (Leases.Metrics.to_json metrics)
     else Format.printf "%a@." Leases.Metrics.pp metrics;
     print_extra ();
+    Option.iter (fun a -> finish_latency a ~latency_out ~latency_k ~json) analyzer;
     `Ok ()
   with Failure why | Sys_error why -> `Error (false, why)
 
 and run_single ~protocol ~term ~term_s ~clients ~seed ~loss ~m_prop ~m_proc ~faults ~tracer
-    ~telemetry_s ~telemetry_out ~telemetry_format ~json ~trace ~profile ~profile_out
+    ~telemetry_s ~telemetry_out ~telemetry_format ~analyzer ~json ~trace ~profile ~profile_out
     ~profile_format =
   match protocol with
   | "leases" ->
@@ -229,6 +258,10 @@ and run_single ~protocol ~term ~term_s ~clients ~seed ~loss ~m_prop ~m_proc ~fau
           | None -> setup
           | Some s -> { setup with Leases.Sim.on_instruments = Telemetry.Sampler.attach s }
         in
+        (match (sampler, analyzer) with
+        | Some s, Some a ->
+          Telemetry.Sampler.set_phase_source s (fun () -> Trace.Critical_path.phase_sums a)
+        | _ -> ());
         let recorder =
           if profile then
             (* Engine-health samples share the telemetry cadence when one
@@ -375,11 +408,32 @@ let profile_format =
            ~doc:"Profile report format: json (leases-profile/1, leases-profile-view input), \
                  speedscope (speedscope.app flamegraph) or chrome (chrome://tracing / Perfetto).")
 
+let latency =
+  Arg.(value & flag
+       & info [ "latency" ]
+           ~doc:"Attribute every operation's client-observed latency to causal phases (request \
+                 transit, backoff, server queueing, lease waits split by approval vs expiry, \
+                 reply transit) with a live critical-path analyzer (leases protocol only).  \
+                 Prints per-phase tail summaries and worst-write explanations; see \
+                 leases-latency.")
+
+let latency_out =
+  Arg.(value & opt (some string) None
+       & info [ "latency-out" ] ~docv:"FILE"
+           ~doc:"Write the leases-latency/1 JSON report to $(docv) (leases-latency input); \
+                 requires --latency.")
+
+let latency_k =
+  Arg.(value & opt int 5
+       & info [ "latency-k" ] ~docv:"N"
+           ~doc:"Keep $(docv) worst-write exemplars in the latency report.")
+
 let cmd =
   let doc = "Simulate a distributed file cache under a chosen consistency protocol." in
   Cmd.v (Cmd.info "leases-sim" ~doc)
     Term.(ret (const main $ protocol $ term $ clients $ duration $ seed $ loss $ rtt $ workload
                $ ops_file $ json $ trace_out $ trace_format $ faults $ telemetry $ telemetry_out
-               $ telemetry_format $ shards $ profile $ profile_out $ profile_format))
+               $ telemetry_format $ shards $ profile $ profile_out $ profile_format $ latency
+               $ latency_out $ latency_k))
 
 let () = exit (Cmd.eval cmd)

@@ -36,7 +36,7 @@ let kind_counts events =
 
 (* --stats: per-kind count plus first/last timestamp, no lifecycle or
    checker replay — cheap enough for very large traces. *)
-let print_stats events =
+let rec print_stats events =
   let tbl : (string, int * float * float) Hashtbl.t = Hashtbl.create 32 in
   List.iter
     (fun (ev : Trace.Event.t) ->
@@ -55,7 +55,51 @@ let print_stats events =
   List.iter
     (fun (name, (n, first, last)) ->
       Printf.printf "%-20s %10d %14.6f %14.6f\n" name n first last)
-    rows
+    rows;
+  print_message_stats events
+
+(* Per-message-kind traffic: sends, deliveries, and drops split by cause.
+   [sent <> delivered + dropped] only for messages still in flight when the
+   trace ended (or from a crashed sender, which drops with no send). *)
+and print_message_stats events =
+  let tbl : (string, int array) Hashtbl.t = Hashtbl.create 16 in
+  let row kind =
+    let name = Trace.Event.msg_kind_name kind in
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r
+    | None ->
+      let r = Array.make 5 0 in
+      Hashtbl.add tbl name r;
+      r
+  in
+  let bump kind col = (row kind).(col) <- (row kind).(col) + 1 in
+  List.iter
+    (fun (ev : Trace.Event.t) ->
+      match ev.ev with
+      | Trace.Event.Net_send { kind; _ } -> bump kind 0
+      | Trace.Event.Net_deliver { kind; _ } -> bump kind 1
+      | Trace.Event.Net_drop { kind; cause; _ } ->
+        bump kind
+          (match cause with
+          | Trace.Event.Loss -> 2
+          | Trace.Event.Partition -> 3
+          | Trace.Event.Down -> 4)
+      | _ -> ())
+    events;
+  let rows = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []) in
+  if rows <> [] then begin
+    Printf.printf "\n== message stats (%d kinds) ==\n" (List.length rows);
+    Printf.printf "%-18s %10s %10s %10s %10s %10s\n" "message" "sent" "delivered" "drop/loss"
+      "drop/part" "drop/down";
+    let totals = Array.make 5 0 in
+    List.iter
+      (fun (name, r) ->
+        Array.iteri (fun i v -> totals.(i) <- totals.(i) + v) r;
+        Printf.printf "%-18s %10d %10d %10d %10d %10d\n" name r.(0) r.(1) r.(2) r.(3) r.(4))
+      rows;
+    Printf.printf "%-18s %10d %10d %10d %10d %10d\n" "total" totals.(0) totals.(1) totals.(2)
+      totals.(3) totals.(4)
+  end
 
 (* --stats --shards N: attribute each event to a shard — by file owner
    through the deterministic shard map when the event names a file, else

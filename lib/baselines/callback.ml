@@ -159,6 +159,7 @@ let rec s_start_write srv ~writer ~req file =
         (Trace.Event.Wait_begin
            {
              write = p.wid;
+             op = req;
              file = File_id.to_int file;
              writer = Host_id.to_int writer;
              waiting = List.map Host_id.to_int (Host_id.Set.elements breakees);
@@ -231,6 +232,7 @@ and s_commit srv ~writer ~req ~wid file ~arrived =
       (Trace.Event.Commit
          {
            write = wid;
+           op = req;
            file = File_id.to_int file;
            writer = Host_id.to_int writer;
            version = Vstore.Version.to_int version;
@@ -526,7 +528,9 @@ let run setup ~trace =
   let rng = Prng.Splitmix.create ~seed:setup.seed in
   let net =
     Netsim.Net.create engine ~liveness ~partition ~rng:(Prng.Splitmix.split rng) ~loss:setup.loss
-      ~tracer:setup.tracer ~describe:payload_name ~prop_delay:setup.m_prop ~proc_delay:setup.m_proc
+      ~tracer:setup.tracer
+      ~classify:(fun p -> (Trace.Event.M_other (payload_name p), -1))
+      ~prop_delay:setup.m_prop ~proc_delay:setup.m_proc
       ()
   in
   let note ev =

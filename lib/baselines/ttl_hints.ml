@@ -87,6 +87,7 @@ let s_handle srv (envelope : payload Netsim.Net.envelope) =
               (Trace.Event.Commit
                  {
                    write = None;
+                   op = req;
                    file = File_id.to_int file;
                    writer = Host_id.to_int envelope.src;
                    version = Vstore.Version.to_int version;
@@ -258,7 +259,9 @@ let run setup ~trace =
   let rng = Prng.Splitmix.create ~seed:setup.seed in
   let net =
     Netsim.Net.create engine ~liveness ~partition ~rng:(Prng.Splitmix.split rng) ~loss:setup.loss
-      ~tracer:setup.tracer ~describe:payload_name ~prop_delay:setup.m_prop ~proc_delay:setup.m_proc
+      ~tracer:setup.tracer
+      ~classify:(fun p -> (Trace.Event.M_other (payload_name p), -1))
+      ~prop_delay:setup.m_prop ~proc_delay:setup.m_proc
       ()
   in
   let note ev =

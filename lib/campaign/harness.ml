@@ -88,6 +88,9 @@ let pp ppf s =
           t.Telemetry.Residual.mean_measured_load t.Telemetry.Residual.mean_predicted_load
           (100. *. t.Telemetry.Residual.worst_load_residual)
           t.Telemetry.Residual.worst_window_t;
+      (match o.Runner.worst_write with
+      | Some w -> Format.fprintf ppf "      worst %s@." w
+      | None -> ());
       (match o.Runner.first_violation with
       | Some v -> Format.fprintf ppf "      violation: %s@." v
       | None -> ());

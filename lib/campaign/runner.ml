@@ -11,6 +11,9 @@ type outcome = {
   commits : int;
   checked_events : int;
   telemetry : Telemetry.Residual.summary;
+  worst_write : string option;
+      (* critical-path explanation of the schedule's slowest completed
+         write, e.g. which holder's expiry dominated and why *)
 }
 
 let classification_name = function
@@ -23,10 +26,19 @@ let classification_name = function
    wider than the 30 s the standalone runs use. *)
 let telemetry_interval_s duration_s = Float.max 2.5 (Float.min 30. (duration_s /. 24.))
 
+(* Replay the schedule's buffered trace through the critical-path
+   analyzer and render its slowest completed write's causal explanation. *)
+let worst_write_of events =
+  let analyzer = Trace.Critical_path.create () in
+  List.iter (Trace.Critical_path.feed analyzer) events;
+  match (Trace.Critical_path.report ~k:1 analyzer).Trace.Critical_path.r_worst with
+  | w :: _ -> Some w.Trace.Critical_path.w_explain
+  | [] -> None
+
 (* Classification and reporting shared by the single-server and sharded
    paths once each has produced metrics, a checker report and an oracle. *)
 let conclude ~schedule ~(m : Leases.Metrics.t) ~(report : Trace.Checker.report) ~oracle
-    ~telemetry =
+    ~telemetry ~worst_write =
   let oracle_violations = m.Leases.Metrics.oracle_violations in
   let checker_violations = List.length report.Trace.Checker.violations in
   let first_violation =
@@ -55,6 +67,7 @@ let conclude ~schedule ~(m : Leases.Metrics.t) ~(report : Trace.Checker.report) 
     commits = m.Leases.Metrics.commits;
     checked_events = report.Trace.Checker.events;
     telemetry;
+    worst_write;
   }
 
 let run_single schedule =
@@ -75,9 +88,10 @@ let run_single schedule =
     Telemetry.Residual.summarize residual_params
       (Telemetry.Residual.evaluate residual_params sampler)
   in
-  let report = Trace.Checker.check ~server:0 (Trace.Sink.buffer_contents buf) in
+  let events = Trace.Sink.buffer_contents buf in
+  let report = Trace.Checker.check ~server:0 events in
   conclude ~schedule ~m:outcome.Leases.Sim.metrics ~report ~oracle:outcome.Leases.Sim.oracle
-    ~telemetry
+    ~telemetry ~worst_write:(worst_write_of events)
 
 let run_sharded schedule =
   let trace = Schedule.trace schedule in
@@ -102,15 +116,16 @@ let run_sharded schedule =
          (fun r -> r.Shard.Shard_telemetry.sr_evals)
          (Array.to_list reports))
   in
+  let events = Trace.Sink.buffer_contents buf in
   let report =
     Trace.Checker.check
       ~servers:(Shard.Deploy.server_hosts setup)
       ~owner:(fun f ->
         Shard.Shard_map.owner outcome.Shard.Deploy.map (Vstore.File_id.of_int f))
-      (Trace.Sink.buffer_contents buf)
+      events
   in
   conclude ~schedule ~m:outcome.Shard.Deploy.metrics ~report ~oracle:outcome.Shard.Deploy.oracle
-    ~telemetry
+    ~telemetry ~worst_write:(worst_write_of events)
 
 let run schedule =
   if schedule.Schedule.n_shards > 1 then run_sharded schedule else run_single schedule
@@ -129,4 +144,6 @@ let to_json o =
       ("commits", Trace.Json.Num (float_of_int o.commits));
       ("checked_events", Trace.Json.Num (float_of_int o.checked_events));
       ("telemetry", Telemetry.Report.summary_to_json o.telemetry);
+      ( "worst_write",
+        match o.worst_write with Some w -> Trace.Json.Str w | None -> Trace.Json.Null );
     ]

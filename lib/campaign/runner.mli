@@ -20,6 +20,10 @@ type outcome = {
       (** per-window analytic-model residuals sampled over the run (about
           24 windows, clamped to 2.5–30 s each); fault windows surface
           here as flagged residual swings *)
+  worst_write : string option;
+      (** {!Trace.Critical_path} explanation of the schedule's slowest
+          completed write — which phase dominated, which holders blocked
+          it and how each wait resolved; [None] when no write completed *)
 }
 
 val classification_name : classification -> string

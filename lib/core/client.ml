@@ -642,7 +642,12 @@ let create ~engine ~clock ~net ~liveness ~host ~server ?route ?rng ~config
       busy = Hashtbl.create 8;
       op_queue = Hashtbl.create 8;
       renewals_in_flight = Hashtbl.create 4;
-      next_req = 0;
+      (* Request ids are globally unique, not merely per-client: the host
+         index occupies the high bits, the per-client sequence the low 32,
+         so a req doubles as the operation's correlation id in traces and
+         never collides across clients or shards.  No randomness involved —
+         seeded PRNG streams are untouched. *)
+      next_req = Host.Host_id.to_int host lsl 32;
       evict_next = horizon;
       up = true;
     }

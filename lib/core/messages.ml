@@ -46,6 +46,21 @@ let kind_name = function
   | Approval_reply _ -> "approve-rep"
   | Installed_refresh _ -> "installed-refresh"
 
+(* Typed trace classification: the message kind plus the correlation id
+   tying the packet to its operation — the client request id for RPC
+   traffic, the server write id for approval traffic, none for the
+   installed-files multicast. *)
+let trace_class = function
+  | Read_request { req; _ } -> (Trace.Event.M_read_req, req)
+  | Read_reply { req; _ } -> (Trace.Event.M_read_rep, req)
+  | Extend_request { req; _ } -> (Trace.Event.M_extend_req, req)
+  | Extend_reply { req; _ } -> (Trace.Event.M_extend_rep, req)
+  | Write_request { req; _ } -> (Trace.Event.M_write_req, req)
+  | Write_reply { req; _ } -> (Trace.Event.M_write_rep, req)
+  | Approval_request { write; _ } -> (Trace.Event.M_approve_req, write)
+  | Approval_reply { write; _ } -> (Trace.Event.M_approve_rep, write)
+  | Installed_refresh _ -> (Trace.Event.M_installed, -1)
+
 let pp ppf = function
   | Read_request { req; file } -> Format.fprintf ppf "read-req #%d %a" req Vstore.File_id.pp file
   | Read_reply { req; granted } ->

@@ -58,4 +58,11 @@ val kind_name : payload -> string
 (** Short stable tag per constructor ("read-req", "approve-rep", ...),
     used to label network events in traces. *)
 
+val trace_class : payload -> Trace.Event.msg_kind * int
+(** Typed trace classification: the message kind plus the correlation id
+    tying the packet to its operation (the client request id for RPC
+    traffic, the server write id for approval traffic, [-1] for the
+    uncorrelated installed-files multicast).  Feeds [Net.create ?classify]
+    so traced [Net_*] events can be joined back to operations. *)
+
 val pp : Format.formatter -> payload -> unit

@@ -295,6 +295,7 @@ let rec start_write t ~writer ~req file =
         (Trace.Event.Wait_begin
            {
              write = p.write_id;
+             op = req;
              file = File_id.to_int file;
              writer = Host_id.to_int writer;
              waiting = List.map Host_id.to_int (Host_id.Set.elements holders);
@@ -382,6 +383,7 @@ and commit_write t ~writer ~req ~write_id file ~arrived =
       (Trace.Event.Commit
          {
            write = write_id;
+           op = req;
            file = File_id.to_int file;
            writer = Host_id.to_int writer;
            version = Vstore.Version.to_int version;
@@ -625,7 +627,11 @@ let create ~engine ~clock ~net ~liveness ~host ~clients ~store ~config
       pending_by_id = Hashtbl.create 32;
       queued = Hashtbl.create 32;
       applied = Hashtbl.create 256;
-      next_write_id = 0;
+      (* Write ids are globally unique across shards: the server's host
+         index occupies the high bits (host 0 — the single-server layout —
+         keeps ids 0,1,2,... unchanged), so approval correlation ids in
+         traces never collide between servers.  PRNG-free. *)
+      next_write_id = Host.Host_id.to_int host lsl 32;
       recovery_end = Time.zero;
       recovered_at = Time.zero;
       installed_set;

@@ -227,7 +227,7 @@ let run setup ~trace =
   let rng = Prng.Splitmix.create ~seed:setup.seed in
   let net =
     Netsim.Net.create engine ~liveness ~partition ~rng:(Prng.Splitmix.split rng) ~loss:setup.loss
-      ~tracer ~describe:Messages.kind_name ~prop_delay:setup.m_prop
+      ~tracer ~classify:Messages.trace_class ~prop_delay:setup.m_prop
       ~proc_delay:setup.m_proc ()
   in
   let server_clock = Clock.create engine () in

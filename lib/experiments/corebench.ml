@@ -103,6 +103,38 @@ let trace_emit ~timer ~ops =
   let ring_sink = measure (Trace.Sink.ring_sink ring) in
   { null_sink; ring_sink; ring_dropped = Trace.Sink.ring_dropped ring }
 
+type classify_bench = { classify_disabled : micro; classify_enabled : micro }
+
+(* One op = one [Net]-style traced send point: the payload classifier that
+   computes the typed message kind and correlation id runs only inside the
+   enabled-tracer branch, so with tracing off the op-id plumbing leaves the
+   same single load and branch as every other guard here — no classification,
+   no allocation.  The sink is read through [Sys.opaque_identity] so the
+   guard cannot be hoisted out of the loop. *)
+let classify_point_once ~timer ~ops sink =
+  let payloads =
+    Array.init 8 (fun i ->
+        Leases.Messages.Write_request
+          { req = (1 lsl 32) lor i; file = Vstore.File_id.of_int i })
+  in
+  let started = timer () in
+  for i = 0 to ops - 1 do
+    let sink = Sys.opaque_identity sink in
+    if Trace.Sink.enabled sink then begin
+      let kind, corr = Leases.Messages.trace_class payloads.(i land 7) in
+      Trace.Sink.emit sink
+        (float_of_int i *. 1e-6)
+        (Trace.Event.Net_send { src = 1 + (i mod 7); dst = 0; kind; corr })
+    end
+  done;
+  finish ~timer ~started ~ops
+
+let classify_bench ~timer ~ops =
+  let classify_disabled = classify_point_once ~timer ~ops Trace.Sink.null in
+  let ring = Trace.Sink.ring ~capacity:65_536 in
+  let classify_enabled = classify_point_once ~timer ~ops (Trace.Sink.ring_sink ring) in
+  { classify_disabled; classify_enabled }
+
 type telemetry_bench = { probe_disabled : micro; probe_enabled : micro; snapshot : micro }
 
 (* One op = one guarded per-entity bump attempt at the server's read hot

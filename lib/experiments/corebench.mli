@@ -37,6 +37,18 @@ val trace_emit : timer:(unit -> float) -> ops:int -> trace_emit
     branch, no allocation), [ring_sink] the cost of tracing into a
     bounded 64 Ki ring. *)
 
+type classify_bench = {
+  classify_disabled : micro;  (** null sink: one load + branch, classifier never runs *)
+  classify_enabled : micro;  (** kind + correlation id computed, event emitted to a ring *)
+}
+
+val classify_bench : timer:(unit -> float) -> ops:int -> classify_bench
+(** The op-id plumbing at a [Net]-style traced send point: the payload
+    classifier that computes the typed message kind and correlation id
+    runs only inside the enabled-tracer branch, so [classify_disabled]
+    must stay within noise of {!trace_emit}'s null sink — carrying
+    correlation ids through messages costs nothing when tracing is off. *)
+
 type telemetry_bench = {
   probe_disabled : micro;  (** detached breakdown: one load + branch per site *)
   probe_enabled : micro;  (** attached: two per-entity hashtable bumps *)

@@ -15,7 +15,7 @@ type 'a t = {
       (** indexed by [Host_id.to_int]: one delivery lookup per message, on
           dense host ids — an array load, not a hash probe *)
   tracer : Trace.Sink.t;
-  describe : 'a -> string;
+  classify : 'a -> Trace.Event.msg_kind * int;
   mutable sent : int;
   mutable attempts : int;
   mutable deliveries : int;
@@ -25,7 +25,7 @@ type 'a t = {
 }
 
 let create engine ?liveness ?partition ?rng ?(loss = 0.) ?link_delay ?(tracer = Trace.Sink.null)
-    ?(describe = fun _ -> "msg") ~prop_delay ~proc_delay () =
+    ?(classify = fun _ -> (Trace.Event.M_other "msg", -1)) ~prop_delay ~proc_delay () =
   if loss < 0. || loss > 1. then invalid_arg "Net.create: loss must be in [0, 1]";
   if loss > 0. && rng = None then invalid_arg "Net.create: positive loss requires an rng";
   {
@@ -39,7 +39,7 @@ let create engine ?liveness ?partition ?rng ?(loss = 0.) ?link_delay ?(tracer = 
     proc_delay;
     handlers = [||];
     tracer;
-    describe;
+    classify;
     sent = 0;
     attempts = 0;
     deliveries = 0;
@@ -74,11 +74,12 @@ let lost t =
   | Some _ | None -> false
 
 let trace_point t ~src ~dst payload make =
-  if Trace.Sink.enabled t.tracer then
+  if Trace.Sink.enabled t.tracer then begin
+    let kind, corr = t.classify payload in
     Trace.Sink.emit t.tracer
       (Time.to_sec (Engine.now t.engine))
-      (make ~src:(Host.Host_id.to_int src) ~dst:(Host.Host_id.to_int dst)
-         ~msg:(t.describe payload))
+      (make ~src:(Host.Host_id.to_int src) ~dst:(Host.Host_id.to_int dst) ~kind ~corr)
+  end
 
 (* One delivery attempt toward [dst]; transit time is sender processing +
    propagation + receiver processing.  Every failure mode — loss included —
@@ -87,7 +88,8 @@ let trace_point t ~src ~dst payload make =
    physical order. *)
 let deliver_one t ~src ~dst payload =
   t.attempts <- t.attempts + 1;
-  trace_point t ~src ~dst payload (fun ~src ~dst ~msg -> Trace.Event.Net_send { src; dst; msg });
+  trace_point t ~src ~dst payload (fun ~src ~dst ~kind ~corr ->
+      Trace.Event.Net_send { src; dst; kind; corr });
   let transit =
     Time.Span.add t.proc_delay (Time.Span.add (delay_between t ~src ~dst) t.proc_delay)
   in
@@ -96,29 +98,29 @@ let deliver_one t ~src ~dst payload =
      if Profile.Recorder.enabled p then Profile.Recorder.mark p Profile.Center.Net_delivery);
     if lost t then begin
       t.dropped_loss <- t.dropped_loss + 1;
-      trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
-          Trace.Event.Net_drop { src; dst; msg; cause = Trace.Event.Loss })
+      trace_point t ~src ~dst payload (fun ~src ~dst ~kind ~corr ->
+          Trace.Event.Net_drop { src; dst; kind; corr; cause = Trace.Event.Loss })
     end
     else if not (Host.Liveness.is_up t.liveness dst) then begin
       t.dropped_down <- t.dropped_down + 1;
-      trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
-          Trace.Event.Net_drop { src; dst; msg; cause = Trace.Event.Down })
+      trace_point t ~src ~dst payload (fun ~src ~dst ~kind ~corr ->
+          Trace.Event.Net_drop { src; dst; kind; corr; cause = Trace.Event.Down })
     end
     else if not (Partition.connected t.partition src dst) then begin
       t.dropped_partition <- t.dropped_partition + 1;
-      trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
-          Trace.Event.Net_drop { src; dst; msg; cause = Trace.Event.Partition })
+      trace_point t ~src ~dst payload (fun ~src ~dst ~kind ~corr ->
+          Trace.Event.Net_drop { src; dst; kind; corr; cause = Trace.Event.Partition })
     end
     else begin
       match handler_for t dst with
       | None ->
         t.dropped_down <- t.dropped_down + 1;
-        trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
-            Trace.Event.Net_drop { src; dst; msg; cause = Trace.Event.Down })
+        trace_point t ~src ~dst payload (fun ~src ~dst ~kind ~corr ->
+            Trace.Event.Net_drop { src; dst; kind; corr; cause = Trace.Event.Down })
       | Some handler ->
         t.deliveries <- t.deliveries + 1;
-        trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
-            Trace.Event.Net_deliver { src; dst; msg });
+        trace_point t ~src ~dst payload (fun ~src ~dst ~kind ~corr ->
+            Trace.Event.Net_deliver { src; dst; kind; corr });
         handler { src; dst; payload }
     end
   in
@@ -136,8 +138,8 @@ let dead_sender t ~src ~dsts payload =
   drop_at_sender t ~dsts;
   List.iter
     (fun dst ->
-      trace_point t ~src ~dst payload (fun ~src ~dst ~msg ->
-          Trace.Event.Net_drop { src; dst; msg; cause = Trace.Event.Down }))
+      trace_point t ~src ~dst payload (fun ~src ~dst ~kind ~corr ->
+          Trace.Event.Net_drop { src; dst; kind; corr; cause = Trace.Event.Down }))
     dsts
 
 let send t ~src ~dst payload =

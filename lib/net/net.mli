@@ -31,7 +31,7 @@ val create :
   ?loss:float ->
   ?link_delay:(src:Host.Host_id.t -> dst:Host.Host_id.t -> Simtime.Time.Span.t) ->
   ?tracer:Trace.Sink.t ->
-  ?describe:('a -> string) ->
+  ?classify:('a -> Trace.Event.msg_kind * int) ->
   prop_delay:Simtime.Time.Span.t ->
   proc_delay:Simtime.Time.Span.t ->
   unit ->
@@ -41,8 +41,10 @@ val create :
     for fault drills).  [link_delay] overrides the propagation delay per
     (src, dst) pair, for mixed LAN/WAN topologies.  [tracer] receives a
     [Net_send] per delivery attempt, then exactly one [Net_deliver] or
-    [Net_drop] (with cause) for it; [describe] renders payloads for those
-    events (default ["msg"]). *)
+    [Net_drop] (with cause) for it; [classify] maps a payload to its typed
+    message kind and correlation id for those events (default
+    [(M_other "msg", -1)]).  [classify] is only evaluated when the tracer
+    is enabled, so it costs nothing on untraced runs. *)
 
 val register : 'a t -> Host.Host_id.t -> ('a envelope -> unit) -> unit
 (** Install the message handler for a host.  Re-registering replaces it. *)

@@ -14,6 +14,7 @@ type setup = {
   drain : Time.Span.t;
   tracer : Trace.Sink.t;
   telemetry_interval_s : float option;
+  latency : Trace.Critical_path.t option;
 }
 
 let default_setup =
@@ -30,6 +31,7 @@ let default_setup =
     drain = Time.Span.of_sec 120.;
     tracer = Trace.Sink.null;
     telemetry_interval_s = None;
+    latency = None;
   }
 
 (* Host layout: shard s's server is host s; client i is host n_shards + i. *)
@@ -142,7 +144,7 @@ let run setup ~trace =
   let rng = Prng.Splitmix.create ~seed:setup.seed in
   let net =
     Netsim.Net.create engine ~liveness ~partition ~rng:(Prng.Splitmix.split rng) ~loss:setup.loss
-      ~tracer:setup.tracer ~describe:Leases.Messages.kind_name ~prop_delay:setup.m_prop
+      ~tracer:setup.tracer ~classify:Leases.Messages.trace_class ~prop_delay:setup.m_prop
       ~proc_delay:setup.m_proc ()
   in
   let map = Shard_map.create ~vnodes:setup.vnodes ~seed:setup.seed ~shards:setup.n_shards () in
@@ -173,6 +175,16 @@ let run setup ~trace =
       setup.telemetry_interval_s
   in
   Option.iter (fun c -> Shard_telemetry.attach c ~engine ~servers) telemetry;
+  (* The caller tees the analyzer's sink into [setup.tracer]; here each
+     shard's telemetry stream just learns where its phase sums live. *)
+  (match (telemetry, setup.latency) with
+  | Some c, Some analyzer ->
+    for s = 0 to setup.n_shards - 1 do
+      let server = Host_id.to_int (server_host s) in
+      Shard_telemetry.set_phase_source c ~shard:s (fun () ->
+          Trace.Critical_path.phase_sums_for analyzer ~server)
+    done
+  | _ -> ());
   schedule_faults setup engine liveness partition server_clocks client_clocks setup.tracer
     setup.faults;
 

@@ -32,6 +32,10 @@ type setup = {
   telemetry_interval_s : float option;
       (** when set, collect per-shard {!Shard_telemetry} windows at this
           interval *)
+  latency : Trace.Critical_path.t option;
+      (** a live critical-path analyzer whose sink the caller has already
+          tee'd into [tracer]; when telemetry is also on, each shard's
+          windows carry that shard's per-phase write-delay sums *)
 }
 
 val default_setup : setup

@@ -41,6 +41,8 @@ type t = {
   live : cumul array;  (* client-side stats, updated by the deploy driver *)
   prev : cumul array;  (* values at the last closed boundary *)
   windows : Sampler.window list array;  (* newest first, per shard *)
+  phase_sources : (unit -> (string * float) list) option array;
+  prev_phases : (string, float) Hashtbl.t array;
   mutable next_index : int;
   mutable last_t : float;
   mutable engine : Engine.t option;
@@ -57,6 +59,8 @@ let create ?(interval_s = 10.) ~n_shards () =
     live = Array.init n_shards (fun _ -> zero_cumul ());
     prev = Array.init n_shards (fun _ -> zero_cumul ());
     windows = Array.make n_shards [];
+    phase_sources = Array.make n_shards None;
+    prev_phases = Array.init n_shards (fun _ -> Hashtbl.create 8);
     next_index = 0;
     last_t = 0.;
     engine = None;
@@ -76,6 +80,22 @@ let note_write t ~shard ~latency_s =
   let c = t.live.(shard) in
   c.write_delay_sum <- c.write_delay_sum +. latency_s;
   c.write_delay_count <- c.write_delay_count + 1
+
+let set_phase_source t ~shard source = t.phase_sources.(shard) <- Some source
+
+(* The per-shard source reports cumulative per-phase write-delay sums;
+   windows carry the increments, sparse like [Sampler]'s counter deltas. *)
+let phase_deltas t ~shard =
+  match t.phase_sources.(shard) with
+  | None -> []
+  | Some source ->
+    let prev = t.prev_phases.(shard) in
+    List.filter_map
+      (fun (name, value) ->
+        let before = Option.value (Hashtbl.find_opt prev name) ~default:0. in
+        Hashtbl.replace prev name value;
+        if value <> before then Some (name, value -. before) else None)
+      (source ())
 
 (* Snapshot each shard server's cumulative message counters into [live]
    (the client-side fields are already current) and close one window per
@@ -123,6 +143,7 @@ let close t ~t_end =
             server_recovering = snap.Leases.Server.recovering;
             skews = [];
             by_entity = [];
+            write_phase_sums = phase_deltas t ~shard:s;
           }
         in
         t.windows.(s) <- window :: t.windows.(s);

@@ -30,6 +30,12 @@ val note_read : t -> shard:int -> latency_s:float -> hit:bool -> unit
 val note_write : t -> shard:int -> latency_s:float -> unit
 (** A write completed on a file the given shard owns. *)
 
+val set_phase_source : t -> shard:int -> (unit -> (string * float) list) -> unit
+(** Install a cumulative per-phase write-delay source for one shard
+    (typically {!Trace.Critical_path.phase_sums_for} restricted to that
+    shard's server host); that shard's windows then carry the per-phase
+    increments in [write_phase_sums].  Polled at window boundaries only. *)
+
 val attach : t -> engine:Simtime.Engine.t -> servers:Leases.Server.t array -> unit
 (** Schedule the boundary callbacks; [servers.(s)] must be shard [s]'s
     server.  Attaches once; reattaching raises [Invalid_argument]. *)

@@ -87,6 +87,28 @@ let quantile t q =
 
 let mean t = if t.total_count = 0 then 0. else t.sum /. float_of_int t.total_count
 
+type summary = {
+  s_count : int;
+  s_sum : float;
+  s_mean : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+  s_p999 : float;
+}
+
+let summary t =
+  {
+    s_count = t.total_count;
+    s_sum = t.sum;
+    s_mean = mean t;
+    s_p50 = quantile t 0.5;
+    s_p90 = quantile t 0.9;
+    s_p99 = quantile t 0.99;
+    s_p999 = quantile t 0.999;
+  }
+
 let pp ppf t =
-  Format.fprintf ppf "n=%d mean=%.6g p50=%.6g p90=%.6g p99=%.6g" t.total_count (mean t)
-    (quantile t 0.5) (quantile t 0.9) (quantile t 0.99)
+  Format.fprintf ppf "n=%d mean=%.6g p50=%.6g p90=%.6g p99=%.6g p99.9=%.6g sum=%.6g"
+    t.total_count (mean t) (quantile t 0.5) (quantile t 0.9) (quantile t 0.99)
+    (quantile t 0.999) t.sum

@@ -34,5 +34,20 @@ val quantile : t -> float -> float
 (** [quantile t q] for q in [0, 1].  0.0 when empty. *)
 
 val mean : t -> float
+
+type summary = {
+  s_count : int;
+  s_sum : float;  (** exact sample sum, not bucket-quantised *)
+  s_mean : float;
+  s_p50 : float;
+  s_p90 : float;
+  s_p99 : float;
+  s_p999 : float;  (** p99.9 — one in a thousand; p99 is too coarse at 10k clients *)
+}
+
+val summary : t -> summary
+(** One-shot tail summary: count, exact sum, mean and the
+    p50/p90/p99/p99.9 quantile estimates (all 0 when empty). *)
+
 val pp : Format.formatter -> t -> unit
-(** A compact summary line: count, mean, p50, p90, p99, max bucket. *)
+(** A compact summary line: count, mean, p50, p90, p99, p99.9, sum. *)

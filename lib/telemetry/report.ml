@@ -112,6 +112,8 @@ let json_of_eval (e : Residual.eval) =
       ("skews", Json.Obj (List.map (fun (k, s) -> (k, Json.Num s)) w.Sampler.skews));
       ("deltas", json_of_counts w.Sampler.deltas);
       ("by_entity", json_of_entity_deltas w.Sampler.by_entity);
+      ( "write_phase_sums",
+        Json.Obj (List.map (fun (name, s) -> (name, Json.Num s)) w.Sampler.write_phase_sums) );
     ]
 
 let to_json ~params sampler =

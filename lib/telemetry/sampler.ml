@@ -33,6 +33,7 @@ type window = {
   server_recovering : bool;
   skews : (string * float) list;
   by_entity : (string * (int * int) list) list;
+  write_phase_sums : (string * float) list;
 }
 
 type scalars = {
@@ -53,12 +54,14 @@ type t = {
   interval_s : float;
   mutable inst : Leases.Sim.instruments option;
   mutable breakdown : Breakdown.t option;
+  mutable phase_source : (unit -> (string * float) list) option;
   mutable rev_windows : window list;
   mutable closed : int;
   mutable last_t : float;
   mutable finalized : bool;
   prev_counters : (string, int) Hashtbl.t;
   prev_entity : (string, (int, int) Hashtbl.t) Hashtbl.t;
+  prev_phases : (string, float) Hashtbl.t;
   prev : scalars;
 }
 
@@ -69,12 +72,14 @@ let create ?(interval_s = 10.) () =
     interval_s;
     inst = None;
     breakdown = None;
+    phase_source = None;
     rev_windows = [];
     closed = 0;
     last_t = 0.;
     finalized = false;
     prev_counters = Hashtbl.create 64;
     prev_entity = Hashtbl.create 16;
+    prev_phases = Hashtbl.create 8;
     prev =
       {
         p_hits = 0;
@@ -92,6 +97,21 @@ let create ?(interval_s = 10.) () =
   }
 
 let interval_s t = t.interval_s
+
+let set_phase_source t source = t.phase_source <- Some source
+
+(* The source reports cumulative per-phase sums; windows carry the
+   increments, sparse like [deltas]. *)
+let phase_deltas t =
+  match t.phase_source with
+  | None -> []
+  | Some source ->
+    List.filter_map
+      (fun (name, value) ->
+        let prev = Option.value (Hashtbl.find_opt t.prev_phases name) ~default:0. in
+        Hashtbl.replace t.prev_phases name value;
+        if value <> prev then Some (name, value -. prev) else None)
+      (source ())
 
 (* Merged cumulative counter dump: server registry under "server/", each
    client's under "client/<i>/", globally sorted so exports are
@@ -199,6 +219,7 @@ let take_sample t (inst : Leases.Sim.instruments) =
       skews = skews inst;
       by_entity =
         (match t.breakdown with Some b -> entity_deltas t b | None -> []);
+      write_phase_sums = phase_deltas t;
     }
   in
   p.p_hits <- hits;

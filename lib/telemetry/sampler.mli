@@ -63,6 +63,12 @@ type window = {
           {!Leases.Breakdown.axes}) to sorted (entity id, increment)
           pairs; sparse — axes and entities that did not move are
           omitted *)
+  write_phase_sums : (string * float) list;
+      (** per-phase write-delay sums (seconds) accumulated this window by
+          the critical-path analyzer, in {!Trace.Critical_path.phases}
+          order; sparse — phases that did not move are omitted, and the
+          list is empty when no phase source is installed (see
+          {!set_phase_source}) *)
 }
 
 type t
@@ -72,6 +78,12 @@ val create : ?interval_s:float -> unit -> t
     positive and finite. *)
 
 val interval_s : t -> float
+
+val set_phase_source : t -> (unit -> (string * float) list) -> unit
+(** Install a cumulative per-phase write-delay source (typically
+    {!Trace.Critical_path.phase_sums} partially applied to a live
+    analyzer); each window then carries the per-phase increments in
+    [write_phase_sums].  The source is polled at window boundaries only. *)
 
 val attach : t -> Leases.Sim.instruments -> unit
 (** Hook the sampler to a cluster: installs a {!Leases.Breakdown.t} on the

@@ -84,11 +84,16 @@ let write ?(server = 0) oc events =
         push (instant ~name:"clock-drift" ~pid:host ~ts:at ~args:[ ("drift", Json.Num drift) ])
       | Event.Clock_step { host; step_s } ->
         push (instant ~name:"clock-step" ~pid:host ~ts:at ~args:[ ("step_s", Json.Num step_s) ])
-      | Event.Net_drop { src; dst; msg; cause } ->
+      | Event.Net_drop { src; dst; kind; corr; cause } ->
         push
           (instant ~name:"net-drop" ~pid:src ~ts:at
              ~args:
-               [ ("dst", int dst); ("msg", str msg); ("cause", str (Event.drop_cause_name cause)) ])
+               [
+                 ("dst", int dst);
+                 ("msg", str (Event.msg_kind_name kind));
+                 ("corr", int corr);
+                 ("cause", str (Event.drop_cause_name cause));
+               ])
       | Event.Heartbeat { pending } ->
         push (counter ~name:"pending-events" ~pid:server ~ts:at ~values:[ ("pending", int pending) ])
       | _ -> ())

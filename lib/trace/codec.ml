@@ -19,9 +19,10 @@ let payload = function
     [ ("file", int file); ("holder", int holder); ("cause", Json.Str (release_cause_name cause)) ]
   | Lease_expire { file; holder; expired_at } ->
     [ ("file", int file); ("holder", int holder); ("expired", num_opt expired_at) ]
-  | Wait_begin { write; file; writer; waiting; deadline; server_now } ->
+  | Wait_begin { write; op; file; writer; waiting; deadline; server_now } ->
     [
       ("write", int write);
+      ("op", int op);
       ("file", int file);
       ("writer", int writer);
       ("waiting", ints waiting);
@@ -33,9 +34,10 @@ let payload = function
     [ ("write", int write); ("file", int file); ("dsts", ints dsts) ]
   | Approval_reply { write; file; holder } ->
     [ ("write", int write); ("file", int file); ("holder", int holder) ]
-  | Commit { write; file; writer; version; server_now; waited_s } ->
+  | Commit { write; op; file; writer; version; server_now; waited_s } ->
     [
       ("write", int_opt write);
+      ("op", int op);
       ("file", int file);
       ("writer", int writer);
       ("version", int version);
@@ -55,13 +57,26 @@ let payload = function
     [ ("host", int host); ("file", int file); ("version", int version); ("now", Json.Num local_now) ]
   | Cache_miss { host; file } -> [ ("host", int host); ("file", int file) ]
   | Cache_invalidate { host; file } -> [ ("host", int host); ("file", int file) ]
-  | Net_send { src; dst; msg } -> [ ("src", int src); ("dst", int dst); ("msg", Json.Str msg) ]
-  | Net_deliver { src; dst; msg } -> [ ("src", int src); ("dst", int dst); ("msg", Json.Str msg) ]
-  | Net_drop { src; dst; msg; cause } ->
+  | Net_send { src; dst; kind; corr } ->
     [
       ("src", int src);
       ("dst", int dst);
-      ("msg", Json.Str msg);
+      ("msg", Json.Str (msg_kind_name kind));
+      ("corr", int corr);
+    ]
+  | Net_deliver { src; dst; kind; corr } ->
+    [
+      ("src", int src);
+      ("dst", int dst);
+      ("msg", Json.Str (msg_kind_name kind));
+      ("corr", int corr);
+    ]
+  | Net_drop { src; dst; kind; corr; cause } ->
+    [
+      ("src", int src);
+      ("dst", int dst);
+      ("msg", Json.Str (msg_kind_name kind));
+      ("corr", int corr);
       ("cause", Json.Str (drop_cause_name cause));
     ]
   | Crash { host } -> [ ("host", int host) ]
@@ -128,6 +143,12 @@ let int_list name obj =
       items
   | _ -> raise (Bad name)
 
+(* [corr] and [op] were added after the first codec release; absent fields
+   decode to the "uncorrelated" sentinel so pre-existing traces stay
+   readable. *)
+let int_default name ~default obj =
+  match Json.member name obj with None -> default | Some _ -> int_f name obj
+
 let drop_cause_of_string = function
   | "loss" -> Loss
   | "partition" -> Partition
@@ -169,6 +190,7 @@ let kind_of_json tag obj =
     Wait_begin
       {
         write = int_f "write" obj;
+        op = int_default "op" ~default:(-1) obj;
         file = int_f "file" obj;
         writer = int_f "writer" obj;
         waiting = int_list "waiting" obj;
@@ -186,6 +208,7 @@ let kind_of_json tag obj =
     Commit
       {
         write = int_opt_f "write" obj;
+        op = int_default "op" ~default:(-1) obj;
         file = int_f "file" obj;
         writer = int_f "writer" obj;
         version = int_f "version" obj;
@@ -212,15 +235,29 @@ let kind_of_json tag obj =
       }
   | "cache-miss" -> Cache_miss { host = int_f "host" obj; file = int_f "file" obj }
   | "cache-invalidate" -> Cache_invalidate { host = int_f "host" obj; file = int_f "file" obj }
-  | "net-send" -> Net_send { src = int_f "src" obj; dst = int_f "dst" obj; msg = str "msg" obj }
+  | "net-send" ->
+    Net_send
+      {
+        src = int_f "src" obj;
+        dst = int_f "dst" obj;
+        kind = msg_kind_of_name (str "msg" obj);
+        corr = int_default "corr" ~default:(-1) obj;
+      }
   | "net-deliver" ->
-    Net_deliver { src = int_f "src" obj; dst = int_f "dst" obj; msg = str "msg" obj }
+    Net_deliver
+      {
+        src = int_f "src" obj;
+        dst = int_f "dst" obj;
+        kind = msg_kind_of_name (str "msg" obj);
+        corr = int_default "corr" ~default:(-1) obj;
+      }
   | "net-drop" ->
     Net_drop
       {
         src = int_f "src" obj;
         dst = int_f "dst" obj;
-        msg = str "msg" obj;
+        kind = msg_kind_of_name (str "msg" obj);
+        corr = int_default "corr" ~default:(-1) obj;
         cause = drop_cause_of_string (str "cause" obj);
       }
   | "crash" -> Crash { host = int_f "host" obj }

@@ -1,6 +1,42 @@
 type drop_cause = Loss | Partition | Down
 type release_cause = Approved | Writer_self
 
+type msg_kind =
+  | M_read_req
+  | M_read_rep
+  | M_extend_req
+  | M_extend_rep
+  | M_write_req
+  | M_write_rep
+  | M_approve_req
+  | M_approve_rep
+  | M_installed
+  | M_other of string
+
+let msg_kind_name = function
+  | M_read_req -> "read-req"
+  | M_read_rep -> "read-rep"
+  | M_extend_req -> "extend-req"
+  | M_extend_rep -> "extend-rep"
+  | M_write_req -> "write-req"
+  | M_write_rep -> "write-rep"
+  | M_approve_req -> "approve-req"
+  | M_approve_rep -> "approve-rep"
+  | M_installed -> "installed-refresh"
+  | M_other s -> s
+
+let msg_kind_of_name = function
+  | "read-req" -> M_read_req
+  | "read-rep" -> M_read_rep
+  | "extend-req" -> M_extend_req
+  | "extend-rep" -> M_extend_rep
+  | "write-req" -> M_write_req
+  | "write-rep" -> M_write_rep
+  | "approve-req" -> M_approve_req
+  | "approve-rep" -> M_approve_rep
+  | "installed-refresh" -> M_installed
+  | s -> M_other s
+
 type kind =
   | Lease_grant of {
       file : int;
@@ -20,6 +56,7 @@ type kind =
           {!Lease_release}: nobody approved anything. *)
   | Wait_begin of {
       write : int;
+      op : int;
       file : int;
       writer : int;
       waiting : int list;
@@ -31,6 +68,7 @@ type kind =
   | Approval_reply of { write : int; file : int; holder : int }
   | Commit of {
       write : int option;
+      op : int;
       file : int;
       writer : int;
       version : int;
@@ -48,9 +86,9 @@ type kind =
   | Cache_hit of { host : int; file : int; version : int; local_now : float }
   | Cache_miss of { host : int; file : int }
   | Cache_invalidate of { host : int; file : int }
-  | Net_send of { src : int; dst : int; msg : string }
-  | Net_deliver of { src : int; dst : int; msg : string }
-  | Net_drop of { src : int; dst : int; msg : string; cause : drop_cause }
+  | Net_send of { src : int; dst : int; kind : msg_kind; corr : int }
+  | Net_deliver of { src : int; dst : int; kind : msg_kind; corr : int }
+  | Net_drop of { src : int; dst : int; kind : msg_kind; corr : int; cause : drop_cause }
   | Crash of { host : int }
   | Recover of { host : int }
   | Clock_drift of { host : int; drift : float }
@@ -97,6 +135,8 @@ let pp_opt ppf = function
   | None -> Format.pp_print_string ppf "inf"
   | Some v -> Format.fprintf ppf "%g" v
 
+let pp_corr ppf corr = if corr >= 0 then Format.fprintf ppf "#%d" corr
+
 let pp_kind ppf = function
   | Lease_grant { file; holder; term_s; server_expiry; server_now; renewal } ->
     Format.fprintf ppf "lease-grant file=%d holder=%d term=%a expiry=%a now=%g%s" file holder
@@ -107,9 +147,10 @@ let pp_kind ppf = function
       (release_cause_name cause)
   | Lease_expire { file; holder; expired_at } ->
     Format.fprintf ppf "lease-expire file=%d holder=%d expired=%a" file holder pp_opt expired_at
-  | Wait_begin { write; file; writer; waiting; deadline; server_now } ->
-    Format.fprintf ppf "wait-begin write=%d file=%d writer=%d waiting=[%a] deadline=%a now=%g"
-      write file writer
+  | Wait_begin { write; op; file; writer; waiting; deadline; server_now } ->
+    Format.fprintf ppf
+      "wait-begin write=%d op=%d file=%d writer=%d waiting=[%a] deadline=%a now=%g" write op file
+      writer
       (Format.pp_print_list
          ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ';')
          Format.pp_print_int)
@@ -123,10 +164,10 @@ let pp_kind ppf = function
       dsts
   | Approval_reply { write; file; holder } ->
     Format.fprintf ppf "approval-reply write=%d file=%d holder=%d" write file holder
-  | Commit { write; file; writer; version; server_now; waited_s } ->
-    Format.fprintf ppf "commit%s file=%d writer=%d v=%d now=%g waited=%g"
+  | Commit { write; op; file; writer; version; server_now; waited_s } ->
+    Format.fprintf ppf "commit%s op=%d file=%d writer=%d v=%d now=%g waited=%g"
       (match write with None -> "" | Some w -> Printf.sprintf " write=%d" w)
-      file writer version server_now waited_s
+      op file writer version server_now waited_s
   | Installed_cover { file; until } ->
     Format.fprintf ppf "installed-cover file=%d until=%g" file until
   | Client_lease { host; file; version; expiry; local_now } ->
@@ -137,10 +178,13 @@ let pp_kind ppf = function
   | Cache_miss { host; file } -> Format.fprintf ppf "cache-miss host=%d file=%d" host file
   | Cache_invalidate { host; file } ->
     Format.fprintf ppf "cache-invalidate host=%d file=%d" host file
-  | Net_send { src; dst; msg } -> Format.fprintf ppf "net-send %d->%d %s" src dst msg
-  | Net_deliver { src; dst; msg } -> Format.fprintf ppf "net-deliver %d->%d %s" src dst msg
-  | Net_drop { src; dst; msg; cause } ->
-    Format.fprintf ppf "net-drop %d->%d %s cause=%s" src dst msg (drop_cause_name cause)
+  | Net_send { src; dst; kind; corr } ->
+    Format.fprintf ppf "net-send %d->%d %s%a" src dst (msg_kind_name kind) pp_corr corr
+  | Net_deliver { src; dst; kind; corr } ->
+    Format.fprintf ppf "net-deliver %d->%d %s%a" src dst (msg_kind_name kind) pp_corr corr
+  | Net_drop { src; dst; kind; corr; cause } ->
+    Format.fprintf ppf "net-drop %d->%d %s%a cause=%s" src dst (msg_kind_name kind) pp_corr corr
+      (drop_cause_name cause)
   | Crash { host } -> Format.fprintf ppf "crash host=%d" host
   | Recover { host } -> Format.fprintf ppf "recover host=%d" host
   | Clock_drift { host; drift } -> Format.fprintf ppf "clock-drift host=%d drift=%g" host drift

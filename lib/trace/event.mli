@@ -20,6 +20,32 @@ type release_cause =
   | Approved  (** the holder approved a write, invalidating its copy *)
   | Writer_self  (** implicit self-approval carried on a write request *)
 
+(** Typed classification of a network payload, replacing the old
+    stringly-typed [msg] field.  The canonical constructors mirror
+    [Leases.Messages.kind_name]; baselines and ad-hoc payloads travel as
+    [M_other name].  Together with [corr] (the request id of the
+    operation the message belongs to, the write id for approval traffic,
+    or [-1] when uncorrelated) this lets the critical-path analyzer
+    reconstruct per-operation causal timelines from the raw stream. *)
+type msg_kind =
+  | M_read_req
+  | M_read_rep
+  | M_extend_req
+  | M_extend_rep
+  | M_write_req
+  | M_write_rep
+  | M_approve_req
+  | M_approve_rep
+  | M_installed
+  | M_other of string
+
+val msg_kind_name : msg_kind -> string
+(** Stable kebab-case tag, also the JSONL encoding of the kind. *)
+
+val msg_kind_of_name : string -> msg_kind
+(** Inverse of {!msg_kind_name}; unknown names decode as [M_other], so
+    [msg_kind_of_name (msg_kind_name k) = k] for every [k]. *)
+
 type kind =
   | Lease_grant of {
       file : int;
@@ -39,6 +65,7 @@ type kind =
           ran out and the server forgot the record. *)
   | Wait_begin of {
       write : int;
+      op : int;  (** the writer's request id — the client-side op id *)
       file : int;
       writer : int;
       waiting : int list;  (** leaseholders asked for approval *)
@@ -51,6 +78,7 @@ type kind =
   | Approval_reply of { write : int; file : int; holder : int }
   | Commit of {
       write : int option;  (** [None]: committed without waiting *)
+      op : int;  (** the writer's request id — the client-side op id *)
       file : int;
       writer : int;
       version : int;
@@ -69,9 +97,9 @@ type kind =
   | Cache_hit of { host : int; file : int; version : int; local_now : float }
   | Cache_miss of { host : int; file : int }
   | Cache_invalidate of { host : int; file : int }
-  | Net_send of { src : int; dst : int; msg : string }
-  | Net_deliver of { src : int; dst : int; msg : string }
-  | Net_drop of { src : int; dst : int; msg : string; cause : drop_cause }
+  | Net_send of { src : int; dst : int; kind : msg_kind; corr : int }
+  | Net_deliver of { src : int; dst : int; kind : msg_kind; corr : int }
+  | Net_drop of { src : int; dst : int; kind : msg_kind; corr : int; cause : drop_cause }
   | Crash of { host : int }
   | Recover of { host : int }
   | Clock_drift of { host : int; drift : float }

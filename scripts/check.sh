@@ -39,6 +39,16 @@ dune exec bin/simulate.exe -- -p leases -t 10 -n 1 -d 1500 -s 7 \
 dune exec bin/tracedump.exe -- /tmp/leases_telemetry_smoke.jsonl --check-only
 dune exec bin/telemetry_view.exe -- /tmp/leases_telemetry.json --gate-residual 0.25
 
+echo "== latency conservation gate =="
+# A seeded lossy run with the critical-path analyzer attached: every
+# completed operation's attributed phases must sum to its client-observed
+# latency within 1e-9 s (they telescope by construction, so any gap is an
+# attribution bug), and the leases-latency/1 export must replay through
+# leases-latency with the same verdict.
+dune exec bin/simulate.exe -- -p leases -t 10 -n 6 -d 120 -s 3 --loss 0.05 \
+  --latency --latency-out /tmp/leases_latency.json > /dev/null
+dune exec bin/latency_view.exe -- /tmp/leases_latency.json --gate-conserve -q
+
 echo "== sharded smoke sim + invariant checker =="
 # A four-shard deployment with a shard failover mid-run must replay
 # through the multi-server checker with zero violations; --map-seed

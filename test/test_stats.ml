@@ -157,6 +157,70 @@ let test_histogram_overflow_quantile () =
           (overflow_lo *. growth))
     [ 0.5; 0.99; 1.0 ]
 
+let test_histogram_summary () =
+  (* empty: every summary field is zero *)
+  let empty = Stats.Histogram.summary (Stats.Histogram.create ()) in
+  Alcotest.(check int) "empty count" 0 empty.Stats.Histogram.s_count;
+  Alcotest.(check (float 0.)) "empty sum" 0. empty.Stats.Histogram.s_sum;
+  Alcotest.(check (float 0.)) "empty p99.9" 0. empty.Stats.Histogram.s_p999;
+  let h = Stats.Histogram.create () in
+  for i = 1 to 10_000 do
+    Stats.Histogram.add h (float_of_int i /. 10_000.)
+  done;
+  let s = Stats.Histogram.summary h in
+  Alcotest.(check int) "count" 10_000 s.Stats.Histogram.s_count;
+  Alcotest.(check (float 1e-6)) "sum exact" 5000.5 s.Stats.Histogram.s_sum;
+  Alcotest.(check (float 1e-6)) "mean = sum/count" (Stats.Histogram.mean h)
+    s.Stats.Histogram.s_mean;
+  (* quantile fields agree with the direct calls, and p99.9 resolves the
+     tail p99 cannot: it must sit strictly above p99 here *)
+  List.iter
+    (fun (name, q, field) ->
+      Alcotest.(check (float 1e-12)) name (Stats.Histogram.quantile h q) field)
+    [
+      ("p50", 0.5, s.Stats.Histogram.s_p50);
+      ("p90", 0.9, s.Stats.Histogram.s_p90);
+      ("p99", 0.99, s.Stats.Histogram.s_p99);
+      ("p99.9", 0.999, s.Stats.Histogram.s_p999);
+    ];
+  if not (s.Stats.Histogram.s_p999 > s.Stats.Histogram.s_p99) then
+    Alcotest.failf "p99.9 (%g) should exceed p99 (%g)" s.Stats.Histogram.s_p999
+      s.Stats.Histogram.s_p99;
+  if s.Stats.Histogram.s_p999 < 0.8 || s.Stats.Histogram.s_p999 > 1.25 then
+    Alcotest.failf "p99.9 out of tolerance: %g" s.Stats.Histogram.s_p999
+
+let test_histogram_summary_bucket_edges () =
+  (* a thousand samples pinned on one exact bucket edge: the p99.9 walk
+     must interpolate inside that bucket, not fall off an edge *)
+  let least = 1e-6 and growth = 1.2 and buckets = 128 in
+  let h = Stats.Histogram.create ~least ~growth ~buckets () in
+  let edge = least *. Float.pow growth 17. in
+  for _ = 1 to 1000 do
+    Stats.Histogram.add h edge
+  done;
+  let s = Stats.Histogram.summary h in
+  let lo = edge and hi = edge *. growth in
+  List.iter
+    (fun (name, v) ->
+      if v < lo -. 1e-18 || v > hi +. 1e-18 then
+        Alcotest.failf "%s estimate %g outside the edge bucket [%g, %g]" name v lo hi)
+    [ ("p50", s.Stats.Histogram.s_p50); ("p99", s.Stats.Histogram.s_p99);
+      ("p99.9", s.Stats.Histogram.s_p999) ];
+  Alcotest.(check (float 1e-9)) "sum is exact at the edge" (1000. *. edge)
+    s.Stats.Histogram.s_sum;
+  (* a couple of stragglers in the overflow bucket are what p99.9 exists
+     to see: p99 stays in the edge bucket while p99.9 reaches the
+     overflow (with 1000 edge samples + 2 outliers the 0.999 target index
+     is 1001.998, inside the overflow bucket) *)
+  Stats.Histogram.add h 1e9;
+  Stats.Histogram.add h 1e9;
+  let s' = Stats.Histogram.summary h in
+  if not (s'.Stats.Histogram.s_p99 <= hi +. 1e-18) then
+    Alcotest.failf "p99 moved to %g; should stay within the edge bucket" s'.Stats.Histogram.s_p99;
+  if not (s'.Stats.Histogram.s_p999 > hi) then
+    Alcotest.failf "p99.9 (%g) should land past the edge bucket with 2/1002 outliers"
+      s'.Stats.Histogram.s_p999
+
 let test_series () =
   let s = Stats.Series.create ~label:"load" in
   Stats.Series.add s ~x:0. ~y:1.;
@@ -268,6 +332,8 @@ let () =
           Alcotest.test_case "edges" `Quick test_histogram_edges;
           Alcotest.test_case "bucket edges" `Quick test_histogram_bucket_edges;
           Alcotest.test_case "overflow quantile" `Quick test_histogram_overflow_quantile;
+          Alcotest.test_case "summary" `Quick test_histogram_summary;
+          Alcotest.test_case "summary bucket edges" `Quick test_histogram_summary_bucket_edges;
         ] );
       ( "series+table",
         [

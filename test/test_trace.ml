@@ -32,7 +32,7 @@ let gen_kind =
        return (Lease_release { file = f; holder = h; cause = c }));
       (let* w = gen_id and* f = gen_id and* wr = gen_id and* waiting = list_size (int_bound 5) gen_id
        and* d = gen_opt gen_time and* now = gen_time in
-       return (Wait_begin { write = w; file = f; writer = wr; waiting; deadline = d; server_now = now }));
+       return (Wait_begin { write = w; op = w; file = f; writer = wr; waiting; deadline = d; server_now = now }));
       (let* w = gen_id and* f = gen_id in
        return (Wait_expire { write = w; file = f }));
       (let* w = gen_id and* f = gen_id and* dsts = list_size (int_bound 5) gen_id in
@@ -41,7 +41,7 @@ let gen_kind =
        return (Approval_reply { write = w; file = f; holder = h }));
       (let* w = gen_opt gen_id and* f = gen_id and* wr = gen_id and* v = gen_id
        and* now = gen_time and* waited = gen_time in
-       return (Commit { write = w; file = f; writer = wr; version = v; server_now = now; waited_s = waited }));
+       return (Commit { write = w; op = f; file = f; writer = wr; version = v; server_now = now; waited_s = waited }));
       (let* f = gen_id and* u = gen_time in
        return (Installed_cover { file = f; until = u }));
       (let* h = gen_id and* f = gen_id and* v = gen_id and* e = gen_opt gen_time and* now = gen_time in
@@ -52,14 +52,15 @@ let gen_kind =
        return (Cache_miss { host = h; file = f }));
       (let* h = gen_id and* f = gen_id in
        return (Cache_invalidate { host = h; file = f }));
-      (let* s = gen_id and* d = gen_id
-       and* m = oneofl [ "read-req"; "approve-rep"; "msg with \"quotes\" and \\ slashes\n" ] in
-       return (Net_send { src = s; dst = d; msg = m }));
-      (let* s = gen_id and* d = gen_id and* m = oneofl [ "read-rep"; "installed-refresh" ] in
-       return (Net_deliver { src = s; dst = d; msg = m }));
-      (let* s = gen_id and* d = gen_id and* m = oneofl [ "write-req"; "extend-req" ]
+      (let* s = gen_id and* d = gen_id and* corr = gen_id
+       and* k = oneofl [ M_read_req; M_approve_rep; M_other "msg with \"quotes\" and \\ slashes\n" ] in
+       return (Net_send { src = s; dst = d; kind = k; corr }));
+      (let* s = gen_id and* d = gen_id and* k = oneofl [ M_read_rep; M_installed ] in
+       return (Net_deliver { src = s; dst = d; kind = k; corr = -1 }));
+      (let* s = gen_id and* d = gen_id and* corr = gen_id
+       and* k = oneofl [ M_write_req; M_extend_req ]
        and* c = oneofl [ Loss; Partition; Down ] in
-       return (Net_drop { src = s; dst = d; msg = m; cause = c }));
+       return (Net_drop { src = s; dst = d; kind = k; corr; cause = c }));
       map (fun h -> Crash { host = h }) gen_id;
       map (fun h -> Recover { host = h }) gen_id;
       (let* h = gen_id and* d = oneofl [ -0.5; 0.; 1.5 ] in
@@ -144,11 +145,11 @@ let hand_stream =
     ev 1.0 (Lease_grant { file = 7; holder = 1; term_s = Some 10.; server_expiry = Some 11.0; server_now = 1.0; renewal = false });
     ev 2.0 (Lease_grant { file = 7; holder = 2; term_s = Some 10.; server_expiry = Some 12.0; server_now = 2.0; renewal = false });
     ev 5.0 (Lease_grant { file = 7; holder = 1; term_s = Some 10.; server_expiry = Some 15.0; server_now = 5.0; renewal = true });
-    ev 6.0 (Wait_begin { write = 0; file = 7; writer = 3; waiting = [ 1; 2 ]; deadline = Some 15.0; server_now = 6.0 });
+    ev 6.0 (Wait_begin { write = 0; op = 100; file = 7; writer = 3; waiting = [ 1; 2 ]; deadline = Some 15.0; server_now = 6.0 });
     ev 6.5 (Approval_reply { write = 0; file = 7; holder = 2 });
     ev 6.5 (Lease_release { file = 7; holder = 2; cause = Approved });
     ev 15.0 (Wait_expire { write = 0; file = 7 });
-    ev 15.0 (Commit { write = Some 0; file = 7; writer = 3; version = 1; server_now = 15.0; waited_s = 9.0 });
+    ev 15.0 (Commit { write = Some 0; op = 100; file = 7; writer = 3; version = 1; server_now = 15.0; waited_s = 9.0 });
   ]
 
 let test_lifecycle_reconstruction () =
@@ -202,7 +203,7 @@ let test_checker_clean_hand_stream () =
         ev 2.0 (Cache_hit { host = 1; file = 3; version = 0; local_now = 2.0 });
         ev 5.0 (Lease_release { file = 3; holder = 1; cause = Approved });
         ev 5.0 (Cache_invalidate { host = 1; file = 3 });
-        ev 5.1 (Commit { write = None; file = 3; writer = 2; version = 1; server_now = 5.1; waited_s = 0. });
+        ev 5.1 (Commit { write = None; op = -1; file = 3; writer = 2; version = 1; server_now = 5.1; waited_s = 0. });
       ]
   in
   Alcotest.(check bool) "clean" true (Trace.Checker.ok report);
@@ -215,7 +216,7 @@ let test_checker_flags_stale_hit () =
     Trace.Checker.check
       [
         ev 1.0 (Client_lease { host = 1; file = 3; version = 0; expiry = Some 30.; local_now = 1.0 });
-        ev 2.0 (Commit { write = None; file = 3; writer = 2; version = 1; server_now = 2.0; waited_s = 0. });
+        ev 2.0 (Commit { write = None; op = -1; file = 3; writer = 2; version = 1; server_now = 2.0; waited_s = 0. });
         ev 3.0 (Cache_hit { host = 1; file = 3; version = 0; local_now = 3.0 });
       ]
   in
@@ -228,7 +229,7 @@ let test_checker_flags_commit_over_live_lease () =
     Trace.Checker.check
       [
         ev 1.0 (Lease_grant { file = 3; holder = 1; term_s = Some 10.; server_expiry = Some 11.0; server_now = 1.0; renewal = false });
-        ev 2.0 (Commit { write = None; file = 3; writer = 2; version = 1; server_now = 2.0; waited_s = 0. });
+        ev 2.0 (Commit { write = None; op = -1; file = 3; writer = 2; version = 1; server_now = 2.0; waited_s = 0. });
       ]
   in
   Alcotest.(check (list string)) "as commit-vs-lease" [ "commit-vs-lease" ] (invariants report)
@@ -317,6 +318,71 @@ let test_fast_server_clock_caught () =
   Alcotest.(check bool) "oracle agrees it is a real violation" true
     (m.Leases.Metrics.oracle_violations >= 1)
 
+(* --- critical path: phase-partition conservation under faults ----------- *)
+
+(* Attributed phases must sum to each completed operation's client-observed
+   latency by construction; the property hammers that invariant under
+   random message loss, client partitions and clock drift.  No crash
+   faults: a crashed host abandons its open operations, and the invariant
+   quantifies over completed operations only (clock drift cannot break it
+   either — segments are cut at engine instants). *)
+let conservation_case_arb =
+  let open QCheck.Gen in
+  let gen_fault =
+    oneof
+      [
+        map
+          (fun (at, dur) ->
+            Leases.Sim.Partition_clients
+              {
+                clients = [ 0 ];
+                at = sec (1. +. float_of_int at);
+                duration = Time.Span.of_sec (1. +. float_of_int dur);
+              })
+          (pair (int_bound 40) (int_bound 4));
+        map
+          (fun (at, r) ->
+            Leases.Sim.Client_drift
+              { client = 1; at = sec (float_of_int at); drift = 0.5 +. (float_of_int r /. 10.) })
+          (pair (int_bound 40) (int_bound 15));
+        map
+          (fun (at, r) ->
+            Leases.Sim.Server_drift
+              { at = sec (float_of_int at); drift = 0.5 +. (float_of_int r /. 10.) })
+          (pair (int_bound 40) (int_bound 15));
+      ]
+  in
+  let gen_case =
+    map
+      (fun ((loss_pct, seed), faults) -> (float_of_int loss_pct /. 100., Int64.of_int seed, faults))
+      (pair (pair (int_bound 30) (int_bound 10_000)) (list_size (int_bound 3) gen_fault))
+  in
+  QCheck.make gen_case ~print:(fun (loss, seed, faults) ->
+      Printf.sprintf "loss=%.2f seed=%Ld faults=[%s]" loss seed
+        (String.concat "; " (List.map Leases.Sim.fault_to_spec faults)))
+
+let prop_phase_conservation =
+  QCheck.Test.make ~name:"phases sum to client-observed latency" ~count:30 conservation_case_arb
+    (fun (loss, seed, faults) ->
+      let analyzer = Trace.Critical_path.create () in
+      let setup =
+        {
+          (Experiments.Runner.lease_setup ~n_clients:2 ~term:(Analytic.Model.Finite 10.) ()) with
+          Leases.Sim.faults;
+          loss;
+          seed;
+          tracer = Trace.Critical_path.sink analyzer;
+        }
+      in
+      ignore (Experiments.Runner.run_lease setup (Workload.Trace.of_ops busy_ops));
+      let r = Trace.Critical_path.report analyzer in
+      if r.Trace.Critical_path.r_checked = 0 then
+        QCheck.Test.fail_report "no completed operations reached the conservation check";
+      if r.Trace.Critical_path.r_max_err > 1e-9 then
+        QCheck.Test.fail_reportf "phases do not partition latency: max |error| = %g s over %d ops"
+          r.Trace.Critical_path.r_max_err r.Trace.Critical_path.r_checked;
+      true)
+
 let () =
   Alcotest.run "trace"
     [
@@ -343,5 +409,6 @@ let () =
         [
           Alcotest.test_case "clean run has no violations" `Quick test_clean_run_no_violations;
           Alcotest.test_case "fast server clock caught" `Quick test_fast_server_clock_caught;
+          QCheck_alcotest.to_alcotest prop_phase_conservation;
         ] );
     ]
