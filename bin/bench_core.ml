@@ -4,11 +4,15 @@
    simulated-seconds-per-wallclock-second across a client-count sweep
    (default N = 1, 10, 100, 1000, 10000; override with --clients), so
    future PRs touching the hot paths are held to these numbers.  Each
-   sweep row carries hotspot attribution from one profiled run.  With
-   --gate BASELINE the run doubles as a perf-regression gate: the fresh
-   document's end_to_end sweep is compared against the baseline's and the
-   exit status is non-zero on a regression past --tolerance.  The JSON
-   format is documented in DESIGN.md sections 4 and 12. *)
+   sweep row carries hotspot attribution from one profiled run.  A
+   domain_sweep section records the K-shard split deployment's rate at
+   10k clients across 1/2/4/8 OCaml domains, with the host's core count.
+   With --gate BASELINE the run doubles as a perf-regression gate: the
+   fresh document's end_to_end sweep is compared against the baseline's
+   and the exit status is non-zero on a regression past --tolerance; the
+   domain_sweep is additionally held to --min-speedup at 4 domains when
+   the host has the cores to express it.  The JSON format is documented
+   in DESIGN.md sections 4, 12 and 15. *)
 
 let timer = Unix.gettimeofday
 
@@ -38,6 +42,44 @@ let read_file path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Check [current_text]'s domain_sweep section against the minimum
+   parallel speedup at 4 domains.  Enforcement is conditional on the
+   recording host's core count — a 1-core machine time-slices the domains
+   and cannot exhibit the speedup, so the gate records the measurement and
+   passes with a notice rather than failing on hardware it cannot test. *)
+let run_speedup_gate ~min_speedup ~current_text =
+  match Experiments.Corebench.speedup_gate ~min_speedup ~at_domains:4 ~current:current_text with
+  | Error e ->
+    Printf.eprintf "leases-bench-core: speedup gate: %s\n" e;
+    1
+  | Ok None ->
+    Printf.printf "speedup gate: SKIP (no domain_sweep section in this document)\n";
+    0
+  | Ok (Some s) ->
+    Printf.printf "speedup gate: domains=1 %10.0f  domains=%d %10.0f  speedup %.2fx\n"
+      s.Experiments.Corebench.su_base s.Experiments.Corebench.su_domains
+      s.Experiments.Corebench.su_parallel s.Experiments.Corebench.su_speedup;
+    if not s.Experiments.Corebench.su_enforced then begin
+      Printf.printf
+        "speedup gate: SKIP (host has %d core%s, fewer than the %d the gate needs; recorded but \
+         not enforced)\n"
+        s.Experiments.Corebench.su_host_cores
+        (if s.Experiments.Corebench.su_host_cores = 1 then "" else "s")
+        s.Experiments.Corebench.su_domains;
+      0
+    end
+    else if s.Experiments.Corebench.su_pass then begin
+      Printf.printf "speedup gate: PASS (%.2fx >= required %.2fx at %d domains)\n"
+        s.Experiments.Corebench.su_speedup min_speedup s.Experiments.Corebench.su_domains;
+      0
+    end
+    else begin
+      Printf.eprintf "speedup gate: FAIL — %.2fx < required %.2fx at %d domains on %d cores\n"
+        s.Experiments.Corebench.su_speedup min_speedup s.Experiments.Corebench.su_domains
+        s.Experiments.Corebench.su_host_cores;
+      1
+    end
 
 (* Compare [current_text]'s end_to_end sweep against the baseline file;
    prints every common point and, on failure, the worst regressing one. *)
@@ -110,6 +152,30 @@ let run_benches quick clients =
         (best r0 (best r1 r2), hotspots))
       clients
   in
+  (* The parallel-deployment sweep: the same 10k-client workload through
+     the K-shard split deployment at 8 shards, on 1, 2, 4 and 8 domains.
+     The recording host's core count rides along so the speedup gate can
+     tell a perf regression from hardware that cannot parallelize. *)
+  let host_cores = Domain.recommended_domain_count () in
+  let split_clients = 10_000 in
+  let domain_sweep =
+    let duration = span_sec (Experiments.Corebench.sweep_duration_s ~base_s split_clients) in
+    let point domains =
+      Experiments.Corebench.split_throughput ~timer ~n_clients:split_clients
+        ~n_shards:Experiments.Corebench.split_shards ~domains ~duration
+    in
+    List.map
+      (fun domains ->
+        ignore (point domains);
+        let best a b =
+          if a.Experiments.Corebench.d_sim_sec_per_wall_sec
+             >= b.Experiments.Corebench.d_sim_sec_per_wall_sec
+          then a
+          else b
+        in
+        best (point domains) (best (point domains) (point domains)))
+      Experiments.Corebench.domain_counts
+  in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"leases-bench-core/1\",\n";
@@ -150,6 +216,22 @@ let run_benches quick clients =
         }\n  },\n"
        (micro_fields dispatch.Experiments.Corebench.dispatch_disabled)
        (micro_fields dispatch.Experiments.Corebench.dispatch_enabled));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"domain_sweep\": {\n    \"n_clients\": %d, \"n_shards\": %d, \"host_cores\": %d,\n\
+       \    \"points\": [\n"
+       split_clients Experiments.Corebench.split_shards host_cores);
+  List.iteri
+    (fun i (r : Experiments.Corebench.domain_point) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "      { \"domains\": %d, \"sim_seconds\": %s, \"wall_seconds\": %s, \
+            \"sim_sec_per_wall_sec\": %s }%s\n"
+           r.d_domains (fnum r.d_sim_seconds) (fnum r.d_wall_seconds)
+           (fnum r.d_sim_sec_per_wall_sec)
+           (if i = List.length domain_sweep - 1 then "" else ",")))
+    domain_sweep;
+  Buffer.add_string buf "    ]\n  },\n";
   Buffer.add_string buf "  \"end_to_end\": [\n";
   List.iteri
     (fun i ((r : Experiments.Corebench.throughput), hotspots) ->
@@ -213,9 +295,22 @@ let run_benches quick clients =
       Printf.printf "end-to-end  : N=%-5d  %.0f sim-s in %.2f s  =  %.0f sim-s/s%s\n" r.n_clients
         r.sim_seconds r.wall_seconds r.sim_sec_per_wall_sec top)
     end_to_end;
+  List.iter
+    (fun (r : Experiments.Corebench.domain_point) ->
+      Printf.printf
+        "parallel    : N=%d/%d shards, domains=%d  %.0f sim-s in %.2f s  =  %.0f sim-s/s\n"
+        split_clients Experiments.Corebench.split_shards r.d_domains r.d_sim_seconds
+        r.d_wall_seconds r.d_sim_sec_per_wall_sec)
+    domain_sweep;
+  Printf.printf "parallel    : host cores %d\n" host_cores;
   report
 
-let main quick out clients gate tolerance compare =
+let main quick out clients gate tolerance min_speedup compare =
+  let full_gate ~baseline ~current_text =
+    let sweep_status = run_gate ~tolerance ~baseline ~current_text in
+    let speedup_status = run_speedup_gate ~min_speedup ~current_text in
+    if sweep_status <> 0 then sweep_status else speedup_status
+  in
   match compare with
   | Some current_path -> (
     (* Compare-only mode: no benches run; --gate names the baseline. *)
@@ -228,7 +323,7 @@ let main quick out clients gate tolerance compare =
       | exception Sys_error reason ->
         Printf.eprintf "leases-bench-core: cannot read %s: %s\n" current_path reason;
         1
-      | current_text -> run_gate ~tolerance ~baseline ~current_text))
+      | current_text -> full_gate ~baseline ~current_text))
   | None -> (
     if clients = [] then begin
       Printf.eprintf "leases-bench-core: --clients needs at least one count\n";
@@ -250,7 +345,7 @@ let main quick out clients gate tolerance compare =
       Printf.printf "wrote %s\n" (json_escape out);
       match gate with
       | None -> 0
-      | Some baseline -> run_gate ~tolerance ~baseline ~current_text:report
+      | Some baseline -> full_gate ~baseline ~current_text:report
     end)
 
 open Cmdliner
@@ -287,6 +382,14 @@ let tolerance_arg =
   in
   Arg.(value & opt float 0.75 & info [ "tolerance" ] ~docv:"RATIO" ~doc)
 
+let min_speedup_arg =
+  let doc =
+    "Minimum acceptable sim-s/wall-s speedup of --domains 4 over --domains 1 in the \
+     domain_sweep section, enforced with --gate only when the recording host has at least 4 \
+     cores (fewer cores time-slice the domains; the measurement is recorded but not gated)."
+  in
+  Arg.(value & opt float 2.5 & info [ "min-speedup" ] ~docv:"RATIO" ~doc)
+
 let compare_arg =
   let doc =
     "Skip the benchmarks and gate this existing BENCH_core.json against the --gate baseline."
@@ -297,6 +400,8 @@ let cmd =
   let doc = "Benchmark the simulation-core hot paths and emit BENCH_core.json." in
   Cmd.v
     (Cmd.info "leases-bench-core" ~doc)
-    Term.(const main $ quick_arg $ out_arg $ clients_arg $ gate_arg $ tolerance_arg $ compare_arg)
+    Term.(
+      const main $ quick_arg $ out_arg $ clients_arg $ gate_arg $ tolerance_arg $ min_speedup_arg
+      $ compare_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -115,10 +115,75 @@ let finish_profile recorder ~profile_out ~profile_format ~json =
 
 (* --shards N runs the multi-server deployment: per-shard loads after the
    aggregate metrics, and per-shard residual summaries when telemetry is
-   on. *)
-let run_sharded ~shards ~clients ~seed ~loss ~m_prop ~m_proc ~term ~faults ~tracer ~telemetry_s
-    ~analyzer ~json ~trace =
+   on.  --domains K switches to the split deployment (one sub-simulation
+   per shard, up to K of them on parallel OCaml domains) and additionally
+   allows --profile, recording each shard's engine separately. *)
+let print_shard_loads per_shard =
+  Array.iter
+    (fun sl ->
+      Format.printf
+        "shard %d (host %d): consistency %d msgs (%.3f/s) = ext %d + appr %d + inst %d; \
+         total handled %d, commits %d@."
+        sl.Shard.Deploy.sl_shard sl.Shard.Deploy.sl_host sl.Shard.Deploy.sl_consistency_msgs
+        sl.Shard.Deploy.sl_consistency_rate sl.Shard.Deploy.sl_extension_msgs
+        sl.Shard.Deploy.sl_approval_msgs sl.Shard.Deploy.sl_installed_msgs
+        sl.Shard.Deploy.sl_total_msgs sl.Shard.Deploy.sl_commits)
+    per_shard
+
+let print_shard_telemetry reports =
+  Array.iter
+    (fun r ->
+      let s = r.Shard.Shard_telemetry.sr_summary in
+      Format.printf
+        "shard %d telemetry: %d windows (%d flagged), load %.3f msg/s measured vs %.3f \
+         predicted, steady residual %+.1f%%@."
+        r.Shard.Shard_telemetry.sr_shard s.Telemetry.Residual.windows
+        s.Telemetry.Residual.flagged_windows s.Telemetry.Residual.mean_measured_load
+        s.Telemetry.Residual.mean_predicted_load
+        (100. *. s.Telemetry.Residual.steady_load_residual))
+    reports
+
+(* Split-mode per-shard profiles: one leases-profile/1 document per shard,
+   wrapped in a leases-profile-shards/1 envelope keyed by shard index. *)
+let finish_shard_profiles profilers ~profile_out ~profile_format ~json =
+  (match profile_out with
+  | None -> ()
+  | Some path ->
+    (match profile_format with
+    | "json" -> ()
+    | other ->
+      failwith
+        (Printf.sprintf "per-shard profiles support --profile-format json only, not %S" other));
+    let sections =
+      Array.to_list
+        (Array.mapi
+           (fun s r ->
+             Printf.sprintf "%S:%s" (string_of_int s)
+               (Profile.Report.to_json_string (Profile.Report.of_recorder r)))
+           profilers)
+    in
+    let oc = open_out path in
+    output_string oc
+      (Printf.sprintf "{\"schema\":\"leases-profile-shards/1\",\"shards\":{%s}}"
+         (String.concat "," sections));
+    close_out oc);
+  if not json then
+    Array.iteri
+      (fun s r ->
+        Format.printf "shard %d profile:@." s;
+        print_string (Profile.Report.hotspot_table (Profile.Report.of_recorder r)))
+      profilers
+
+let run_sharded ~shards ~domains ~clients ~seed ~loss ~m_prop ~m_proc ~term ~faults ~tracer
+    ~telemetry_s ~analyzer ~json ~trace ~profile ~profile_out ~profile_format =
   let base = Experiments.Runner.lease_setup ~n_clients:clients ~m_prop ~m_proc ~term () in
+  let profilers =
+    if profile then
+      let interval_s = Option.value telemetry_s ~default:10. in
+      Array.init shards (fun _ ->
+          Profile.Recorder.create ~interval_s ~timer:Unix.gettimeofday ())
+    else [||]
+  in
   let setup =
     {
       Shard.Deploy.default_setup with
@@ -133,45 +198,41 @@ let run_sharded ~shards ~clients ~seed ~loss ~m_prop ~m_proc ~term ~faults ~trac
       tracer;
       telemetry_interval_s = telemetry_s;
       latency = analyzer;
+      profilers;
     }
   in
-  let outcome = Shard.Deploy.run setup ~trace in
-  let print_extra () =
-    if not json then begin
-      Array.iter
-        (fun sl ->
-          Format.printf
-            "shard %d (host %d): consistency %d msgs (%.3f/s) = ext %d + appr %d + inst %d; \
-             total handled %d, commits %d@."
-            sl.Shard.Deploy.sl_shard sl.Shard.Deploy.sl_host sl.Shard.Deploy.sl_consistency_msgs
-            sl.Shard.Deploy.sl_consistency_rate sl.Shard.Deploy.sl_extension_msgs
-            sl.Shard.Deploy.sl_approval_msgs sl.Shard.Deploy.sl_installed_msgs
-            sl.Shard.Deploy.sl_total_msgs sl.Shard.Deploy.sl_commits)
-        outcome.Shard.Deploy.per_shard;
-      match Shard.Deploy.telemetry_report setup outcome with
-      | None -> ()
-      | Some reports ->
-        Array.iter
-          (fun r ->
-            let s = r.Shard.Shard_telemetry.sr_summary in
-            Format.printf
-              "shard %d telemetry: %d windows (%d flagged), load %.3f msg/s measured vs %.3f \
-               predicted, steady residual %+.1f%%@."
-              r.Shard.Shard_telemetry.sr_shard s.Telemetry.Residual.windows
-              s.Telemetry.Residual.flagged_windows s.Telemetry.Residual.mean_measured_load
-              s.Telemetry.Residual.mean_predicted_load
-              (100. *. s.Telemetry.Residual.steady_load_residual))
-          reports
-    end
-  in
-  (outcome.Shard.Deploy.metrics, print_extra)
+  match domains with
+  | None ->
+    let outcome = Shard.Deploy.run setup ~trace in
+    let print_extra () =
+      if not json then begin
+        print_shard_loads outcome.Shard.Deploy.per_shard;
+        Option.iter print_shard_telemetry (Shard.Deploy.telemetry_report setup outcome)
+      end
+    in
+    (outcome.Shard.Deploy.metrics, print_extra)
+  | Some domains ->
+    let outcome = Shard.Deploy.run_split ~domains setup ~trace in
+    let print_extra () =
+      if not json then begin
+        print_shard_loads outcome.Shard.Deploy.sp_per_shard;
+        Option.iter print_shard_telemetry (Shard.Deploy.split_telemetry_report setup outcome)
+      end;
+      if profile then finish_shard_profiles profilers ~profile_out ~profile_format ~json
+    in
+    (outcome.Shard.Deploy.sp_metrics, print_extra)
 
 let rec main protocol term_s clients duration seed loss rtt_ms workload ops_file json trace_out
-    trace_format fault_specs telemetry_s telemetry_out telemetry_format shards profile
+    trace_format fault_specs telemetry_s telemetry_out telemetry_format shards domains profile
     profile_out profile_format latency latency_out latency_k =
   try
     let faults = List.map parse_fault fault_specs in
     if shards < 1 then failwith "--shards must be at least 1";
+    (match domains with
+    | Some d when d < 1 -> failwith "--domains must be at least 1"
+    | Some _ when shards < 2 ->
+      failwith "--domains runs each shard as its own sub-simulation; it needs --shards at least 2"
+    | _ -> ());
     if latency_out <> None && not latency then failwith "--latency-out requires --latency";
     if latency_k < 1 then failwith "--latency-k must be at least 1";
     if latency && protocol <> "leases" then
@@ -188,8 +249,10 @@ let rec main protocol term_s clients duration seed loss rtt_ms workload ops_file
         (Printf.sprintf
            "--profile instruments the lease protocol's engine; protocol %S does not expose it"
            protocol);
-    if profile && shards > 1 then
-      failwith "--profile records the single-server engine; it does not compose with --shards";
+    if profile && shards > 1 && domains = None then
+      failwith
+        "--profile records the single-server engine; with --shards it needs --domains (one \
+         recorder per shard sub-simulation)";
     if shards > 1 && telemetry_out <> None then
       failwith
         "--telemetry-out writes a single-server report; with --shards use the printed per-shard \
@@ -227,8 +290,8 @@ let rec main protocol term_s clients duration seed loss rtt_ms workload ops_file
     let term = if term_s < 0. then Analytic.Model.Infinite else Analytic.Model.Finite term_s in
     let metrics, print_extra =
       if shards > 1 then
-        run_sharded ~shards ~clients ~seed ~loss ~m_prop ~m_proc ~term ~faults ~tracer
-          ~telemetry_s ~analyzer ~json ~trace
+        run_sharded ~shards ~domains ~clients ~seed ~loss ~m_prop ~m_proc ~term ~faults ~tracer
+          ~telemetry_s ~analyzer ~json ~trace ~profile ~profile_out ~profile_format
       else
         ( run_single ~protocol ~term ~term_s ~clients ~seed ~loss ~m_prop ~m_proc ~faults ~tracer
             ~telemetry_s ~telemetry_out ~telemetry_format ~analyzer ~json ~trace ~profile
@@ -241,7 +304,7 @@ let rec main protocol term_s clients duration seed loss rtt_ms workload ops_file
     print_extra ();
     Option.iter (fun a -> finish_latency a ~latency_out ~latency_k ~json) analyzer;
     `Ok ()
-  with Failure why | Sys_error why -> `Error (false, why)
+  with Failure why | Sys_error why | Invalid_argument why -> `Error (false, why)
 
 and run_single ~protocol ~term ~term_s ~clients ~seed ~loss ~m_prop ~m_proc ~faults ~tracer
     ~telemetry_s ~telemetry_out ~telemetry_format ~analyzer ~json ~trace ~profile ~profile_out
@@ -358,8 +421,10 @@ let faults =
   Arg.(value & opt_all string []
        & info [ "fault" ] ~docv:"SPEC"
            ~doc:"Inject a fault (repeatable): crash-client=CLIENT,AT,DUR; crash-server=AT,DUR; \
-                 partition=C1+C2,AT,DUR; client-drift=CLIENT,AT,RATE; server-drift=AT,RATE; \
-                 client-step=CLIENT,AT,SEC; server-step=AT,SEC.  Times in virtual seconds.")
+                 partition=C1+C2,AT,DUR; client-drift=CLIENT,AT,RATE; \
+                 server-drift=[SHARD,]AT,RATE; client-step=CLIENT,AT,SEC; \
+                 server-step=[SHARD,]AT,SEC.  Times in virtual seconds; the server clock \
+                 faults default to shard 0 when no shard is given.")
 
 let telemetry =
   Arg.(value & opt (some float) None
@@ -388,6 +453,15 @@ let shards =
                  operation to the owning shard.  Leases protocol only.  Adds crash-shard=\
                  SHARD,AT,DUR to the --fault vocabulary and prints per-shard load lines \
                  after the aggregate metrics.")
+
+let domains =
+  Arg.(value & opt (some int) None
+       & info [ "domains" ] ~docv:"K"
+           ~doc:"With --shards: run each shard as a self-contained sub-simulation, up to \
+                 $(docv) of them concurrently on OCaml domains, and merge the results \
+                 deterministically (metrics summed, histograms merged, traces interleaved by \
+                 timestamp).  --domains 1 runs the same sub-simulations sequentially and \
+                 produces bit-identical output to any other domain count.")
 
 let profile =
   Arg.(value & flag
@@ -433,7 +507,7 @@ let cmd =
   Cmd.v (Cmd.info "leases-sim" ~doc)
     Term.(ret (const main $ protocol $ term $ clients $ duration $ seed $ loss $ rtt $ workload
                $ ops_file $ json $ trace_out $ trace_format $ faults $ telemetry $ telemetry_out
-               $ telemetry_format $ shards $ profile $ profile_out $ profile_format $ latency
-               $ latency_out $ latency_k))
+               $ telemetry_format $ shards $ domains $ profile $ profile_out $ profile_format
+               $ latency $ latency_out $ latency_k))
 
 let () = exit (Cmd.eval cmd)

@@ -16,7 +16,12 @@ let range rng lo hi = lo +. (Splitmix.float rng *. (hi -. lo))
    seed implementation's once-at-arming timers never tracked. *)
 let drift_window ~server ~client ~at ~dur ~drift =
   if server then
-    [ Sim.Server_drift { at = sec at; drift }; Sim.Server_drift { at = sec (at +. dur); drift = 0. } ]
+    (* shard 0 keeps generated streams byte-identical to pre-shard-index
+       seeds; sharded schedules crash shards instead of drifting them *)
+    [
+      Sim.Server_drift { shard = 0; at = sec at; drift };
+      Sim.Server_drift { shard = 0; at = sec (at +. dur); drift = 0. };
+    ]
   else
     [
       Sim.Client_drift { client; at = sec at; drift };
@@ -84,13 +89,13 @@ let gen_fault rng ~n_clients ~duration ~budget =
     (* Server step: backward delays expiry on the server's clock (safe);
        forward expires leases early there (unsafe, budgeted). *)
     if Splitmix.bool rng ~p:0.6 then
-      [ Sim.Server_step { at = sec at; step = span (-.range rng 1. 10.) } ]
+      [ Sim.Server_step { shard = 0; at = sec at; step = span (-.range rng 1. 10.) } ]
     else begin
       let amp = Float.min !budget (range rng 0.005 unsafe_skew_budget_s) in
       if amp < 0.001 then []
       else begin
         budget := !budget -. amp;
-        [ Sim.Server_step { at = sec at; step = span amp } ]
+        [ Sim.Server_step { shard = 0; at = sec at; step = span amp } ]
       end
     end
   | _ ->

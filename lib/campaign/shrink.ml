@@ -49,10 +49,11 @@ let fault_candidates fault =
         (if Float.abs drift > 0.1 then Some (Sim.Client_drift { client; at; drift = drift /. 2. })
          else None);
       ]
-    | Sim.Server_drift { at; drift } ->
+    | Sim.Server_drift { shard; at; drift } ->
       [
-        round at (fun at -> Sim.Server_drift { at; drift });
-        (if Float.abs drift > 0.1 then Some (Sim.Server_drift { at; drift = drift /. 2. })
+        round at (fun at -> Sim.Server_drift { shard; at; drift });
+        (if Float.abs drift > 0.1 then
+           Some (Sim.Server_drift { shard; at; drift = drift /. 2. })
          else None);
       ]
     | Sim.Client_step { client; at; step } ->
@@ -60,10 +61,10 @@ let fault_candidates fault =
         round at (fun at -> Sim.Client_step { client; at; step });
         halve step (fun step -> Sim.Client_step { client; at; step });
       ]
-    | Sim.Server_step { at; step } ->
+    | Sim.Server_step { shard; at; step } ->
       [
-        round at (fun at -> Sim.Server_step { at; step });
-        halve step (fun step -> Sim.Server_step { at; step });
+        round at (fun at -> Sim.Server_step { shard; at; step });
+        halve step (fun step -> Sim.Server_step { shard; at; step });
       ])
 
 let replace_nth xs n x = List.mapi (fun i y -> if i = n then x else y) xs

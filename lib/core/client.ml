@@ -614,7 +614,7 @@ let on_crash t =
 let on_recover t = t.up <- true
 
 let create ~engine ~clock ~net ~liveness ~host ~server ?route ?rng ~config
-    ?(tracer = Trace.Sink.null) () =
+    ?(tracer = Trace.Sink.null) ?req_origin () =
   Config.validate config;
   let route = match route with Some r -> r | None -> fun _ -> server in
   let counters = Stats.Counter.Registry.create () in
@@ -646,8 +646,14 @@ let create ~engine ~clock ~net ~liveness ~host ~server ?route ?rng ~config
          index occupies the high bits, the per-client sequence the low 32,
          so a req doubles as the operation's correlation id in traces and
          never collides across clients or shards.  No randomness involved —
-         seeded PRNG streams are untouched. *)
-      next_req = Host.Host_id.to_int host lsl 32;
+         seeded PRNG streams are untouched.  [req_origin] overrides the
+         counter's starting point for deployments that instantiate the
+         same client host in several sub-simulations and merge their
+         traces. *)
+      next_req =
+        (match req_origin with
+        | Some origin -> origin
+        | None -> Host.Host_id.to_int host lsl 32);
       evict_next = horizon;
       up = true;
     }

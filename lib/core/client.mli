@@ -24,6 +24,7 @@ val create :
   ?rng:Prng.Splitmix.t ->
   config:Config.t ->
   ?tracer:Trace.Sink.t ->
+  ?req_origin:int ->
   unit ->
   t
 (** [route] maps each file to the host of the server that owns it
@@ -34,7 +35,11 @@ val create :
     [retry_max_interval], scaled by a uniform factor in [0.5, 1.5));
     without it the backoff is deterministic and unjittered.  [tracer]
     receives the client-side protocol events (cache hits, misses and
-    invalidations, local lease records); disabled by default. *)
+    invalidations, local lease records); disabled by default.
+    [req_origin] seeds the request-id counter (default
+    [host lsl 32]) — a deployment that instantiates the same client host
+    in several sub-simulations gives each instance a distinct origin so
+    correlation ids stay unique in the merged trace. *)
 
 val host : t -> Host.Host_id.t
 val clock : t -> Clock.t

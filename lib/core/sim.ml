@@ -9,9 +9,12 @@ type fault =
           deployment this is the one server regardless of index *)
   | Partition_clients of { clients : int list; at : Time.t; duration : Time.Span.t }
   | Client_drift of { client : int; at : Time.t; drift : float }
-  | Server_drift of { at : Time.t; drift : float }
+  | Server_drift of { shard : int; at : Time.t; drift : float }
+      (** drift the clock of the server owning shard [shard] (0 in a
+          single-server deployment, and the default in the spec grammar so
+          pre-sharding schedules replay unchanged) *)
   | Client_step of { client : int; at : Time.t; step : Time.Span.t }
-  | Server_step of { at : Time.t; step : Time.Span.t }
+  | Server_step of { shard : int; at : Time.t; step : Time.Span.t }
 
 (* --- fault command-line specs -------------------------------------- *)
 (* The textual form used by [leases-sim --fault] and printed by the
@@ -42,14 +45,22 @@ let fault_to_spec = function
       (spec_num (Time.Span.to_sec duration))
   | Client_drift { client; at; drift } ->
     Printf.sprintf "client-drift=%d,%s,%s" client (spec_num (Time.to_sec at)) (spec_num drift)
-  | Server_drift { at; drift } ->
+  | Server_drift { shard = 0; at; drift } ->
+    (* shard 0 keeps the pre-sharding two-argument form so shrunk
+       reproducers from old campaigns stay replayable byte-for-byte *)
     Printf.sprintf "server-drift=%s,%s" (spec_num (Time.to_sec at)) (spec_num drift)
+  | Server_drift { shard; at; drift } ->
+    Printf.sprintf "server-drift=%d,%s,%s" shard (spec_num (Time.to_sec at)) (spec_num drift)
   | Client_step { client; at; step } ->
     Printf.sprintf "client-step=%d,%s,%s" client
       (spec_num (Time.to_sec at))
       (spec_num (Time.Span.to_sec step))
-  | Server_step { at; step } ->
+  | Server_step { shard = 0; at; step } ->
     Printf.sprintf "server-step=%s,%s" (spec_num (Time.to_sec at))
+      (spec_num (Time.Span.to_sec step))
+  | Server_step { shard; at; step } ->
+    Printf.sprintf "server-step=%d,%s,%s" shard
+      (spec_num (Time.to_sec at))
       (spec_num (Time.Span.to_sec step))
 
 let pp_fault ppf fault = Format.pp_print_string ppf (fault_to_spec fault)
@@ -60,7 +71,8 @@ let fault_of_spec spec =
       (Printf.sprintf
          "bad fault spec %S: expected crash-client=CLIENT,AT,DUR | crash-server=AT,DUR | \
           crash-shard=SHARD,AT,DUR | partition=C1+C2+...,AT,DUR | client-drift=CLIENT,AT,RATE | \
-          server-drift=AT,RATE | client-step=CLIENT,AT,SEC | server-step=AT,SEC"
+          server-drift=[SHARD,]AT,RATE | client-step=CLIENT,AT,SEC | server-step=[SHARD,]AT,SEC \
+          (times finite, in virtual seconds)"
          spec)
   in
   let exception Bad in
@@ -91,12 +103,22 @@ let fault_of_spec spec =
                duration = span (num dur) })
       | "client-drift", [ c; at; d ] ->
         Ok (Client_drift { client = int_ c; at = sec (num at); drift = num d })
-      | "server-drift", [ at; d ] -> Ok (Server_drift { at = sec (num at); drift = num d })
+      | "server-drift", [ at; d ] ->
+        Ok (Server_drift { shard = 0; at = sec (num at); drift = num d })
+      | "server-drift", [ s; at; d ] ->
+        Ok (Server_drift { shard = int_ s; at = sec (num at); drift = num d })
       | "client-step", [ c; at; s ] ->
         Ok (Client_step { client = int_ c; at = sec (num at); step = span (num s) })
-      | "server-step", [ at; s ] -> Ok (Server_step { at = sec (num at); step = span (num s) })
+      | "server-step", [ at; s ] ->
+        Ok (Server_step { shard = 0; at = sec (num at); step = span (num s) })
+      | "server-step", [ s; at; v ] ->
+        Ok (Server_step { shard = int_ s; at = sec (num at); step = span (num v) })
       | _ -> fail ()
-    with Bad -> fail ())
+    with
+    | Bad -> fail ()
+    (* [Time.of_sec] now rejects non-finite and overflowing values; a spec
+       carrying one is malformed, not a crash. *)
+    | Invalid_argument _ -> fail ())
 
 type setup = {
   seed : int64;
@@ -185,7 +207,7 @@ let schedule_faults engine liveness partition server_clock client_clocks tracer 
             note (fun () ->
                 Trace.Event.Clock_drift { host = Host_id.to_int (client_host client); drift });
             Clock.set_drift client_clocks.(client) drift)
-      | Server_drift { at; drift } ->
+      | Server_drift { at; drift; _ } ->
         at_time at (fun () ->
             note (fun () -> Trace.Event.Clock_drift { host = Host_id.to_int server_host; drift });
             Clock.set_drift server_clock drift)
@@ -198,7 +220,7 @@ let schedule_faults engine liveness partition server_clock client_clocks tracer 
                     step_s = Time.Span.to_sec step;
                   });
             Clock.step client_clocks.(client) step)
-      | Server_step { at; step } ->
+      | Server_step { at; step; _ } ->
         at_time at (fun () ->
             note (fun () ->
                 Trace.Event.Clock_step

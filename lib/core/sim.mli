@@ -17,9 +17,17 @@ type fault =
   | Partition_clients of { clients : int list; at : Simtime.Time.t; duration : Simtime.Time.Span.t }
       (** cut the listed clients off from the rest (server included) *)
   | Client_drift of { client : int; at : Simtime.Time.t; drift : float }
-  | Server_drift of { at : Simtime.Time.t; drift : float }
+  | Server_drift of { shard : int; at : Simtime.Time.t; drift : float }
+      (** drift the clock of the server owning shard [shard].  The
+          single-server harnesses have one server whatever the index;
+          [Shard.Deploy] resolves the index (modulo the shard count) to
+          that shard's clock.  The spec grammar's two-argument form
+          ([server-drift=AT,RATE]) parses as shard 0, so pre-sharding
+          schedules replay unchanged. *)
   | Client_step of { client : int; at : Simtime.Time.t; step : Simtime.Time.Span.t }
-  | Server_step of { at : Simtime.Time.t; step : Simtime.Time.Span.t }
+  | Server_step of { shard : int; at : Simtime.Time.t; step : Simtime.Time.Span.t }
+      (** step the owning server's clock; same shard resolution and
+          two-argument default as {!Server_drift} *)
 
 val fault_to_spec : fault -> string
 (** The [--fault] command-line form of a fault

@@ -265,6 +265,42 @@ let lease_hotspots ~timer ~n_clients ~duration =
   |> List.map (fun (c : Profile.Report.center_row) ->
          { h_center = c.center; h_wall_pct = c.wall_pct; h_hits = c.hits })
 
+type domain_point = {
+  d_domains : int;
+  d_sim_seconds : float;
+  d_wall_seconds : float;
+  d_sim_sec_per_wall_sec : float;
+}
+
+(* The K-shard split deployment at a fixed shard count, driven across a
+   domain-count axis.  Every point runs the identical seeded workload and
+   the identical per-shard sub-simulations — only the number of OCaml
+   domains executing them varies — so the rate ratio between two points is
+   pure parallel speedup, not a workload change. *)
+let split_throughput ~timer ~n_clients ~n_shards ~domains ~duration =
+  let trace = (V_trace.poisson ~clients:n_clients ~duration ()).V_trace.trace in
+  let setup =
+    {
+      Shard.Deploy.default_setup with
+      Shard.Deploy.n_clients;
+      n_shards;
+      config = sweep_config;
+    }
+  in
+  let started = timer () in
+  let outcome = Shard.Deploy.run_split ~domains setup ~trace in
+  let wall = Float.max 1e-9 (timer () -. started) in
+  let sim = outcome.Shard.Deploy.sp_metrics.Leases.Metrics.sim_duration in
+  {
+    d_domains = domains;
+    d_sim_seconds = sim;
+    d_wall_seconds = wall;
+    d_sim_sec_per_wall_sec = sim /. wall;
+  }
+
+let domain_counts = [ 1; 2; 4; 8 ]
+let split_shards = 8
+
 let client_counts = [ 1; 10; 100; 1_000; 10_000 ]
 
 (* Simulated seconds per sweep point: the full budget up to 100 clients,
@@ -326,3 +362,72 @@ let gate_compare ~tolerance ~baseline ~current =
           g_worst = worst;
           g_pass = (match worst with Some w -> w.p_ratio >= tolerance | None -> true);
         })
+
+(* --- parallel-speedup gate ----------------------------------------- *)
+
+type speedup_result = {
+  su_host_cores : int;
+  su_domains : int;
+  su_base : float;
+  su_parallel : float;
+  su_speedup : float;
+  su_enforced : bool;
+  su_pass : bool;
+}
+
+(* The domain_sweep section of a BENCH_core.json document: host core
+   count plus (domains, sim_sec_per_wall_sec) rows.  Absent in documents
+   generated before the section existed, so the caller distinguishes
+   "no section" from a parse failure. *)
+let domain_sweep_rows text =
+  let module J = Trace.Json in
+  match J.parse text with
+  | Error e -> Error e
+  | Ok doc -> (
+    match J.member "domain_sweep" doc with
+    | None -> Ok None
+    | Some section -> (
+      match (J.member "host_cores" section, J.member "points" section) with
+      | Some (J.Num cores), Some (J.Arr rows) ->
+        Ok
+          (Some
+             ( int_of_float cores,
+               List.filter_map
+                 (fun row ->
+                   match (J.member "domains" row, J.member "sim_sec_per_wall_sec" row) with
+                   | Some (J.Num d), Some (J.Num r) -> Some (int_of_float d, r)
+                   | _ -> None)
+                 rows ))
+      | _ -> Error "domain_sweep section lacks host_cores or points"))
+
+let speedup_gate ~min_speedup ~at_domains ~current =
+  if min_speedup <= 0. || not (Float.is_finite min_speedup) then
+    invalid_arg "Corebench.speedup_gate: min_speedup must be positive and finite";
+  if at_domains < 2 then invalid_arg "Corebench.speedup_gate: at_domains must be at least 2";
+  match domain_sweep_rows current with
+  | Error e -> Error ("current: " ^ e)
+  | Ok None -> Ok None
+  | Ok (Some (host_cores, rows)) -> (
+    match (List.assoc_opt 1 rows, List.assoc_opt at_domains rows) with
+    | Some base, Some parallel when base > 0. ->
+      let speedup = parallel /. base in
+      (* A host with fewer cores than the parallel point cannot exhibit
+         the speedup (the domains time-slice one core), so the threshold
+         is only enforced where the hardware can express it; the measured
+         numbers are recorded either way. *)
+      let enforced = host_cores >= at_domains in
+      Ok
+        (Some
+           {
+             su_host_cores = host_cores;
+             su_domains = at_domains;
+             su_base = base;
+             su_parallel = parallel;
+             su_speedup = speedup;
+             su_enforced = enforced;
+             su_pass = (not enforced) || speedup >= min_speedup;
+           })
+    | _ ->
+      Error
+        (Printf.sprintf "domain_sweep lacks a positive rate at domains=1 and domains=%d"
+           at_domains))

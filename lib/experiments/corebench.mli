@@ -91,6 +91,33 @@ val lease_hotspots :
 (** One profiled run of the {!lease_throughput} workload; non-empty cost
     centers, hottest first. *)
 
+type domain_point = {
+  d_domains : int;
+  d_sim_seconds : float;
+  d_wall_seconds : float;
+  d_sim_sec_per_wall_sec : float;
+}
+
+val split_throughput :
+  timer:(unit -> float) ->
+  n_clients:int ->
+  n_shards:int ->
+  domains:int ->
+  duration:Simtime.Time.Span.t ->
+  domain_point
+(** One point of the parallel-deployment sweep: the standard Poisson V
+    workload through [Shard.Deploy.run_split] at a fixed shard count,
+    executed on [domains] OCaml domains.  Every point runs the identical
+    seeded sub-simulations, so rate ratios between points measure parallel
+    speedup alone. *)
+
+val domain_counts : int list
+(** The standard domain axis: 1, 2, 4, 8. *)
+
+val split_shards : int
+(** Shard count the domain sweep pins (8), so every domain count divides
+    the shards evenly. *)
+
 val client_counts : int list
 (** The standard N axis: 1, 10, 100, 1000, 10000. *)
 
@@ -123,3 +150,28 @@ val gate_compare :
     (e.g. 0.75 = fail on a >25% regression).  Errors on unparsable
     documents or when no sweep points are shared.  Raises
     [Invalid_argument] unless [tolerance] is in (0, 1]. *)
+
+(** {1 Parallel-speedup gate} — checks the domain_sweep section of a
+    BENCH_core.json document against a minimum speedup. *)
+
+type speedup_result = {
+  su_host_cores : int;  (** cores recorded by the run that produced the doc *)
+  su_domains : int;  (** the parallel point checked (typically 4) *)
+  su_base : float;  (** sim-s per wall-s at domains = 1 *)
+  su_parallel : float;  (** sim-s per wall-s at [su_domains] *)
+  su_speedup : float;  (** [su_parallel /. su_base] *)
+  su_enforced : bool;  (** host had >= [su_domains] cores, threshold applied *)
+  su_pass : bool;  (** true when not enforced, or speedup >= minimum *)
+}
+
+val speedup_gate :
+  min_speedup:float -> at_domains:int -> current:string -> (speedup_result option, string) result
+(** [speedup_gate ~min_speedup ~at_domains ~current] reads [current]'s
+    [domain_sweep] section and compares the rate at [at_domains] domains
+    against the rate at 1.  The threshold is enforced only when the
+    recording host had at least [at_domains] cores — fewer cores
+    time-slice the domains and cannot express the speedup — otherwise the
+    result reports [su_enforced = false] and passes.  [Ok None] when the
+    document has no [domain_sweep] section (documents predating it).
+    Raises [Invalid_argument] when [min_speedup] is not positive or
+    [at_domains] < 2. *)

@@ -200,7 +200,7 @@ let clock_drill () =
     let setup =
       {
         (Runner.lease_setup ~n_clients:2 ~config ~term:term_10 ()) with
-        Leases.Sim.faults = [ Leases.Sim.Server_step { at = Time.of_sec 6.; step } ];
+        Leases.Sim.faults = [ Leases.Sim.Server_step { shard = 0; at = Time.of_sec 6.; step } ];
       }
     in
     Runner.run_lease setup trace

@@ -4,7 +4,13 @@
     a single root generator, so that adding a new source of randomness (or
     reordering draws within one component) never perturbs the streams seen
     by the others.  This is what makes experiment runs exactly replayable
-    from a single integer seed. *)
+    from a single integer seed.
+
+    Generators carry unsynchronized mutable state.  A parallel harness
+    must {!split} every stream it hands out {e before} spawning domains,
+    in a fixed order; afterwards each generator may only be advanced by
+    the domain that received it.  Splitting on demand from a shared root
+    would make the draw sequence depend on domain scheduling. *)
 
 type t
 

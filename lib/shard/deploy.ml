@@ -15,6 +15,7 @@ type setup = {
   tracer : Trace.Sink.t;
   telemetry_interval_s : float option;
   latency : Trace.Critical_path.t option;
+  profilers : Profile.Recorder.t array;
 }
 
 let default_setup =
@@ -32,6 +33,7 @@ let default_setup =
     tracer = Trace.Sink.null;
     telemetry_interval_s = None;
     latency = None;
+    profilers = [||];
   }
 
 (* Host layout: shard s's server is host s; client i is host n_shards + i. *)
@@ -75,10 +77,10 @@ let config_for_shard setup map s =
     }
 
 (* Mirror of [Leases.Sim.schedule_faults] for the sharded host layout.
-   [Crash_shard] resolves the shard index to the owning server host;
-   a plain [Crash_server] (and the server clock faults) hit shard 0, so
-   single-server campaign schedules replay meaningfully on a sharded
-   cluster. *)
+   [Crash_shard] and the server clock faults resolve their shard index
+   (modulo the shard count) to the owning server host; a plain
+   [Crash_server] hits shard 0, so single-server campaign schedules
+   replay meaningfully on a sharded cluster. *)
 let schedule_faults setup engine liveness partition server_clocks client_clocks tracer faults =
   let at_time at f = ignore (Engine.schedule_at engine at f) in
   let note ev =
@@ -112,11 +114,12 @@ let schedule_faults setup engine liveness partition server_clocks client_clocks 
             note (fun () ->
                 Trace.Event.Clock_drift { host = Host_id.to_int (client_host setup client); drift });
             Clock.set_drift client_clocks.(client) drift)
-      | Leases.Sim.Server_drift { at; drift } ->
+      | Leases.Sim.Server_drift { shard; at; drift } ->
+        let s = shard mod Array.length server_clocks in
         at_time at (fun () ->
             note (fun () ->
-                Trace.Event.Clock_drift { host = Host_id.to_int (server_host 0); drift });
-            Clock.set_drift server_clocks.(0) drift)
+                Trace.Event.Clock_drift { host = Host_id.to_int (server_host s); drift });
+            Clock.set_drift server_clocks.(s) drift)
       | Leases.Sim.Client_step { client; at; step } ->
         at_time at (fun () ->
             note (fun () ->
@@ -126,13 +129,97 @@ let schedule_faults setup engine liveness partition server_clocks client_clocks 
                     step_s = Time.Span.to_sec step;
                   });
             Clock.step client_clocks.(client) step)
-      | Leases.Sim.Server_step { at; step } ->
+      | Leases.Sim.Server_step { shard; at; step } ->
+        let s = shard mod Array.length server_clocks in
         at_time at (fun () ->
             note (fun () ->
                 Trace.Event.Clock_step
-                  { host = Host_id.to_int (server_host 0); step_s = Time.Span.to_sec step });
-            Clock.step server_clocks.(0) step))
+                  { host = Host_id.to_int (server_host s); step_s = Time.Span.to_sec step });
+            Clock.step server_clocks.(s) step))
     faults
+
+(* Aggregate: client sums as in [Sim.run]; server-side counters summed
+   over whatever servers the harness ran (all shards in the shared-engine
+   deployment, a single one per split sub-simulation). *)
+let assemble_metrics ~engine ~net ~servers ~clients ~oracle ~read_latency ~write_latency
+    ~ops_issued ~completed ~reads_completed ~writes_completed ~temp_ops =
+  let client_sum f = Array.fold_left (fun acc c -> acc + f c) 0 clients in
+  let server_sum f = Array.fold_left (fun acc s -> acc + f s) 0 servers in
+  let hits = client_sum Leases.Client.hits in
+  let misses = client_sum Leases.Client.misses in
+  let sim_duration = Time.Span.to_sec (Time.Span.since_epoch (Engine.now engine)) in
+  let consistency = server_sum Leases.Server.consistency_messages in
+  let rtt = Time.Span.to_sec (Netsim.Net.unicast_rtt net) in
+  let mean_write_added = Float.max 0. (Stats.Histogram.mean write_latency -. rtt) in
+  let reads = Stats.Histogram.count read_latency in
+  let writes = Stats.Histogram.count write_latency in
+  let mean_op_delay =
+    if reads + writes = 0 then 0.
+    else
+      ((Stats.Histogram.mean read_latency *. float_of_int reads)
+      +. (mean_write_added *. float_of_int writes))
+      /. float_of_int (reads + writes)
+  in
+  let write_wait = Stats.Histogram.create () in
+  Array.iter (fun s -> Stats.Histogram.merge write_wait (Leases.Server.write_wait s)) servers;
+  {
+    Leases.Metrics.sim_duration;
+    ops_issued;
+    reads_completed;
+    writes_completed;
+    temp_ops;
+    dropped_ops = ops_issued - completed;
+    cache_hits = hits;
+    cache_misses = misses;
+    hit_ratio =
+      (if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses));
+    msgs_extension = server_sum (fun s -> Leases.Server.messages_handled s Leases.Messages.Extension);
+    msgs_approval = server_sum (fun s -> Leases.Server.messages_handled s Leases.Messages.Approval);
+    msgs_installed = server_sum (fun s -> Leases.Server.messages_handled s Leases.Messages.Installed);
+    msgs_write_transfer =
+      server_sum (fun s -> Leases.Server.messages_handled s Leases.Messages.Write_transfer);
+    consistency_msgs = consistency;
+    server_total_msgs = server_sum Leases.Server.messages_handled_total;
+    consistency_msg_rate =
+      (if sim_duration <= 0. then 0. else float_of_int consistency /. sim_duration);
+    callbacks_sent = server_sum Leases.Server.callbacks_sent;
+    commits = server_sum Leases.Server.commits;
+    wal_io = server_sum (fun s -> Vstore.Wal.io_records (Leases.Server.wal s));
+    read_latency;
+    write_latency;
+    write_wait;
+    mean_read_delay = Stats.Histogram.mean read_latency;
+    mean_write_delay_added = mean_write_added;
+    mean_op_delay;
+    retransmissions = client_sum Leases.Client.retransmissions;
+    renewals_sent = client_sum Leases.Client.renewals_sent;
+    approvals_answered = client_sum Leases.Client.approvals_answered;
+    net_sent = Netsim.Net.sent net;
+    net_dropped_loss = Netsim.Net.dropped_loss net;
+    net_dropped_partition = Netsim.Net.dropped_partition net;
+    net_dropped_down = Netsim.Net.dropped_down net;
+    oracle_reads = Oracle.Register_oracle.reads_checked oracle;
+    oracle_violations = Oracle.Register_oracle.violations oracle;
+    staleness = Oracle.Register_oracle.staleness oracle;
+  }
+
+let load_of_server ~shard ~sim_duration server =
+  let extension = Leases.Server.messages_handled server Leases.Messages.Extension in
+  let approval = Leases.Server.messages_handled server Leases.Messages.Approval in
+  let installed = Leases.Server.messages_handled server Leases.Messages.Installed in
+  let shard_consistency = Leases.Server.consistency_messages server in
+  {
+    sl_shard = shard;
+    sl_host = Host_id.to_int (server_host shard);
+    sl_extension_msgs = extension;
+    sl_approval_msgs = approval;
+    sl_installed_msgs = installed;
+    sl_consistency_msgs = shard_consistency;
+    sl_total_msgs = Leases.Server.messages_handled_total server;
+    sl_commits = Leases.Server.commits server;
+    sl_consistency_rate =
+      (if sim_duration <= 0. then 0. else float_of_int shard_consistency /. sim_duration);
+  }
 
 let run setup ~trace =
   if setup.n_clients < 1 then invalid_arg "Deploy.run: need at least one client";
@@ -240,17 +327,248 @@ let run setup ~trace =
   Engine.run ~until:horizon engine;
   Trace.Sink.flush setup.tracer;
   Option.iter Shard_telemetry.finalize telemetry;
+  let metrics =
+    assemble_metrics ~engine ~net ~servers ~clients ~oracle ~read_latency ~write_latency
+      ~ops_issued:!ops_issued ~completed:!completed ~reads_completed:!reads_completed
+      ~writes_completed:!writes_completed ~temp_ops:!temp_ops
+  in
+  let sim_duration = metrics.Leases.Metrics.sim_duration in
+  let per_shard = Array.mapi (fun s server -> load_of_server ~shard:s ~sim_duration server) servers in
+  { metrics; per_shard; map; oracle; store; telemetry }
 
-  (* Aggregate: client sums as in [Sim.run]; server-side counters summed
-     over the shard servers. *)
-  let client_sum f = Array.fold_left (fun acc c -> acc + f c) 0 clients in
-  let server_sum f = Array.fold_left (fun acc s -> acc + f s) 0 servers in
-  let hits = client_sum Leases.Client.hits in
-  let misses = client_sum Leases.Client.misses in
-  let sim_duration = Time.Span.to_sec (Time.Span.since_epoch (Engine.now engine)) in
-  let consistency = server_sum Leases.Server.consistency_messages in
-  let rtt = Time.Span.to_sec (Netsim.Net.unicast_rtt net) in
-  let mean_write_added = Float.max 0. (Stats.Histogram.mean write_latency -. rtt) in
+(* ------------------------------------------------------------------ *)
+(* Split deployment: one self-contained sub-simulation per shard.      *)
+
+type part = {
+  p_shard : int;
+  p_metrics : Leases.Metrics.t;
+  p_load : shard_load;
+  p_oracle : Oracle.Register_oracle.t;
+  p_store : Vstore.Store.t;
+  p_telemetry : Shard_telemetry.t option;
+  p_events : Trace.Event.t list;
+  p_rtt_s : float;
+}
+
+type split_outcome = {
+  sp_metrics : Leases.Metrics.t;
+  sp_per_shard : shard_load array;
+  sp_map : Shard_map.t;
+  sp_telemetry : Shard_telemetry.t option;
+  sp_parts : part array;
+}
+
+(* Sub-simulation fault scheduling.  Client-level faults touch the client
+   machine, which exists in every sub-simulation, so they are applied in
+   all of them; their trace events are emitted only from sub-simulation 0
+   so the merged stream carries each machine-level fault once.  Server
+   faults resolve their shard index and are applied (and traced, with the
+   resolved host) only in the owning sub-simulation. *)
+let schedule_part_faults setup ~shard:me engine liveness partition server_clock client_clocks
+    tracer faults =
+  let n = setup.n_shards in
+  let at_time at f = ignore (Engine.schedule_at engine at f) in
+  let note_here ev =
+    if Trace.Sink.enabled tracer then
+      Trace.Sink.emit tracer (Time.to_sec (Engine.now engine)) (ev ())
+  in
+  let note_once ev = if me = 0 then note_here ev in
+  let crash_host noter host at duration =
+    at_time at (fun () ->
+        noter (fun () -> Trace.Event.Crash { host = Host_id.to_int host });
+        Host.Liveness.crash liveness host;
+        ignore
+          (Engine.schedule_after engine duration (fun () ->
+               noter (fun () -> Trace.Event.Recover { host = Host_id.to_int host });
+               Host.Liveness.recover liveness host)))
+  in
+  List.iter
+    (fun fault ->
+      match fault with
+      | Leases.Sim.Crash_client { client; at; duration } ->
+        crash_host note_once (client_host setup client) at duration
+      | Leases.Sim.Crash_server { at; duration } ->
+        if me = 0 then crash_host note_here (server_host 0) at duration
+      | Leases.Sim.Crash_shard { shard; at; duration } ->
+        if shard mod n = me then crash_host note_here (server_host me) at duration
+      | Leases.Sim.Partition_clients { clients; at; duration } ->
+        at_time at (fun () ->
+            Netsim.Partition.isolate partition (List.map (client_host setup) clients);
+            ignore
+              (Engine.schedule_after engine duration (fun () -> Netsim.Partition.heal partition)))
+      | Leases.Sim.Client_drift { client; at; drift } ->
+        at_time at (fun () ->
+            note_once (fun () ->
+                Trace.Event.Clock_drift { host = Host_id.to_int (client_host setup client); drift });
+            Clock.set_drift client_clocks.(client) drift)
+      | Leases.Sim.Server_drift { shard; at; drift } ->
+        if shard mod n = me then
+          at_time at (fun () ->
+              note_here (fun () ->
+                  Trace.Event.Clock_drift { host = Host_id.to_int (server_host me); drift });
+              Clock.set_drift server_clock drift)
+      | Leases.Sim.Client_step { client; at; step } ->
+        at_time at (fun () ->
+            note_once (fun () ->
+                Trace.Event.Clock_step
+                  {
+                    host = Host_id.to_int (client_host setup client);
+                    step_s = Time.Span.to_sec step;
+                  });
+            Clock.step client_clocks.(client) step)
+      | Leases.Sim.Server_step { shard; at; step } ->
+        if shard mod n = me then
+          at_time at (fun () ->
+              note_here (fun () ->
+                  Trace.Event.Clock_step
+                    { host = Host_id.to_int (server_host me); step_s = Time.Span.to_sec step });
+              Clock.step server_clock step))
+    faults
+
+(* One shard as a complete, isolated simulation: its own engine, clocks,
+   network, liveness/partition, store, WAL (inside the server), trace
+   buffer, telemetry collector and profile recorder.  Nothing in here
+   touches state shared with another part, so parts may run on separate
+   domains; [rng] was pre-split from the master seed before any domain
+   started.  All [n_clients] client machines exist in every part — an op
+   reaches the part owning its file, so a client idle on this shard just
+   contributes nothing. *)
+let run_split_part setup ~map ~rng ~horizon ~part_ops ~shard:s =
+  let buf = if Trace.Sink.enabled setup.tracer then Some (Trace.Sink.buffer ()) else None in
+  let tracer = match buf with Some b -> Trace.Sink.buffer_sink b | None -> Trace.Sink.null in
+  let profiler =
+    if s < Array.length setup.profilers then setup.profilers.(s) else Profile.Recorder.null
+  in
+  let tracer =
+    if Profile.Recorder.enabled profiler then
+      Trace.Sink.observe tracer
+        ~enter:(fun () -> Profile.Recorder.enter profiler Profile.Center.Trace_emit)
+        ~leave:(fun () -> Profile.Recorder.exit profiler)
+    else tracer
+  in
+  let engine = Engine.create () in
+  Engine.set_profiler engine profiler;
+  Engine.set_tracer engine tracer;
+  let liveness = Host.Liveness.create () in
+  let partition = Netsim.Partition.create () in
+  let net =
+    Netsim.Net.create engine ~liveness ~partition ~rng:(Prng.Splitmix.split rng) ~loss:setup.loss
+      ~tracer ~classify:Leases.Messages.trace_class ~prop_delay:setup.m_prop
+      ~proc_delay:setup.m_proc ()
+  in
+  let server_clock = Clock.create engine () in
+  let client_clocks = Array.init setup.n_clients (fun _ -> Clock.create engine ()) in
+  let store = Vstore.Store.create () in
+  let client_hosts = List.init setup.n_clients (client_host setup) in
+  let server =
+    Leases.Server.create ~engine ~clock:server_clock ~net ~liveness ~host:(server_host s)
+      ~clients:client_hosts ~store ~config:(config_for_shard setup map s) ~tracer ()
+  in
+  let servers = [| server |] in
+  let clients =
+    Array.init setup.n_clients (fun i ->
+        let host = client_host setup i in
+        (* Distinct request-id origins per part: the shard index sits above
+           a 26-bit per-part sequence, below the host bits, so correlation
+           ids stay unique in the merged stream. *)
+        let req_origin = (Host_id.to_int host lsl 32) lor (s lsl 26) in
+        Leases.Client.create ~engine ~clock:client_clocks.(i) ~net ~liveness ~host
+          ~server:(server_host s) ~rng:(Prng.Splitmix.split rng) ~config:setup.config ~tracer
+          ~req_origin ())
+  in
+  let oracle = Oracle.Register_oracle.create ~store in
+  let telemetry =
+    Option.map
+      (fun interval_s -> Shard_telemetry.create ~interval_s ~n_shards:1 ())
+      setup.telemetry_interval_s
+  in
+  Option.iter (fun c -> Shard_telemetry.attach c ~engine ~servers) telemetry;
+  schedule_part_faults setup ~shard:s engine liveness partition server_clock client_clocks tracer
+    setup.faults;
+  let read_latency = Stats.Histogram.create () in
+  let write_latency = Stats.Histogram.create () in
+  let ops_issued = ref 0 in
+  let completed = ref 0 in
+  let reads_completed = ref 0 in
+  let writes_completed = ref 0 in
+  let temp_ops = ref 0 in
+  List.iter
+    (fun (op : Workload.Op.t) ->
+      let issue () =
+        if op.temporary then incr temp_ops
+        else begin
+          incr ops_issued;
+          let client = clients.(op.client) in
+          match op.kind with
+          | Workload.Op.Read ->
+            let start = Engine.now engine in
+            Leases.Client.read client op.file ~k:(fun result ->
+                incr completed;
+                incr reads_completed;
+                let latency_s = Time.Span.to_sec result.Leases.Client.r_latency in
+                Stats.Histogram.add read_latency latency_s;
+                Option.iter
+                  (fun c ->
+                    Shard_telemetry.note_read c ~shard:0 ~latency_s
+                      ~hit:result.Leases.Client.r_from_cache)
+                  telemetry;
+                Oracle.Register_oracle.check_read oracle ~file:op.file
+                  ~version:result.Leases.Client.r_version ~start ~finish:(Engine.now engine))
+          | Workload.Op.Write ->
+            Leases.Client.write client op.file ~k:(fun result ->
+                incr completed;
+                incr writes_completed;
+                let latency_s = Time.Span.to_sec result.Leases.Client.w_latency in
+                Stats.Histogram.add write_latency latency_s;
+                Option.iter
+                  (fun c -> Shard_telemetry.note_write c ~shard:0 ~latency_s)
+                  telemetry)
+        end
+      in
+      ignore (Engine.schedule_at engine op.at issue))
+    part_ops;
+  if Profile.Recorder.enabled profiler then Profile.Recorder.start profiler;
+  Engine.run ~until:horizon engine;
+  if Profile.Recorder.enabled profiler then Profile.Recorder.stop profiler;
+  Trace.Sink.flush tracer;
+  Option.iter Shard_telemetry.finalize telemetry;
+  let metrics =
+    assemble_metrics ~engine ~net ~servers ~clients ~oracle ~read_latency ~write_latency
+      ~ops_issued:!ops_issued ~completed:!completed ~reads_completed:!reads_completed
+      ~writes_completed:!writes_completed ~temp_ops:!temp_ops
+  in
+  {
+    p_shard = s;
+    p_metrics = metrics;
+    p_load = load_of_server ~shard:s ~sim_duration:metrics.Leases.Metrics.sim_duration server;
+    p_oracle = oracle;
+    p_store = store;
+    p_telemetry = telemetry;
+    p_events = (match buf with Some b -> Trace.Sink.buffer_contents b | None -> []);
+    p_rtt_s = Time.Span.to_sec (Netsim.Net.unicast_rtt net);
+  }
+
+(* Deterministic merge: every integer field sums; histograms fold with
+   [Stats.Histogram.merge] in shard order, so float accumulation order is
+   fixed; derived fields are recomputed from the merged raw values with
+   the same formulas the shared-engine path uses.  Every part ran to the
+   same horizon, so [sim_duration] is common. *)
+let merge_split_metrics ~rtt_s parts =
+  let sum f = Array.fold_left (fun acc (p : part) -> acc + f p.p_metrics) 0 parts in
+  let merged_hist f =
+    let h = Stats.Histogram.create () in
+    Array.iter (fun (p : part) -> Stats.Histogram.merge h (f p.p_metrics)) parts;
+    h
+  in
+  let read_latency = merged_hist (fun m -> m.Leases.Metrics.read_latency) in
+  let write_latency = merged_hist (fun m -> m.Leases.Metrics.write_latency) in
+  let write_wait = merged_hist (fun m -> m.Leases.Metrics.write_wait) in
+  let staleness = merged_hist (fun m -> m.Leases.Metrics.staleness) in
+  let hits = sum (fun m -> m.Leases.Metrics.cache_hits) in
+  let misses = sum (fun m -> m.Leases.Metrics.cache_misses) in
+  let consistency = sum (fun m -> m.Leases.Metrics.consistency_msgs) in
+  let sim_duration = parts.(0).p_metrics.Leases.Metrics.sim_duration in
+  let mean_write_added = Float.max 0. (Stats.Histogram.mean write_latency -. rtt_s) in
   let reads = Stats.Histogram.count read_latency in
   let writes = Stats.Histogram.count write_latency in
   let mean_op_delay =
@@ -260,73 +578,123 @@ let run setup ~trace =
       +. (mean_write_added *. float_of_int writes))
       /. float_of_int (reads + writes)
   in
-  let write_wait = Stats.Histogram.create () in
-  Array.iter (fun s -> Stats.Histogram.merge write_wait (Leases.Server.write_wait s)) servers;
-  let metrics =
-    {
-      Leases.Metrics.sim_duration;
-      ops_issued = !ops_issued;
-      reads_completed = !reads_completed;
-      writes_completed = !writes_completed;
-      temp_ops = !temp_ops;
-      dropped_ops = !ops_issued - !completed;
-      cache_hits = hits;
-      cache_misses = misses;
-      hit_ratio =
-        (if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses));
-      msgs_extension = server_sum (fun s -> Leases.Server.messages_handled s Leases.Messages.Extension);
-      msgs_approval = server_sum (fun s -> Leases.Server.messages_handled s Leases.Messages.Approval);
-      msgs_installed = server_sum (fun s -> Leases.Server.messages_handled s Leases.Messages.Installed);
-      msgs_write_transfer =
-        server_sum (fun s -> Leases.Server.messages_handled s Leases.Messages.Write_transfer);
-      consistency_msgs = consistency;
-      server_total_msgs = server_sum Leases.Server.messages_handled_total;
-      consistency_msg_rate =
-        (if sim_duration <= 0. then 0. else float_of_int consistency /. sim_duration);
-      callbacks_sent = server_sum Leases.Server.callbacks_sent;
-      commits = server_sum Leases.Server.commits;
-      wal_io = server_sum (fun s -> Vstore.Wal.io_records (Leases.Server.wal s));
-      read_latency;
-      write_latency;
-      write_wait;
-      mean_read_delay = Stats.Histogram.mean read_latency;
-      mean_write_delay_added = mean_write_added;
-      mean_op_delay;
-      retransmissions = client_sum Leases.Client.retransmissions;
-      renewals_sent = client_sum Leases.Client.renewals_sent;
-      approvals_answered = client_sum Leases.Client.approvals_answered;
-      net_sent = Netsim.Net.sent net;
-      net_dropped_loss = Netsim.Net.dropped_loss net;
-      net_dropped_partition = Netsim.Net.dropped_partition net;
-      net_dropped_down = Netsim.Net.dropped_down net;
-      oracle_reads = Oracle.Register_oracle.reads_checked oracle;
-      oracle_violations = Oracle.Register_oracle.violations oracle;
-      staleness = Oracle.Register_oracle.staleness oracle;
-    }
+  {
+    Leases.Metrics.sim_duration;
+    ops_issued = sum (fun m -> m.Leases.Metrics.ops_issued);
+    reads_completed = sum (fun m -> m.Leases.Metrics.reads_completed);
+    writes_completed = sum (fun m -> m.Leases.Metrics.writes_completed);
+    temp_ops = sum (fun m -> m.Leases.Metrics.temp_ops);
+    dropped_ops = sum (fun m -> m.Leases.Metrics.dropped_ops);
+    cache_hits = hits;
+    cache_misses = misses;
+    hit_ratio =
+      (if hits + misses = 0 then 0. else float_of_int hits /. float_of_int (hits + misses));
+    msgs_extension = sum (fun m -> m.Leases.Metrics.msgs_extension);
+    msgs_approval = sum (fun m -> m.Leases.Metrics.msgs_approval);
+    msgs_installed = sum (fun m -> m.Leases.Metrics.msgs_installed);
+    msgs_write_transfer = sum (fun m -> m.Leases.Metrics.msgs_write_transfer);
+    consistency_msgs = consistency;
+    server_total_msgs = sum (fun m -> m.Leases.Metrics.server_total_msgs);
+    consistency_msg_rate =
+      (if sim_duration <= 0. then 0. else float_of_int consistency /. sim_duration);
+    callbacks_sent = sum (fun m -> m.Leases.Metrics.callbacks_sent);
+    commits = sum (fun m -> m.Leases.Metrics.commits);
+    wal_io = sum (fun m -> m.Leases.Metrics.wal_io);
+    read_latency;
+    write_latency;
+    write_wait;
+    mean_read_delay = Stats.Histogram.mean read_latency;
+    mean_write_delay_added = mean_write_added;
+    mean_op_delay;
+    retransmissions = sum (fun m -> m.Leases.Metrics.retransmissions);
+    renewals_sent = sum (fun m -> m.Leases.Metrics.renewals_sent);
+    approvals_answered = sum (fun m -> m.Leases.Metrics.approvals_answered);
+    net_sent = sum (fun m -> m.Leases.Metrics.net_sent);
+    net_dropped_loss = sum (fun m -> m.Leases.Metrics.net_dropped_loss);
+    net_dropped_partition = sum (fun m -> m.Leases.Metrics.net_dropped_partition);
+    net_dropped_down = sum (fun m -> m.Leases.Metrics.net_dropped_down);
+    oracle_reads = sum (fun m -> m.Leases.Metrics.oracle_reads);
+    oracle_violations = sum (fun m -> m.Leases.Metrics.oracle_violations);
+    staleness;
+  }
+
+let run_split ?(domains = 1) setup ~trace =
+  if setup.n_clients < 1 then invalid_arg "Deploy.run_split: need at least one client";
+  if setup.n_shards < 1 then invalid_arg "Deploy.run_split: need at least one shard";
+  if domains < 1 then invalid_arg "Deploy.run_split: need at least one domain";
+  let map = Shard_map.create ~vnodes:setup.vnodes ~seed:setup.seed ~shards:setup.n_shards () in
+  (* RNG streams pre-split in shard order before any domain spawns: the
+     draw sequence is fixed by construction, so domain scheduling cannot
+     perturb seeded determinism. *)
+  let master = Prng.Splitmix.create ~seed:setup.seed in
+  let rngs = Array.init setup.n_shards (fun _ -> Prng.Splitmix.split master) in
+  let part_ops = Array.make setup.n_shards [] in
+  List.iter
+    (fun (op : Workload.Op.t) ->
+      if op.client < 0 || op.client >= setup.n_clients then
+        invalid_arg "Deploy.run_split: trace uses a client index outside the cluster";
+      let s = Shard_map.owner map op.file in
+      part_ops.(s) <- op :: part_ops.(s))
+    (Workload.Trace.ops trace);
+  let part_ops = Array.map List.rev part_ops in
+  let horizon = Time.add Time.zero (Time.Span.add (Workload.Trace.duration trace) setup.drain) in
+  let run_part s =
+    run_split_part setup ~map ~rng:rngs.(s) ~horizon ~part_ops:part_ops.(s) ~shard:s
   in
-  let per_shard =
-    Array.mapi
-      (fun s server ->
-        let extension = Leases.Server.messages_handled server Leases.Messages.Extension in
-        let approval = Leases.Server.messages_handled server Leases.Messages.Approval in
-        let installed = Leases.Server.messages_handled server Leases.Messages.Installed in
-        let shard_consistency = Leases.Server.consistency_messages server in
-        {
-          sl_shard = s;
-          sl_host = Host_id.to_int (server_host s);
-          sl_extension_msgs = extension;
-          sl_approval_msgs = approval;
-          sl_installed_msgs = installed;
-          sl_consistency_msgs = shard_consistency;
-          sl_total_msgs = Leases.Server.messages_handled_total server;
-          sl_commits = Leases.Server.commits server;
-          sl_consistency_rate =
-            (if sim_duration <= 0. then 0.
-             else float_of_int shard_consistency /. sim_duration);
-        })
-      servers
+  let parts =
+    let n_dom = Stdlib.min domains setup.n_shards in
+    if n_dom <= 1 then Array.init setup.n_shards run_part
+    else begin
+      (* Work-stealing over the shard indices: each slot is written by
+         exactly one domain and read only after the joins, which is the
+         happens-before edge that publishes the parts. *)
+      let results = Array.make setup.n_shards None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let s = Atomic.fetch_and_add next 1 in
+          if s < setup.n_shards then begin
+            results.(s) <- Some (run_part s);
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let spawned = Array.init (n_dom - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join spawned;
+      Array.map (function Some p -> p | None -> assert false) results
+    end
   in
-  { metrics; per_shard; map; oracle; store; telemetry }
+  (* Merge the per-shard streams by (timestamp, shard): each part's buffer
+     is already time-ordered, and a stable sort of the shard-ordered
+     concatenation breaks timestamp ties by shard.  Replaying into the
+     caller's sink feeds whatever it wired up — a JSONL writer, a checker
+     buffer, a critical-path analyzer tee. *)
+  if Trace.Sink.enabled setup.tracer then begin
+    let all = List.concat_map (fun p -> p.p_events) (Array.to_list parts) in
+    let all =
+      List.stable_sort
+        (fun (a : Trace.Event.t) b -> Float.compare a.Trace.Event.at b.Trace.Event.at)
+        all
+    in
+    List.iter setup.tracer.Trace.Sink.push all;
+    Trace.Sink.flush setup.tracer
+  end;
+  let sp_telemetry =
+    Option.map
+      (fun interval_s ->
+        Shard_telemetry.gather ~interval_s
+          ~parts:(Array.map (fun p -> Option.get p.p_telemetry) parts))
+      setup.telemetry_interval_s
+  in
+  {
+    sp_metrics = merge_split_metrics ~rtt_s:parts.(0).p_rtt_s parts;
+    sp_per_shard = Array.map (fun p -> p.p_load) parts;
+    sp_map = map;
+    sp_telemetry;
+    sp_parts = parts;
+  }
 
 let residual_params ?tolerance ?warmup_s setup =
   let term =
@@ -345,3 +713,8 @@ let telemetry_report setup outcome =
   Option.map
     (fun collector -> Shard_telemetry.report collector ~params:(residual_params setup))
     outcome.telemetry
+
+let split_telemetry_report setup outcome =
+  Option.map
+    (fun collector -> Shard_telemetry.report collector ~params:(residual_params setup))
+    outcome.sp_telemetry

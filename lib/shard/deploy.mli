@@ -35,7 +35,16 @@ type setup = {
   latency : Trace.Critical_path.t option;
       (** a live critical-path analyzer whose sink the caller has already
           tee'd into [tracer]; when telemetry is also on, each shard's
-          windows carry that shard's per-phase write-delay sums *)
+          windows carry that shard's per-phase write-delay sums.
+          {!run_split} cannot poll the analyzer during the run (it feeds
+          the merged stream after the parts join), so split-mode windows
+          carry no per-phase sums whatever this field holds. *)
+  profilers : Profile.Recorder.t array;
+      (** {!run_split} only: recorder installed on sub-simulation [s]'s
+          engine is [profilers.(s)] (out-of-range shards get
+          {!Profile.Recorder.null}).  The caller creates them because the
+          recorder needs a wallclock timer this library does not have.
+          Empty — the default — profiles nothing; ignored by {!run}. *)
 }
 
 val default_setup : setup
@@ -77,6 +86,58 @@ type outcome = {
 
 val run : setup -> trace:Workload.Trace.t -> outcome
 
+(** {1 Split deployment} — one self-contained sub-simulation per shard.
+
+    {!run_split} partitions the workload by file ownership and runs shard
+    [s] as a complete, isolated simulation: its own engine, clocks,
+    network, liveness and partition state, store, WAL, trace buffer,
+    telemetry collector and profile recorder, with per-shard RNG streams
+    pre-split from the master seed in shard order before any domain
+    starts.  All [n_clients] client machines exist in every part (an op
+    reaches the part owning its file; an idle client contributes
+    nothing), with distinct request-id origins so correlation ids stay
+    unique in the merged trace.
+
+    The result is deterministic in the seed and independent of [domains]:
+    metrics sum, latency histograms fold with {!Stats.Histogram.merge} in
+    shard order, telemetry windows are keyed by shard, and the per-part
+    trace streams are merged by [(timestamp, shard)] and replayed into
+    [setup.tracer] after the parts join.
+
+    This is a different cluster model from {!run} — independent network
+    fabrics and per-shard fault isolation instead of one shared fabric —
+    so its numbers are not comparable to {!run}'s for the same seed;
+    compare [run_split ~domains:1] against [run_split ~domains:k]. *)
+
+type part = {
+  p_shard : int;
+  p_metrics : Leases.Metrics.t;  (** this part alone; [sim_duration] is the shared horizon *)
+  p_load : shard_load;
+  p_oracle : Oracle.Register_oracle.t;
+  p_store : Vstore.Store.t;  (** this shard's slice of the namespace *)
+  p_telemetry : Shard_telemetry.t option;  (** single-shard collector, finalized *)
+  p_events : Trace.Event.t list;
+      (** this part's trace, time-ordered; empty when [setup.tracer] is
+          disabled *)
+  p_rtt_s : float;
+}
+
+type split_outcome = {
+  sp_metrics : Leases.Metrics.t;  (** deterministic merge over the parts *)
+  sp_per_shard : shard_load array;
+  sp_map : Shard_map.t;
+  sp_telemetry : Shard_telemetry.t option;
+      (** per-shard windows gathered from the parts, keyed by shard *)
+  sp_parts : part array;
+}
+
+val run_split : ?domains:int -> setup -> trace:Workload.Trace.t -> split_outcome
+(** [domains] (default 1) caps the OCaml domains running parts
+    concurrently; [min domains n_shards] are used, pulling shard indices
+    from a shared counter.  [~domains:1] runs the parts sequentially on
+    the calling domain and produces bit-identical results to any other
+    domain count. *)
+
 val residual_params :
   ?tolerance:float -> ?warmup_s:float -> setup -> Telemetry.Residual.params
 (** §3.1 residual parameters for this deployment: total client count, the
@@ -86,3 +147,7 @@ val residual_params :
 val telemetry_report : setup -> outcome -> Shard_telemetry.shard_report array option
 (** Per-shard windows, residual evaluations and summaries; [None] when the
     setup collected no telemetry. *)
+
+val split_telemetry_report :
+  setup -> split_outcome -> Shard_telemetry.shard_report array option
+(** {!telemetry_report} for a split run. *)

@@ -180,6 +180,25 @@ let finalize t =
 
 let windows t ~shard = List.rev t.windows.(shard)
 
+(* Stitch single-shard collectors — one per sub-simulation, in shard
+   order — into one collector keyed by shard.  Every part closed its
+   boundaries at the same engine instants (multiples of the shared
+   interval, plus the common horizon), so window indices line up across
+   shards exactly as in the shared-engine collector. *)
+let gather ~interval_s ~parts =
+  let n_shards = Array.length parts in
+  if n_shards < 1 then invalid_arg "Shard_telemetry.gather: need at least one part";
+  let t = create ~interval_s ~n_shards () in
+  Array.iteri
+    (fun s part ->
+      if part.n_shards <> 1 then
+        invalid_arg "Shard_telemetry.gather: parts must be single-shard collectors";
+      if part.interval_s <> interval_s then
+        invalid_arg "Shard_telemetry.gather: parts must share the interval";
+      t.windows.(s) <- part.windows.(0))
+    parts;
+  t
+
 type shard_report = {
   sr_shard : int;
   sr_windows : Sampler.window list;

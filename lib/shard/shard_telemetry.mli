@@ -47,6 +47,14 @@ val finalize : t -> unit
 val windows : t -> shard:int -> Telemetry.Sampler.window list
 (** Closed windows for one shard, in time order. *)
 
+val gather : interval_s:float -> parts:t array -> t
+(** Merge finalized single-shard collectors — one per shard, in shard
+    order — into a collector keyed by shard: part [s]'s shard-0 windows
+    become shard [s]'s.  For deployments running each shard as its own
+    sub-simulation; every part must collect a single shard on the same
+    interval (raises [Invalid_argument] otherwise).  The result is
+    read-only — do not {!attach} it. *)
+
 type shard_report = {
   sr_shard : int;
   sr_windows : Telemetry.Sampler.window list;

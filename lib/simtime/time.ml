@@ -23,7 +23,23 @@ let max (a : int) b = Stdlib.max a b
 
 let us_per_sec = 1_000_000.
 
-let of_sec s = int_of_float (Float.round (s *. us_per_sec))
+(* [int_of_float] on NaN or an out-of-range float is unspecified (and in
+   practice yields 0 or min_int), which would silently turn a garbage
+   span — a NaN [--term], an overflowing product — into a zero-term run.
+   The valid magnitude bound is one µs short of [max_int]; comparing the
+   rounded value against [float_of_int max_int] (= 2^62, the first float
+   past the representable range on 64-bit) rejects exactly the values
+   [int_of_float] cannot faithfully convert. *)
+let of_sec s =
+  let us = s *. us_per_sec in
+  if not (Float.is_finite us) then
+    invalid_arg (Printf.sprintf "Time.of_sec: non-finite span %h s" s)
+  else begin
+    let r = Float.round us in
+    if Stdlib.( >= ) (Float.abs r) (float_of_int max_int) then
+      invalid_arg (Printf.sprintf "Time.of_sec: %g s overflows the microsecond range" s)
+    else int_of_float r
+  end
 let to_sec t = float_of_int t /. us_per_sec
 let of_us (us : int) : t = us
 let to_us (t : t) : int = t

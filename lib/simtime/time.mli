@@ -29,7 +29,12 @@ val min : t -> t -> t
 val max : t -> t -> t
 
 val of_sec : float -> t
-(** Instant from seconds since epoch (rounded to the nearest microsecond). *)
+(** Instant from seconds since epoch (rounded to the nearest microsecond).
+
+    @raise Invalid_argument on a non-finite value or one whose microsecond
+    count falls outside the native-int range — a NaN or overflowing span
+    must fail loudly rather than silently becoming an instant near the
+    epoch. *)
 
 val to_sec : t -> float
 val of_us : int -> t
@@ -41,7 +46,11 @@ module Span : sig
   type t = span
 
   val zero : t
+
   val of_sec : float -> t
+  (** @raise Invalid_argument on non-finite or microsecond-overflowing
+      spans, exactly as the instant-level {!Time.of_sec}. *)
+
   val to_sec : t -> float
   val of_ms : float -> t
   val to_ms : t -> float

@@ -1,5 +1,11 @@
 (** Named monotonic counters, grouped into a registry so a simulation can
-    dump every count it accumulated in one call. *)
+    dump every count it accumulated in one call.
+
+    Counters are plain mutable cells and registries plain hash tables —
+    no synchronization.  Every registry is created by (and encapsulated
+    in) one simulation component, so a parallel harness that keeps each
+    sub-simulation on a single domain never shares one; keep it that
+    way rather than reaching for atomics on these hot paths. *)
 
 type t
 

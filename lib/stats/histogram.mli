@@ -2,7 +2,12 @@
 
     Buckets grow geometrically from [least] with ratio [growth]; quantile
     estimates interpolate linearly within a bucket.  Relative error of a
-    quantile estimate is bounded by [growth - 1]. *)
+    quantile estimate is bounded by [growth - 1].
+
+    Not synchronized: a histogram must be owned by one domain at a time.
+    Parallel harnesses give each sub-simulation its own histograms and
+    {!merge} them (in a fixed order, for float determinism) after the
+    domains join. *)
 
 type t
 

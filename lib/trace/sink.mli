@@ -7,7 +7,13 @@
     {[ if Trace.Sink.enabled tracer then Trace.Sink.emit tracer at (Event.Cache_hit ...) ]}
 
     because OCaml evaluates the payload argument eagerly; with the guard,
-    the {!null} sink costs one load and one branch per potential event. *)
+    the {!null} sink costs one load and one branch per potential event.
+
+    Sinks buffer without synchronization ({!buffer}, {!ring}, {!timeline},
+    and the [jsonl] writer's channel): one domain owns a sink for the
+    duration of a run.  A parallel harness gives each sub-simulation a
+    private buffer and interleaves the captured streams after the domains
+    join — see [Shard.Deploy.run_split]. *)
 
 type t = { enabled : bool; push : Event.t -> unit; flush : unit -> unit }
 

@@ -85,11 +85,11 @@ let run setup ~trace =
             ignore (Engine.schedule_after engine duration (fun () -> Netsim.Partition.heal partition)))
       | Leases.Sim.Client_drift { client; at; drift } ->
         at_time at (fun () -> Clock.set_drift client_clocks.(client) drift)
-      | Leases.Sim.Server_drift { at; drift } ->
+      | Leases.Sim.Server_drift { at; drift; _ } ->
         at_time at (fun () -> Clock.set_drift server_clock drift)
       | Leases.Sim.Client_step { client; at; step } ->
         at_time at (fun () -> Clock.step client_clocks.(client) step)
-      | Leases.Sim.Server_step { at; step } -> at_time at (fun () -> Clock.step server_clock step))
+      | Leases.Sim.Server_step { at; step; _ } -> at_time at (fun () -> Clock.step server_clock step))
     setup.faults;
 
   let read_latency = Stats.Histogram.create () in

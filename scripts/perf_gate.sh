@@ -2,14 +2,21 @@
 # Perf-regression gate: re-run the end-to-end client sweep and compare
 # sim-s/wall-s at every sweep point against the committed baseline
 # (scripts/perf_baseline.json).  Fails — printing the worst regressing
-# sweep point — when any point drops below TOLERANCE x baseline.
+# sweep point — when any point drops below TOLERANCE x baseline.  The
+# same run records the K-shard split deployment's domain sweep and holds
+# it to MIN_SPEEDUP x at 4 domains — enforced only on hosts with at
+# least 4 cores (fewer cores time-slice the domains; the measurement is
+# recorded with a skip notice instead of a spurious failure).
 #
-# Usage: perf_gate.sh [--full] [--tolerance RATIO] [--compare BENCH.json]
+# Usage: perf_gate.sh [--full] [--tolerance RATIO] [--min-speedup RATIO]
+#                     [--compare BENCH.json]
 #
-#   --full             run the full-size sweep instead of --quick
-#   --tolerance RATIO  min acceptable current/baseline ratio (default 0.75,
-#                      i.e. fail on a >25% regression)
-#   --compare PATH     gate an existing BENCH_core.json instead of running
+#   --full               run the full-size sweep instead of --quick
+#   --tolerance RATIO    min acceptable current/baseline ratio (default 0.75,
+#                        i.e. fail on a >25% regression)
+#   --min-speedup RATIO  min acceptable domains=4 / domains=1 rate ratio
+#                        (default 2.5; only enforced on >= 4 cores)
+#   --compare PATH       gate an existing BENCH_core.json instead of running
 #
 # Regenerate the baseline after an intentional perf change with:
 #   dune exec bin/bench_core.exe -- --quick --clients 1,100,1000,10000 \
@@ -20,6 +27,7 @@ cd "$(dirname "$0")/.."
 
 BASELINE=scripts/perf_baseline.json
 TOLERANCE=0.75
+MIN_SPEEDUP=2.5
 QUICK=--quick
 COMPARE=
 
@@ -27,6 +35,7 @@ while [ $# -gt 0 ]; do
   case "$1" in
     --full) QUICK= ;;
     --tolerance) TOLERANCE="$2"; shift ;;
+    --min-speedup) MIN_SPEEDUP="$2"; shift ;;
     --compare) COMPARE="$2"; shift ;;
     *) echo "perf_gate.sh: unknown argument $1" >&2; exit 2 ;;
   esac
@@ -37,13 +46,14 @@ done
 
 if [ -n "$COMPARE" ]; then
   exec dune exec bin/bench_core.exe -- \
-    --gate "$BASELINE" --tolerance "$TOLERANCE" --compare "$COMPARE"
+    --gate "$BASELINE" --tolerance "$TOLERANCE" --min-speedup "$MIN_SPEEDUP" \
+    --compare "$COMPARE"
 fi
 
 # Match the baseline's sweep points; the run both benches and gates in one
-# invocation (bench_core exits non-zero when the gate fails).
+# invocation (bench_core exits non-zero when either gate fails).
 OUT=$(mktemp /tmp/BENCH_core.gate.XXXXXX.json)
 trap 'rm -f "$OUT"' EXIT
 
 dune exec bin/bench_core.exe -- $QUICK --clients 1,100,1000,10000 \
-  -o "$OUT" --gate "$BASELINE" --tolerance "$TOLERANCE"
+  -o "$OUT" --gate "$BASELINE" --tolerance "$TOLERANCE" --min-speedup "$MIN_SPEEDUP"

@@ -45,6 +45,29 @@ let test_fault_specs_round_trip () =
         s.Fault_campaign.Schedule.faults)
     (Fault_campaign.Gen.schedules ~seed:42 ~n:10)
 
+let test_shard_indexed_clock_fault_specs () =
+  let parses spec expect =
+    match Leases.Sim.fault_of_spec spec with
+    | Ok f -> Alcotest.(check string) ("parse " ^ spec) expect (Leases.Sim.fault_to_spec f)
+    | Error why -> Alcotest.fail (Printf.sprintf "spec %S does not parse: %s" spec why)
+  in
+  (* two-argument legacy form is shard 0 and prints back without the index *)
+  parses "server-drift=40,-0.5" "server-drift=40,-0.5";
+  parses "server-step=12.5,2" "server-step=12.5,2";
+  (* three-argument form carries the shard and round-trips with it *)
+  parses "server-drift=2,40,-0.5" "server-drift=2,40,-0.5";
+  parses "server-step=3,12.5,-2" "server-step=3,12.5,-2";
+  (match Leases.Sim.fault_of_spec "server-drift=2,40,-0.5" with
+  | Ok (Leases.Sim.Server_drift { shard; _ }) -> Alcotest.(check int) "shard index" 2 shard
+  | _ -> Alcotest.fail "three-argument server-drift must carry its shard");
+  (* garbage times are a parse error, not an escaping exception *)
+  List.iter
+    (fun spec ->
+      match Leases.Sim.fault_of_spec spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "spec %S must be rejected" spec)
+    [ "server-drift=nan,0.5"; "server-step=1e300,2"; "crash-server=nan,5" ]
+
 let test_campaign_report_byte_identical () =
   let report () =
     Trace.Json.to_string
@@ -142,6 +165,7 @@ let () =
           Alcotest.test_case "prefix stable" `Quick test_generation_prefix_stable;
           Alcotest.test_case "pinned seed" `Quick test_pinned_seed_schedule;
           Alcotest.test_case "fault specs round-trip" `Quick test_fault_specs_round_trip;
+          Alcotest.test_case "shard-indexed clock faults" `Quick test_shard_indexed_clock_fault_specs;
           Alcotest.test_case "sharded schedules generated" `Quick test_sharded_schedules_generated;
           Alcotest.test_case "unsafe budget bounded" `Quick test_unsafe_budget_small_vs_allowance;
         ] );

@@ -137,7 +137,7 @@ let test_epsilon_masks_small_skew () =
       (Experiments.Runner.lease_setup ~n_clients:2 ~config ~term:(Analytic.Model.Finite 10.) ())
       with
       Leases.Sim.faults =
-        [ Leases.Sim.Server_step { at = sec 5.; step = Time.Span.of_ms 50. } ];
+        [ Leases.Sim.Server_step { shard = 0; at = sec 5.; step = Time.Span.of_ms 50. } ];
       (* 50 ms of skew, epsilon is 100 ms *)
     }
   in
@@ -231,7 +231,7 @@ let test_slow_server_drift_mid_wait () =
     expiry_wait_setup
       [
         Leases.Sim.Partition_clients { clients = [ 1 ]; at = sec 1.5; duration = span 30. };
-        Leases.Sim.Server_drift { at = sec 3.; drift = -0.5 };
+        Leases.Sim.Server_drift { shard = 0; at = sec 3.; drift = -0.5 };
       ]
   in
   check_commit_at_server_expiry ~min_wait:15. (run_checked setup expiry_wait_trace)
@@ -244,7 +244,7 @@ let test_backward_server_step_mid_wait () =
     expiry_wait_setup
       [
         Leases.Sim.Partition_clients { clients = [ 1 ]; at = sec 1.5; duration = span 30. };
-        Leases.Sim.Server_step { at = sec 3.; step = Time.Span.neg (span 5.) };
+        Leases.Sim.Server_step { shard = 0; at = sec 3.; step = Time.Span.neg (span 5.) };
       ]
   in
   check_commit_at_server_expiry ~min_wait:13. (run_checked setup expiry_wait_trace)

@@ -198,6 +198,153 @@ let test_per_shard_residuals () =
              r.Shard.Shard_telemetry.sr_summary.Telemetry.Residual.steady_load_residual))
       reports
 
+(* --- sequential goldens -------------------------------------------- *)
+
+(* The exact metrics documents two seeded CLI runs produced before the
+   split-deployment refactor landed (committed as
+   golden_shard_seq_*.json).  The shared-engine path must keep producing
+   them byte for byte: any drift means the refactor changed the
+   sequential simulation, not just reorganised it. *)
+
+let read_file path =
+  (* dune runtest runs in the test directory; a `dune exec` from the repo
+     root finds the goldens one level down *)
+  let path = if Sys.file_exists path then path else Filename.concat "test" path in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Mirrors bin/simulate.ml's sharded setup for `-p leases -t 10` at the
+   default 5 ms RTT: propagation (5 - 4) / 2 ms, processing 1 ms. *)
+let cli_setup ~seed ~faults () =
+  let m_proc = Time.Span.of_ms 1. in
+  let m_prop = Time.Span.of_ms 0.5 in
+  let base =
+    Experiments.Runner.lease_setup ~n_clients:6 ~m_prop ~m_proc ~term:(Analytic.Model.Finite 10.)
+      ()
+  in
+  {
+    Shard.Deploy.default_setup with
+    Shard.Deploy.seed;
+    n_clients = 6;
+    n_shards = 4;
+    config = base.Leases.Sim.config;
+    m_prop;
+    m_proc;
+    faults;
+  }
+
+let cli_trace ~seed ~duration =
+  (Experiments.V_trace.poisson ~seed ~clients:6 ~duration:(span duration) ())
+    .Experiments.V_trace.trace
+
+let fault_exn spec =
+  match Leases.Sim.fault_of_spec spec with
+  | Ok fault -> fault
+  | Error why -> Alcotest.failf "fault spec %S: %s" spec why
+
+let test_golden_sequential_clean () =
+  let outcome =
+    Shard.Deploy.run (cli_setup ~seed:1L ~faults:[] ()) ~trace:(cli_trace ~seed:1L ~duration:300.)
+  in
+  Alcotest.(check string)
+    "clean 4-shard run matches the pre-refactor golden"
+    (String.trim (read_file "golden_shard_seq_clean.json"))
+    (Leases.Metrics.to_json outcome.Shard.Deploy.metrics)
+
+let test_golden_sequential_faults () =
+  let faults =
+    List.map fault_exn [ "crash-shard=1,40,8"; "server-drift=60,0.5"; "server-step=80,-2" ]
+  in
+  let outcome =
+    Shard.Deploy.run (cli_setup ~seed:3L ~faults ()) ~trace:(cli_trace ~seed:3L ~duration:120.)
+  in
+  Alcotest.(check string)
+    "faulted 4-shard run matches the pre-refactor golden"
+    (String.trim (read_file "golden_shard_seq_faults.json"))
+    (Leases.Metrics.to_json outcome.Shard.Deploy.metrics)
+
+(* --- split deployment ---------------------------------------------- *)
+
+(* One seeded split run's complete observable output: metrics JSON,
+   per-shard loads, per-shard telemetry windows, and the merged trace
+   (encoded lines, in stream order). *)
+let split_observables ~domains ~faults ~duration () =
+  let buf = Trace.Sink.buffer () in
+  let setup = sharded_setup ~faults ~tracer:(Trace.Sink.buffer_sink buf) ~telemetry:10. () in
+  let trace = v_trace ~duration () in
+  let outcome = Shard.Deploy.run_split ~domains setup ~trace in
+  let windows =
+    match outcome.Shard.Deploy.sp_telemetry with
+    | None -> []
+    | Some collector ->
+      List.init setup.Shard.Deploy.n_shards (fun s ->
+          Shard.Shard_telemetry.windows collector ~shard:s)
+  in
+  ( Leases.Metrics.to_json outcome.Shard.Deploy.sp_metrics,
+    outcome.Shard.Deploy.sp_per_shard,
+    windows,
+    List.map Trace.Codec.encode (Trace.Sink.buffer_contents buf) )
+
+let split_faults () =
+  [
+    Leases.Sim.Crash_shard { shard = 1; at = Time.of_sec 60.; duration = span 8. };
+    fault_exn "server-drift=2,80,0.5";
+    fault_exn "crash-client=3,50,15";
+  ]
+
+let test_split_domains_equivalent () =
+  (* the tentpole's correctness spine: the same seeded split deployment —
+     faults, loss-free network, telemetry, tracing — produces identical
+     metrics, loads, windows and merged trace whether its four parts run
+     on one domain or four *)
+  let m1, l1, w1, t1 = split_observables ~domains:1 ~faults:(split_faults ()) ~duration:200. () in
+  let m4, l4, w4, t4 = split_observables ~domains:4 ~faults:(split_faults ()) ~duration:200. () in
+  Alcotest.(check string) "metrics identical across domain counts" m1 m4;
+  Alcotest.(check bool) "per-shard loads identical" true (l1 = l4);
+  Alcotest.(check bool) "telemetry windows identical" true (w1 = w4);
+  Alcotest.(check bool) "traces non-empty" true (t1 <> []);
+  Alcotest.(check (list string)) "merged traces identical" t1 t4
+
+let test_split_failover_checker_parallel () =
+  (* the 4-shard failover campaign replayed on 4 domains: the merged
+     trace must satisfy the multi-server invariant checker exactly as the
+     sequential run does *)
+  let buf = Trace.Sink.buffer () in
+  let faults =
+    [ Leases.Sim.Crash_shard { shard = 1; at = Time.of_sec 100.; duration = span 10. } ]
+  in
+  let setup = sharded_setup ~faults ~tracer:(Trace.Sink.buffer_sink buf) () in
+  let trace = v_trace ~duration:400. () in
+  let outcome = Shard.Deploy.run_split ~domains:4 setup ~trace in
+  Alcotest.(check int) "zero oracle violations" 0
+    outcome.Shard.Deploy.sp_metrics.Leases.Metrics.oracle_violations;
+  let report =
+    Trace.Checker.check
+      ~servers:(Shard.Deploy.server_hosts setup)
+      ~owner:(fun f ->
+        Shard.Shard_map.owner outcome.Shard.Deploy.sp_map (Vstore.File_id.of_int f))
+      (Trace.Sink.buffer_contents buf)
+  in
+  Alcotest.(check int) "checker: no violations" 0 (List.length report.Trace.Checker.violations);
+  Alcotest.(check bool) "checker saw hits" true (report.Trace.Checker.checked_hits > 0)
+
+let test_split_merged_trace_ordered () =
+  (* the merged stream is globally time-ordered — what the (timestamp,
+     shard) merge promises downstream consumers *)
+  let _, _, _, lines = split_observables ~domains:4 ~faults:[] ~duration:120. () in
+  Alcotest.(check bool) "trace non-empty" true (lines <> []);
+  let buf = Trace.Sink.buffer () in
+  let setup = sharded_setup ~tracer:(Trace.Sink.buffer_sink buf) () in
+  let _ = Shard.Deploy.run_split ~domains:4 setup ~trace:(v_trace ~duration:120. ()) in
+  let rec ordered = function
+    | (a : Trace.Event.t) :: (b :: _ as rest) -> a.Trace.Event.at <= b.Trace.Event.at && ordered rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "timestamps non-decreasing" true
+    (ordered (Trace.Sink.buffer_contents buf))
+
 let test_deploy_deterministic () =
   let trace = v_trace ~duration:120. () in
   let run () =
@@ -220,6 +367,15 @@ let () =
           Alcotest.test_case "clean sharded run" `Quick test_sharded_run_clean;
           Alcotest.test_case "single shard degenerates" `Quick test_single_shard_matches_sim_load;
           Alcotest.test_case "deterministic" `Quick test_deploy_deterministic;
+          Alcotest.test_case "golden: clean run unchanged" `Quick test_golden_sequential_clean;
+          Alcotest.test_case "golden: faulted run unchanged" `Quick test_golden_sequential_faults;
+        ] );
+      ( "split",
+        [
+          Alcotest.test_case "domains 1 = domains 4" `Quick test_split_domains_equivalent;
+          Alcotest.test_case "failover checked on 4 domains" `Quick
+            test_split_failover_checker_parallel;
+          Alcotest.test_case "merged trace time-ordered" `Quick test_split_merged_trace_ordered;
         ] );
       ( "failover",
         [

@@ -37,6 +37,24 @@ let test_span_ops () =
     (Time.Span.to_sec (Time.Span.clamp_non_negative (span 5.)));
   Alcotest.(check (float 1e-9)) "ms" 1.5 (Time.Span.to_ms (Time.Span.of_ms 1.5))
 
+let test_of_sec_rejects_garbage () =
+  let rejects label f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" label
+  in
+  rejects "nan instant" (fun () -> Time.of_sec Float.nan);
+  rejects "inf instant" (fun () -> Time.of_sec Float.infinity);
+  rejects "-inf instant" (fun () -> Time.of_sec Float.neg_infinity);
+  rejects "overflowing instant" (fun () -> Time.of_sec 1e300);
+  rejects "underflowing instant" (fun () -> Time.of_sec (-1e300));
+  rejects "nan span" (fun () -> Time.Span.of_sec Float.nan);
+  rejects "nan ms span" (fun () -> Time.Span.of_ms Float.nan);
+  (* the whole representable range stays accepted *)
+  Alcotest.(check (float 1e-3)) "large but in-range" 1e12 (Time.to_sec (Time.of_sec 1e12));
+  Alcotest.(check (float 1e-3)) "large negative span" (-1e12)
+    (Time.Span.to_sec (Time.Span.of_sec (-1e12)))
+
 (* --- Event queue ------------------------------------------------------ *)
 
 let test_queue_ordering () =
@@ -294,6 +312,7 @@ let () =
           Alcotest.test_case "ordering" `Quick test_time_ordering;
           Alcotest.test_case "arithmetic" `Quick test_time_arith;
           Alcotest.test_case "span ops" `Quick test_span_ops;
+          Alcotest.test_case "of_sec rejects garbage" `Quick test_of_sec_rejects_garbage;
         ] );
       ( "event-queue",
         [

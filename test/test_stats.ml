@@ -118,6 +118,30 @@ let test_histogram_edges () =
   Alcotest.check_raises "bad quantile" (Invalid_argument "Histogram.quantile: q must be in [0, 1]")
     (fun () -> ignore (Stats.Histogram.quantile h 1.5))
 
+let test_histogram_merge () =
+  let samples_a = [ 0.001; 0.02; 0.3 ] and samples_b = [ 0.004; 4.; 1e-9 ] in
+  let direct = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add direct) (samples_a @ samples_b);
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add a) samples_a;
+  List.iter (Stats.Histogram.add b) samples_b;
+  Stats.Histogram.merge a b;
+  Alcotest.(check int) "count" (Stats.Histogram.count direct) (Stats.Histogram.count a);
+  Alcotest.(check (float 1e-12)) "exact sum carried" (Stats.Histogram.sum direct)
+    (Stats.Histogram.sum a);
+  Alcotest.(check (float 1e-12)) "p90 matches direct fill" (Stats.Histogram.quantile direct 0.9)
+    (Stats.Histogram.quantile a 0.9);
+  Alcotest.(check int) "source untouched" (List.length samples_b) (Stats.Histogram.count b);
+  (* layout compatibility is checked, not silently mangled *)
+  let narrow = Stats.Histogram.create ~buckets:16 () in
+  Alcotest.check_raises "incompatible layouts"
+    (Invalid_argument "Histogram.merge: incompatible bucket layouts") (fun () ->
+      Stats.Histogram.merge a narrow);
+  let coarse = Stats.Histogram.create ~growth:1.5 () in
+  Alcotest.check_raises "incompatible growth"
+    (Invalid_argument "Histogram.merge: incompatible bucket layouts") (fun () ->
+      Stats.Histogram.merge a coarse)
+
 let test_histogram_bucket_edges () =
   (* exact bucket edges x = least and x = least * growth^k are where the
      log-ratio rounding can misplace samples; pin the half-open layout *)
@@ -330,6 +354,7 @@ let () =
         [
           Alcotest.test_case "quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "edges" `Quick test_histogram_edges;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
           Alcotest.test_case "bucket edges" `Quick test_histogram_bucket_edges;
           Alcotest.test_case "overflow quantile" `Quick test_histogram_overflow_quantile;
           Alcotest.test_case "summary" `Quick test_histogram_summary;

@@ -308,7 +308,7 @@ let test_fast_server_clock_caught () =
   in
   let m, events =
     traced_run ~config ~term:(Analytic.Model.Finite 30.)
-      ~faults:[ Leases.Sim.Server_drift { at = sec 2.; drift = 2.0 } ]
+      ~faults:[ Leases.Sim.Server_drift { shard = 0; at = sec 2.; drift = 2.0 } ]
       ops
   in
   let report = Trace.Checker.check events in
@@ -348,7 +348,7 @@ let conservation_case_arb =
         map
           (fun (at, r) ->
             Leases.Sim.Server_drift
-              { at = sec (float_of_int at); drift = 0.5 +. (float_of_int r /. 10.) })
+              { shard = 0; at = sec (float_of_int at); drift = 0.5 +. (float_of_int r /. 10.) })
           (pair (int_bound 40) (int_bound 15));
       ]
   in
